@@ -1,0 +1,3 @@
+module adaptivertc
+
+go 1.22

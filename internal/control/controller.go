@@ -1,0 +1,150 @@
+// Package control implements the controller syntheses the paper
+// instantiates in its evaluation: discrete LQR via the algebraic
+// Riccati equation, a delay-aware LQR for plants whose command takes a
+// full inter-release interval to reach the actuator, a steady-state
+// Kalman filter and the resulting LQG compensator, and a PI controller
+// with gains tuned per input-output interval.
+//
+// Sign convention: every controller consumes the error e[k] = r - y[k]
+// (negative feedback written explicitly). The paper's Eq. 8 prints the
+// closed-loop matrix with positive feedback blocks, absorbing the sign
+// of e into Bc and Dc; package core carries the sign explicitly when it
+// assembles Omega, so the two formulations describe the same closed
+// loop.
+package control
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/mat"
+)
+
+// StateSpace is a discrete-time dynamic output-feedback controller in
+// the paper's Eq. 6 form:
+//
+//	z[k+1] = Ac z[k] + Bc e[k]
+//	u[k+1] = Cc z[k] + Dc e[k]
+//
+// where e is the tracking error and u the command that the runtime will
+// apply one release interval later. A static controller has StateDim 0
+// and nil Ac, Bc, Cc.
+type StateSpace struct {
+	Ac *mat.Dense // s×s, nil when s == 0
+	Bc *mat.Dense // s×q, nil when s == 0
+	Cc *mat.Dense // r×s, nil when s == 0
+	Dc *mat.Dense // r×q
+}
+
+// NewStateSpace validates controller dimensions. For a static gain pass
+// nil Ac, Bc, Cc.
+func NewStateSpace(ac, bc, cc, dc *mat.Dense) (*StateSpace, error) {
+	if dc == nil {
+		return nil, fmt.Errorf("control: Dc is required")
+	}
+	c := &StateSpace{Ac: ac, Bc: bc, Cc: cc, Dc: dc}
+	if ac == nil && bc == nil && cc == nil {
+		return c, nil
+	}
+	if ac == nil || bc == nil || cc == nil {
+		return nil, fmt.Errorf("control: Ac, Bc, Cc must be all nil or all present")
+	}
+	if !ac.IsSquare() {
+		return nil, fmt.Errorf("control: Ac must be square, got %d×%d", ac.Rows(), ac.Cols())
+	}
+	s := ac.Rows()
+	if bc.Rows() != s {
+		return nil, fmt.Errorf("control: Bc has %d rows, want %d", bc.Rows(), s)
+	}
+	if cc.Cols() != s {
+		return nil, fmt.Errorf("control: Cc has %d cols, want %d", cc.Cols(), s)
+	}
+	if cc.Rows() != dc.Rows() {
+		return nil, fmt.Errorf("control: Cc has %d outputs but Dc has %d", cc.Rows(), dc.Rows())
+	}
+	if bc.Cols() != dc.Cols() {
+		return nil, fmt.Errorf("control: Bc has %d inputs but Dc has %d", bc.Cols(), dc.Cols())
+	}
+	return c, nil
+}
+
+// StateDim returns s, the controller state dimension (0 for static).
+func (c *StateSpace) StateDim() int {
+	if c.Ac == nil {
+		return 0
+	}
+	return c.Ac.Rows()
+}
+
+// InputDim returns q, the number of error inputs.
+func (c *StateSpace) InputDim() int { return c.Dc.Cols() }
+
+// OutputDim returns r, the number of command outputs.
+func (c *StateSpace) OutputDim() int { return c.Dc.Rows() }
+
+// Step advances the controller one job: given the current controller
+// state z (len s; may be nil when s == 0) and error sample e, it
+// returns the next state and the command u[k+1].
+func (c *StateSpace) Step(z, e []float64) (znext, u []float64) {
+	if len(e) != c.InputDim() {
+		panic(fmt.Sprintf("control: Step with %d errors, want %d", len(e), c.InputDim()))
+	}
+	u = mat.MulVec(c.Dc, e)
+	if c.StateDim() == 0 {
+		return nil, u
+	}
+	if len(z) != c.StateDim() {
+		panic(fmt.Sprintf("control: Step with %d states, want %d", len(z), c.StateDim()))
+	}
+	cz := mat.MulVec(c.Cc, z)
+	for i := range u {
+		u[i] += cz[i]
+	}
+	znext = mat.MulVec(c.Ac, z)
+	be := mat.MulVec(c.Bc, e)
+	for i := range znext {
+		znext[i] += be[i]
+	}
+	return znext, u
+}
+
+// StepInto is the allocation-free variant of Step for runtime hot
+// paths: it writes the next controller state into znext and the command
+// into u. znext must not alias z; lengths must match StateDim and
+// OutputDim (znext may be nil for a static controller).
+func (c *StateSpace) StepInto(znext, u, z, e []float64) {
+	if len(e) != c.InputDim() || len(u) != c.OutputDim() {
+		panic(fmt.Sprintf("control: StepInto dims e=%d u=%d, want %d, %d", len(e), len(u), c.InputDim(), c.OutputDim()))
+	}
+	mat.MulVecInto(u, c.Dc, e)
+	s := c.StateDim()
+	if s == 0 {
+		return
+	}
+	if len(z) != s || len(znext) != s {
+		panic(fmt.Sprintf("control: StepInto states z=%d znext=%d, want %d", len(z), len(znext), s))
+	}
+	for i := 0; i < c.Cc.Rows(); i++ {
+		acc := u[i]
+		for j := 0; j < s; j++ {
+			acc += c.Cc.At(i, j) * z[j]
+		}
+		u[i] = acc
+	}
+	mat.MulVecInto(znext, c.Ac, z)
+	for i := 0; i < s; i++ {
+		acc := znext[i]
+		for j := 0; j < len(e); j++ {
+			acc += c.Bc.At(i, j) * e[j]
+		}
+		znext[i] = acc
+	}
+}
+
+// Static returns a memoryless controller u[k+1] = Dc e[k].
+func Static(dc *mat.Dense) *StateSpace {
+	c, err := NewStateSpace(nil, nil, nil, dc)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

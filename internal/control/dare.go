@@ -1,0 +1,94 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptivertc/internal/mat"
+)
+
+// ErrDARENotConverged is returned when the Riccati iteration fails to
+// reach a fixed point, which in practice indicates an unstabilizable
+// pair (A, B) or an undetectable cost.
+var ErrDARENotConverged = errors.New("control: DARE iteration did not converge (unstabilizable system?)")
+
+// SolveDARE solves the discrete-time algebraic Riccati equation
+//
+//	P = AᵀPA - AᵀPB (R + BᵀPB)⁻¹ BᵀPA + Q
+//
+// for the stabilizing solution P, by the monotone fixed-point
+// (Riccati difference equation) iteration started at P = Q. Q must be
+// PSD. R may be merely PSD provided R + BᵀPB stays invertible along the
+// iteration (this holds, e.g., for the delay-augmented problems in this
+// package where the applied-input weight sits inside Q).
+func SolveDARE(a, b, q, r *mat.Dense) (*mat.Dense, error) {
+	n := a.Rows()
+	if !a.IsSquare() || b.Rows() != n {
+		return nil, fmt.Errorf("control: DARE dimension mismatch A %d×%d, B %d×%d", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	m := b.Cols()
+	if !q.IsSquare() || q.Rows() != n {
+		return nil, fmt.Errorf("control: DARE Q must be %d×%d", n, n)
+	}
+	if !r.IsSquare() || r.Rows() != m {
+		return nil, fmt.Errorf("control: DARE R must be %d×%d", m, m)
+	}
+
+	const (
+		maxIter = 200000
+		tol     = 1e-13
+	)
+	at := a.T()
+	bt := b.T()
+	p := mat.Symmetrize(q)
+	for iter := 0; iter < maxIter; iter++ {
+		pa := mat.Mul(p, a)                     // P A
+		pb := mat.Mul(p, b)                     // P B
+		s := mat.Add(r, mat.Mul(bt, pb))        // R + BᵀPB
+		k, err := mat.Solve(s, mat.Mul(bt, pa)) // (R+BᵀPB)⁻¹ BᵀPA
+		if err != nil {
+			return nil, fmt.Errorf("control: DARE inner solve: %w", err)
+		}
+		next := mat.Add(q, mat.Mul(at, pa))
+		next = mat.Sub(next, mat.MulMany(at, pb, k))
+		next = mat.Symmetrize(next)
+		diff := mat.MaxAbs(mat.Sub(next, p))
+		scale := 1 + mat.MaxAbs(next)
+		p = next
+		if diff <= tol*scale {
+			return p, nil
+		}
+		if p.HasNaN() {
+			return nil, ErrDARENotConverged
+		}
+	}
+	return nil, ErrDARENotConverged
+}
+
+// DAREGain returns the optimal state-feedback gain
+// K = (R + BᵀPB)⁻¹ BᵀPA for a DARE solution P; the optimal control is
+// u = -K x.
+func DAREGain(a, b, r, p *mat.Dense) (*mat.Dense, error) {
+	bt := b.T()
+	s := mat.Add(r, mat.MulMany(bt, p, b))
+	k, err := mat.Solve(s, mat.MulMany(bt, p, a))
+	if err != nil {
+		return nil, fmt.Errorf("control: DARE gain solve: %w", err)
+	}
+	return k, nil
+}
+
+// DAREResidual returns max |AᵀPA - P - AᵀPB(R+BᵀPB)⁻¹BᵀPA + Q| for
+// diagnostics and tests.
+func DAREResidual(a, b, q, r, p *mat.Dense) float64 {
+	bt := b.T()
+	s := mat.Add(r, mat.MulMany(bt, p, b))
+	k, err := mat.Solve(s, mat.MulMany(bt, p, a))
+	if err != nil {
+		return mat.MaxAbs(p) // grossly wrong; surfaces in tests
+	}
+	res := mat.Add(q, mat.MulMany(a.T(), p, a))
+	res = mat.Sub(res, mat.MulMany(a.T(), p, mat.Mul(b, k)))
+	res = mat.Sub(res, p)
+	return mat.MaxAbs(res)
+}

@@ -1,0 +1,100 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/mat"
+)
+
+// ErrUnstable is returned by Gramian and H2 computations on systems
+// whose dynamics matrix is not Schur stable (the defining Lyapunov
+// series diverges).
+var ErrUnstable = errors.New("control: system is not Schur stable")
+
+// ControllabilityGramian returns the discrete-time controllability
+// Gramian Wc = Σ Aᵏ B Bᵀ (Aᵀ)ᵏ, the solution of A Wc Aᵀ - Wc + BBᵀ = 0,
+// for Schur-stable A.
+func ControllabilityGramian(a, b *mat.Dense) (*mat.Dense, error) {
+	if ok, err := mat.IsSchurStable(a); err != nil || !ok {
+		if err != nil {
+			return nil, err
+		}
+		return nil, ErrUnstable
+	}
+	// AᵀXA - X + Q = 0 solves the *observability* form; transpose maps
+	// the controllability equation onto it.
+	return mat.SolveLyapunovDiscrete(a.T(), mat.Mul(b, b.T()))
+}
+
+// ObservabilityGramian returns Wo = Σ (Aᵀ)ᵏ CᵀC Aᵏ, the solution of
+// Aᵀ Wo A - Wo + CᵀC = 0, for Schur-stable A.
+func ObservabilityGramian(a, c *mat.Dense) (*mat.Dense, error) {
+	if ok, err := mat.IsSchurStable(a); err != nil || !ok {
+		if err != nil {
+			return nil, err
+		}
+		return nil, ErrUnstable
+	}
+	return mat.SolveLyapunovDiscrete(a, mat.Mul(c.T(), c))
+}
+
+// H2NormDiscrete returns the H2 norm of the discrete-time system
+// (A, B, C): ‖G‖₂ = √trace(C Wc Cᵀ). It equals the RMS output energy
+// under unit white process noise — the steady-state cost surrogate used
+// to compare closed-loop designs analytically.
+func H2NormDiscrete(a, b, c *mat.Dense) (float64, error) {
+	wc, err := ControllabilityGramian(a, b)
+	if err != nil {
+		return 0, err
+	}
+	tr := mat.MulMany(c, wc, c.T()).Trace()
+	if tr < 0 {
+		if tr > -1e-12 {
+			tr = 0
+		} else {
+			return 0, fmt.Errorf("control: negative H2 trace %g (ill-conditioned Gramian)", tr)
+		}
+	}
+	return math.Sqrt(tr), nil
+}
+
+// HankelSingularValues returns the Hankel singular values
+// σᵢ = √λᵢ(Wc Wo) of a Schur-stable discrete system — the standard
+// measure of state importance (used e.g. to decide how many controller
+// states a reduced implementation needs).
+func HankelSingularValues(a, b, c *mat.Dense) ([]float64, error) {
+	wc, err := ControllabilityGramian(a, b)
+	if err != nil {
+		return nil, err
+	}
+	wo, err := ObservabilityGramian(a, c)
+	if err != nil {
+		return nil, err
+	}
+	eigs, err := mat.Eigenvalues(mat.Mul(wc, wo))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(eigs))
+	for i, l := range eigs {
+		re := real(l)
+		if re < 0 && re > -1e-12 {
+			re = 0
+		}
+		if re < 0 || math.Abs(imag(l)) > 1e-8*(1+math.Abs(re)) {
+			return nil, fmt.Errorf("control: Wc·Wo produced non-real eigenvalue %v", l)
+		}
+		out[i] = math.Sqrt(re)
+	}
+	// Non-increasing order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] > out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package control
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptivertc/internal/mat"
+)
+
+func randomDense(rng *rand.Rand, r, c int) *mat.Dense {
+	m := mat.New(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestControllabilityGramianScalar(t *testing.T) {
+	// x⁺ = a x + b u: Wc = b²/(1-a²).
+	a, b := 0.5, 2.0
+	wc, err := ControllabilityGramian(mat.Diag(a), mat.FromRows([][]float64{{b}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b * b / (1 - a*a)
+	if math.Abs(wc.At(0, 0)-want) > 1e-10 {
+		t.Fatalf("Wc = %v, want %v", wc.At(0, 0), want)
+	}
+}
+
+func TestGramianLyapunovResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := mat.Scale(0.4, randomDense(rng, n, n))
+		b := randomDense(rng, n, 1)
+		c := randomDense(rng, 1, n)
+		wc, err := ControllabilityGramian(a, b)
+		if errors.Is(err, ErrUnstable) {
+			return true // unlucky draw; nothing to check
+		}
+		if err != nil {
+			return false
+		}
+		resC := mat.Add(mat.Sub(mat.MulMany(a, wc, a.T()), wc), mat.Mul(b, b.T()))
+		if mat.MaxAbs(resC) > 1e-8*(1+mat.MaxAbs(wc)) {
+			return false
+		}
+		wo, err := ObservabilityGramian(a, c)
+		if err != nil {
+			return false
+		}
+		resO := mat.Add(mat.Sub(mat.MulMany(a.T(), wo, a), wo), mat.Mul(c.T(), c))
+		return mat.MaxAbs(resO) <= 1e-8*(1+mat.MaxAbs(wo))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramianRejectsUnstable(t *testing.T) {
+	a := mat.Diag(1.1)
+	if _, err := ControllabilityGramian(a, mat.Eye(1)); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ObservabilityGramian(a, mat.Eye(1)); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := H2NormDiscrete(a, mat.Eye(1), mat.Eye(1)); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestH2NormScalar(t *testing.T) {
+	// ‖G‖₂² = c² b²/(1-a²).
+	a, b, c := 0.8, 1.5, 2.0
+	got, err := H2NormDiscrete(mat.Diag(a), mat.FromRows([][]float64{{b}}), mat.FromRows([][]float64{{c}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(c * c * b * b / (1 - a*a))
+	if math.Abs(got-want) > 1e-10 {
+		t.Fatalf("H2 = %v, want %v", got, want)
+	}
+}
+
+func TestH2NormMatchesImpulseEnergy(t *testing.T) {
+	// ‖G‖₂² = Σ_k ‖C Aᵏ B‖F² (impulse-response energy).
+	rng := rand.New(rand.NewSource(12))
+	a := mat.Scale(0.3, randomDense(rng, 3, 3))
+	b := randomDense(rng, 3, 2)
+	c := randomDense(rng, 2, 3)
+	h2, err := H2NormDiscrete(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	g := b.Clone()
+	for k := 0; k < 200; k++ {
+		cg := mat.Mul(c, g)
+		f := mat.FroNorm(cg)
+		sum += f * f
+		g = mat.Mul(a, g)
+	}
+	if math.Abs(h2*h2-sum) > 1e-9*(1+sum) {
+		t.Fatalf("H2² = %v, impulse energy = %v", h2*h2, sum)
+	}
+}
+
+func TestHankelSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(rng, 3, 3)
+	if rho, err := mat.SpectralRadius(a); err == nil {
+		a = mat.Scale(0.7/rho, a) // guarantee Schur stability
+	}
+	b := randomDense(rng, 3, 1)
+	c := randomDense(rng, 1, 3)
+	hsv, err := HankelSingularValues(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hsv) != 3 {
+		t.Fatalf("hsv = %v", hsv)
+	}
+	for i := 1; i < len(hsv); i++ {
+		if hsv[i] > hsv[i-1]+1e-12 {
+			t.Fatalf("not sorted: %v", hsv)
+		}
+	}
+	// Hankel singular values are similarity invariants: check under a
+	// random state transform T: (TAT⁻¹, TB, CT⁻¹).
+	tr := mat.Add(randomDense(rng, 3, 3), mat.Scale(4, mat.Eye(3)))
+	trInv, err := mat.Inverse(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsv2, err := HankelSingularValues(mat.MulMany(tr, a, trInv), mat.Mul(tr, b), mat.Mul(c, trInv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hsv {
+		if math.Abs(hsv[i]-hsv2[i]) > 1e-6*(1+hsv[i]) {
+			t.Fatalf("HSV not invariant: %v vs %v", hsv, hsv2)
+		}
+	}
+}

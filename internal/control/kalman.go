@@ -1,0 +1,44 @@
+package control
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/mat"
+)
+
+// NoiseWeights carries the process and measurement noise covariances
+// used by the Kalman filter design. Rw (n×n) must be PSD, Rv (q×q) PD.
+type NoiseWeights struct {
+	Rw *mat.Dense // process noise covariance
+	Rv *mat.Dense // measurement noise covariance
+}
+
+// KalmanPredictor computes the steady-state one-step predictor gain L
+// for x[k+1] = Phi x[k] + Gamma u[k] + w, y = C x + v:
+//
+//	x̂[k+1] = Phi x̂[k] + Gamma u[k] + L (y[k] - C x̂[k])
+//
+// L = Phi P Cᵀ (C P Cᵀ + Rv)⁻¹ with P the stabilizing solution of the
+// dual Riccati equation.
+func KalmanPredictor(phi, c *mat.Dense, nw NoiseWeights) (l, p *mat.Dense, err error) {
+	n := phi.Rows()
+	q := c.Rows()
+	if nw.Rw == nil || nw.Rw.Rows() != n || !nw.Rw.IsSquare() {
+		return nil, nil, fmt.Errorf("control: Rw must be %d×%d", n, n)
+	}
+	if nw.Rv == nil || nw.Rv.Rows() != q || !nw.Rv.IsSquare() {
+		return nil, nil, fmt.Errorf("control: Rv must be %d×%d", q, q)
+	}
+	// Duality: the filtering DARE is the control DARE on (Phiᵀ, Cᵀ).
+	p, err = SolveDARE(phi.T(), c.T(), nw.Rw, nw.Rv)
+	if err != nil {
+		return nil, nil, fmt.Errorf("control: Kalman DARE: %w", err)
+	}
+	s := mat.Add(nw.Rv, mat.MulMany(c, p, c.T()))
+	// L = Phi P Cᵀ S⁻¹ computed via Sᵀ Lᵀ = (Phi P Cᵀ)ᵀ.
+	lt, err := mat.Solve(s.T(), mat.MulMany(phi, p, c.T()).T())
+	if err != nil {
+		return nil, nil, fmt.Errorf("control: Kalman gain solve: %w", err)
+	}
+	return lt.T(), p, nil
+}

@@ -1,0 +1,64 @@
+package control
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+// LQG designs the output-feedback Linear Quadratic Gaussian compensator
+// that is optimal for input-output interval h in the paper's execution
+// model: a steady-state Kalman predictor estimates the plant state from
+// the measurement sampled at each release, and the delay-aware LQR
+// gains act on the estimate. The controller state is z = [x̂; u_prev]
+// where u_prev is the command currently applied to the plant.
+//
+// In the error convention (input e[k] = r - y[k], r = 0 for analysis):
+//
+//	x̂[k+1]    = (Phi - L C) x̂[k] + Gamma u_prev[k] - L e[k]
+//	u_prev[k+1] = -Kx x̂[k] - Ku u_prev[k]
+//	u[k+1]      = -Kx x̂[k] - Ku u_prev[k]
+//
+// This is exactly the paper's "if the state is not measurable, an
+// observer is added" construction (§IV-B): Cc carries the regulator
+// gains acting on the estimate, and the controller state reflects the
+// observer behaviour.
+func LQG(sys *lti.System, w LQRWeights, nw NoiseWeights, h float64) (*StateSpace, error) {
+	g, err := DelayLQR(sys, w, h)
+	if err != nil {
+		return nil, err
+	}
+	d, err := sys.Discretize(h)
+	if err != nil {
+		return nil, err
+	}
+	l, _, err := KalmanPredictor(d.Phi, d.C, nw)
+	if err != nil {
+		return nil, fmt.Errorf("control: LQG(h=%g): %w", h, err)
+	}
+	r := sys.InputDim()
+
+	phiLC := mat.Sub(d.Phi, mat.Mul(l, d.C))
+	ac := mat.Block([][]*mat.Dense{
+		{phiLC, d.Gamma},
+		{mat.Neg(g.Kx), mat.Neg(g.Ku)},
+	})
+	bc := mat.VStack(mat.Neg(l), mat.New(r, l.Cols()))
+	cc := mat.HStack(mat.Neg(g.Kx), mat.Neg(g.Ku))
+	dc := mat.New(r, l.Cols())
+	return NewStateSpace(ac, bc, cc, dc)
+}
+
+// LQGFullInfo is the state-feedback specialization used when the full
+// state is measurable (C = I behaviourally): no observer, the
+// controller keeps only its previously issued command as state. This is
+// the paper's "e[k] = x[k], Ac = Bc = Cc = 0 except the delay
+// compensation" LQG variant, realized with the delay-aware gains.
+func LQGFullInfo(sys *lti.System, w LQRWeights, h float64) (*StateSpace, error) {
+	g, err := DelayLQR(sys, w, h)
+	if err != nil {
+		return nil, err
+	}
+	return g.Controller(), nil
+}

@@ -1,0 +1,77 @@
+package control
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+// LQI designs an integral-action (servo) variant of the delay-aware
+// LQR for interval h: the design plant augments the delay state with a
+// forward-Euler integral of the tracked-output error,
+//
+//	x[k+1]  = Φ(h) x[k] + Γ(h) u[k]
+//	xi[k+1] = xi[k] + h (r_t - Ct x[k])
+//
+// so the resulting mode rejects constant disturbances and tracks
+// constant references on y_t = Ct x with zero steady-state error — the
+// MIMO counterpart of the paper's PI controller, with the same Eq. 7
+// integrator-step adaptation per interval. Ct (q_t×n) selects the
+// tracked outputs; Qi (q_t×q_t, PD) weights the integral states.
+//
+// The returned controller follows the package convention (input
+// e[k] = r - x[k], full state measurement): its internal state is
+// z = [u_prev; xi].
+func LQI(sys *lti.System, w LQRWeights, qi, ct *mat.Dense, h float64) (*StateSpace, error) {
+	if err := w.Validate(sys); err != nil {
+		return nil, err
+	}
+	n, r := sys.StateDim(), sys.InputDim()
+	if ct == nil || ct.Cols() != n {
+		return nil, fmt.Errorf("control: Ct must have %d columns", n)
+	}
+	qt := ct.Rows()
+	if qi == nil || !qi.IsSquare() || qi.Rows() != qt {
+		return nil, fmt.Errorf("control: Qi must be %d×%d", qt, qt)
+	}
+	if !mat.IsPosDef(qi) {
+		return nil, fmt.Errorf("control: Qi must be positive definite")
+	}
+	d, err := sys.Discretize(h)
+	if err != nil {
+		return nil, err
+	}
+	// Augmented state χ = [x; u_prev; xi].
+	aAug := mat.Block([][]*mat.Dense{
+		{d.Phi, d.Gamma, mat.New(n, qt)},
+		{mat.New(r, n), mat.New(r, r), mat.New(r, qt)},
+		{mat.Scale(-h, ct), mat.New(qt, r), mat.Eye(qt)},
+	})
+	bAug := mat.VStack(mat.New(n, r), mat.Eye(r), mat.New(qt, r))
+	qAug := mat.BlockDiag(w.Q, w.R, qi)
+	rAug := mat.New(r, r)
+	p, err := SolveDARE(aAug, bAug, qAug, rAug)
+	if err != nil {
+		return nil, fmt.Errorf("control: LQI(h=%g): %w", h, err)
+	}
+	k, err := DAREGain(aAug, bAug, rAug, p)
+	if err != nil {
+		return nil, err
+	}
+	kx := k.Slice(0, r, 0, n)
+	ku := k.Slice(0, r, n, n+r)
+	ki := k.Slice(0, r, n+r, n+r+qt)
+
+	// Paper-form realization with e = r_ref - x:
+	//   u[k+1]   = Kx e - Ku u_prev - Ki xi
+	//   u_prev⁺  = u[k+1]
+	//   xi⁺      = xi + h Ct e
+	ac := mat.Block([][]*mat.Dense{
+		{mat.Neg(ku), mat.Neg(ki)},
+		{mat.New(qt, r), mat.Eye(qt)},
+	})
+	bc := mat.VStack(kx, mat.Scale(h, ct))
+	cc := mat.HStack(mat.Neg(ku), mat.Neg(ki))
+	return NewStateSpace(ac, bc, cc, kx)
+}

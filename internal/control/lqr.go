@@ -1,0 +1,141 @@
+package control
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+// LQRWeights carries the quadratic stage cost x'Qx + u'Ru used by the
+// LQR/LQG designs. Q must be PSD and R PD.
+type LQRWeights struct {
+	Q *mat.Dense
+	R *mat.Dense
+}
+
+// Validate checks the weight dimensions against a plant.
+func (w LQRWeights) Validate(sys *lti.System) error {
+	n, r := sys.StateDim(), sys.InputDim()
+	if w.Q == nil || !w.Q.IsSquare() || w.Q.Rows() != n {
+		return fmt.Errorf("control: Q must be %d×%d", n, n)
+	}
+	if w.R == nil || !w.R.IsSquare() || w.R.Rows() != r {
+		return fmt.Errorf("control: R must be %d×%d", r, r)
+	}
+	if !mat.IsPosSemiDef(w.Q, 1e-9) {
+		return fmt.Errorf("control: Q must be positive semi-definite")
+	}
+	if !mat.IsPosDef(w.R) {
+		return fmt.Errorf("control: R must be positive definite")
+	}
+	return nil
+}
+
+// DLQR computes the discrete LQR gain for x[k+1] = Phi x[k] + Gamma u[k]
+// with stage cost x'Qx + u'Ru; the optimal law is u[k] = -K x[k].
+func DLQR(phi, gamma, q, r *mat.Dense) (k *mat.Dense, p *mat.Dense, err error) {
+	p, err = SolveDARE(phi, gamma, q, r)
+	if err != nil {
+		return nil, nil, err
+	}
+	k, err = DAREGain(phi, gamma, r, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return k, p, nil
+}
+
+// DelayLQRGains are the feedback gains of the delay-aware LQR: the
+// command issued at release k is v[k] = -Kx x[k] - Ku u[k], where u[k]
+// is the command currently applied to the plant (issued by job k-1).
+type DelayLQRGains struct {
+	Kx *mat.Dense // r×n
+	Ku *mat.Dense // r×r
+	P  *mat.Dense // (n+r)×(n+r) Riccati solution on the augmented state
+	H  float64    // interval the design assumed
+}
+
+// DelayLQR designs the LQR that is optimal for input-output delay h in
+// the paper's execution model: the measurement sampled at a_k produces a
+// command applied from a_{k+1} = a_k + h on. The design plant is the
+// delay-augmented system
+//
+//	[x;u][k+1] = [Phi(h) Gamma(h); 0 0] [x;u][k] + [0; I] v[k]
+//
+// with stage cost x'Qx + u'Ru carried inside the augmented state weight
+// (the applied input is a state of the augmented plant), so no
+// additional penalty is placed on the raw decision variable v.
+func DelayLQR(sys *lti.System, w LQRWeights, h float64) (*DelayLQRGains, error) {
+	if err := w.Validate(sys); err != nil {
+		return nil, err
+	}
+	d, err := sys.Discretize(h)
+	if err != nil {
+		return nil, err
+	}
+	n, r := sys.StateDim(), sys.InputDim()
+	aAug := mat.Block([][]*mat.Dense{
+		{d.Phi, d.Gamma},
+		{mat.New(r, n), mat.New(r, r)},
+	})
+	bAug := mat.VStack(mat.New(n, r), mat.Eye(r))
+	qAug := mat.BlockDiag(w.Q, w.R)
+	rAug := mat.New(r, r) // zero: the applied input is already weighted in qAug
+	p, err := SolveDARE(aAug, bAug, qAug, rAug)
+	if err != nil {
+		return nil, fmt.Errorf("control: DelayLQR(h=%g): %w", h, err)
+	}
+	k, err := DAREGain(aAug, bAug, rAug, p)
+	if err != nil {
+		return nil, err
+	}
+	return &DelayLQRGains{
+		Kx: k.Slice(0, r, 0, n),
+		Ku: k.Slice(0, r, n, n+r),
+		P:  p,
+		H:  h,
+	}, nil
+}
+
+// Controller packages the delay-aware LQR as a paper-form controller
+// acting on the error e[k] = r_ref - x[k] (full state measurement,
+// r_ref = 0 in the stability analysis). The controller remembers its own
+// previously issued command as its internal state z[k] = u[k]:
+//
+//	u[k+1] = Kx e[k] - Ku z[k]
+//	z[k+1] = u[k+1]
+//
+// With e = -x this realizes v = -Kx x - Ku u, the optimal law.
+func (g *DelayLQRGains) Controller() *StateSpace {
+	c, err := NewStateSpace(
+		mat.Neg(g.Ku), // Ac
+		g.Kx,          // Bc
+		mat.Neg(g.Ku), // Cc
+		g.Kx,          // Dc
+	)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PeriodLQR designs a conventional (no extra delay) discrete LQR for
+// sampling period h and returns it as a static error-feedback
+// controller u[k+1] = K e[k] (with e = -x this is u = -K x). This is
+// the "controller designed as if the period were h" baseline in the
+// paper's comparisons; it ignores the one-interval input-output delay.
+func PeriodLQR(sys *lti.System, w LQRWeights, h float64) (*StateSpace, error) {
+	if err := w.Validate(sys); err != nil {
+		return nil, err
+	}
+	d, err := sys.Discretize(h)
+	if err != nil {
+		return nil, err
+	}
+	k, _, err := DLQR(d.Phi, d.Gamma, w.Q, w.R)
+	if err != nil {
+		return nil, fmt.Errorf("control: PeriodLQR(h=%g): %w", h, err)
+	}
+	return Static(k), nil
+}

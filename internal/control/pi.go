@@ -1,0 +1,143 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+	"adaptivertc/internal/optimize"
+)
+
+// PIGains holds the proportional and integral gains of the paper's
+// Eq. 7 controller for a given input-output interval h:
+//
+//	z[k+1] = z[k] + h·e[k]          (forward-Euler error integral)
+//	u[k+1] = KP e[k] + KI z[k]
+type PIGains struct {
+	KP float64
+	KI float64
+	H  float64
+}
+
+// Controller returns the PI law as a paper-form state-space controller
+// (SISO: s = q = r = 1).
+func (g PIGains) Controller() *StateSpace {
+	c, err := NewStateSpace(
+		mat.FromRows([][]float64{{1}}),
+		mat.FromRows([][]float64{{g.H}}),
+		mat.FromRows([][]float64{{g.KI}}),
+		mat.FromRows([][]float64{{g.KP}}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PITuneOptions configures TunePI. Zero values select defaults.
+type PITuneOptions struct {
+	Horizon int       // closed-loop steps per candidate, default 300
+	Starts  []PIGains // initial guesses; default is a small spread
+}
+
+// TunePI tunes (KP, KI) for a SISO plant at input-output interval h by
+// minimizing the integral squared error of the nominal single-mode
+// closed-loop step response (the "standard heuristic procedure" of
+// §IV-B), using Nelder–Mead from several starts. Unstable candidates
+// are penalized by their divergence.
+func TunePI(sys *lti.System, h float64, opts PITuneOptions) (PIGains, error) {
+	if sys.InputDim() != 1 || sys.OutputDim() != 1 {
+		return PIGains{}, fmt.Errorf("control: TunePI requires a SISO plant, got %d inputs, %d outputs", sys.InputDim(), sys.OutputDim())
+	}
+	d, err := sys.Discretize(h)
+	if err != nil {
+		return PIGains{}, err
+	}
+	if opts.Horizon == 0 {
+		opts.Horizon = 300
+	}
+	if len(opts.Starts) == 0 {
+		opts.Starts = []PIGains{
+			{KP: 1, KI: 0.1},
+			{KP: 10, KI: 1},
+			{KP: 100, KI: 10},
+			{KP: -1, KI: -0.1},
+			{KP: 1000, KI: 100},
+		}
+	}
+
+	objective := func(x []float64) float64 {
+		g := PIGains{KP: x[0], KI: x[1], H: h}
+		return piStepCost(d, g, opts.Horizon)
+	}
+	best := PIGains{H: h}
+	bestF := math.Inf(1)
+	for _, s := range opts.Starts {
+		res := optimize.NelderMead(objective, []float64{s.KP, s.KI}, optimize.NelderMeadOptions{MaxIter: 2000})
+		if res.F < bestF {
+			bestF = res.F
+			best = PIGains{KP: res.X[0], KI: res.X[1], H: h}
+		}
+	}
+	if math.IsInf(bestF, 1) {
+		return PIGains{}, fmt.Errorf("control: TunePI found no stabilizing gains for h=%g", h)
+	}
+	return best, nil
+}
+
+// piStepCost simulates the nominal single-mode closed loop regulating a
+// unit initial output deviation to zero (the protocol of the paper's
+// Table I evaluation) and returns the accumulated squared sampled error
+// Σ e[k]². Divergence yields +Inf.
+func piStepCost(d *lti.Discrete, g PIGains, horizon int) float64 {
+	n := d.Phi.Rows()
+	// Least-norm initial state with unit output: x0 = Cᵀ/(CCᵀ).
+	x := make([]float64, n)
+	den := 0.0
+	for j := 0; j < n; j++ {
+		den += d.C.At(0, j) * d.C.At(0, j)
+	}
+	for j := 0; j < n; j++ {
+		x[j] = d.C.At(0, j) / den
+	}
+	z := 0.0
+	u := 0.0     // applied during the current interval
+	unext := 0.0 // computed by the previous job, applied next
+	cost := 0.0
+	for k := 0; k < horizon; k++ {
+		y := mat.MulVec(d.C, x)[0]
+		e := -y // regulation: r = 0
+		cost += e * e
+		// Job k computes the command applied from the next release.
+		uNew := g.KP*e + g.KI*z
+		z += g.H * e
+		// Plant evolves over [a_k, a_{k+1}) under the held input.
+		u = unext
+		unext = uNew
+		xn := mat.MulVec(d.Phi, x)
+		for i := range xn {
+			xn[i] += d.Gamma.At(i, 0) * u
+		}
+		x = xn
+		if math.Abs(e) > 1e6 || anyAbsOver(x, 1e9) {
+			return math.Inf(1)
+		}
+	}
+	// Require the loop to have settled; otherwise slow or oscillatory
+	// candidates with a lucky truncation window would win.
+	yEnd := mat.MulVec(d.C, x)[0]
+	if math.Abs(yEnd) > 0.05 {
+		return cost * 10
+	}
+	return cost
+}
+
+func anyAbsOver(xs []float64, lim float64) bool {
+	for _, v := range xs {
+		if math.Abs(v) > lim {
+			return true
+		}
+	}
+	return false
+}

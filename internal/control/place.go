@@ -1,0 +1,107 @@
+package control
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"adaptivertc/internal/mat"
+)
+
+// PolePlace computes the state-feedback gain K (1×n) such that the
+// closed loop A - B K has the desired eigenvalues, for a single-input
+// controllable pair, via Ackermann's formula
+//
+//	K = [0 … 0 1] 𝒞⁻¹ φ_d(A)
+//
+// where 𝒞 is the controllability matrix and φ_d the desired
+// characteristic polynomial. The desired poles must be closed under
+// complex conjugation (so that φ_d has real coefficients). Used both as
+// a design tool and as an independent cross-check of the Riccati-based
+// designs in the tests.
+func PolePlace(a, b *mat.Dense, poles []complex128) (*mat.Dense, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("control: PolePlace needs square A, got %d×%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if b.Rows() != n || b.Cols() != 1 {
+		return nil, fmt.Errorf("control: PolePlace needs single-input B (%d×1), got %d×%d", n, b.Rows(), b.Cols())
+	}
+	if len(poles) != n {
+		return nil, fmt.Errorf("control: %d desired poles for an order-%d system", len(poles), n)
+	}
+	coeffs, err := realPolyFromRoots(poles)
+	if err != nil {
+		return nil, err
+	}
+	// φ_d(A) = Aⁿ + c_{n-1} A^{n-1} + … + c₀ I  (coeffs[i] multiplies Aⁱ).
+	phi := mat.New(n, n)
+	power := mat.Eye(n)
+	for i := 0; i <= n; i++ {
+		mat.AddInPlace(phi, mat.Scale(coeffs[i], power))
+		if i < n {
+			power = mat.Mul(power, a)
+		}
+	}
+	// Controllability matrix and its last inverse row.
+	ctrb := b.Clone()
+	cur := b.Clone()
+	for i := 1; i < n; i++ {
+		cur = mat.Mul(a, cur)
+		ctrb = mat.HStack(ctrb, cur)
+	}
+	en := mat.New(1, n)
+	en.Set(0, n-1, 1)
+	// row = en 𝒞⁻¹  ⇔  𝒞ᵀ rowᵀ = enᵀ.
+	rowT, err := mat.Solve(ctrb.T(), en.T())
+	if err != nil {
+		return nil, fmt.Errorf("control: pair (A, B) is not controllable: %w", err)
+	}
+	return mat.Mul(rowT.T(), phi), nil
+}
+
+// realPolyFromRoots expands Π (x - rᵢ) into real monomial coefficients
+// (index i multiplies xⁱ; the leading coefficient is 1). It fails when
+// the root set is not closed under conjugation.
+func realPolyFromRoots(roots []complex128) ([]float64, error) {
+	n := len(roots)
+	// Verify conjugate closure.
+	used := make([]bool, n)
+	for i, r := range roots {
+		if used[i] || imag(r) == 0 {
+			continue
+		}
+		found := false
+		for j := i + 1; j < n; j++ {
+			if !used[j] && cmplx.Abs(roots[j]-cmplx.Conj(r)) < 1e-9*(1+cmplx.Abs(r)) {
+				used[i], used[j] = true, true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("control: pole %v lacks its complex conjugate", r)
+		}
+	}
+	coeffs := make([]complex128, n+1)
+	coeffs[0] = 1
+	deg := 0
+	for _, r := range roots {
+		// poly *= (x - r)
+		next := make([]complex128, deg+2)
+		for i := 0; i <= deg; i++ {
+			next[i+1] += coeffs[i]
+			next[i] -= coeffs[i] * r
+		}
+		copy(coeffs, next)
+		deg++
+	}
+	out := make([]float64, n+1)
+	for i, c := range coeffs {
+		if math.Abs(imag(c)) > 1e-8*(1+cmplx.Abs(c)) {
+			return nil, fmt.Errorf("control: non-real polynomial coefficient %v", c)
+		}
+		out[i] = real(c)
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package control
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+func closedLoopPoles(t *testing.T, a, b, k *mat.Dense) []complex128 {
+	t.Helper()
+	cl := mat.Sub(a, mat.Mul(b, k))
+	eigs, err := mat.Eigenvalues(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eigs
+}
+
+func polesMatch(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	sortC := func(s []complex128) {
+		sort.Slice(s, func(i, j int) bool {
+			if real(s[i]) != real(s[j]) {
+				return real(s[i]) < real(s[j])
+			}
+			return imag(s[i]) < imag(s[j])
+		})
+	}
+	sortC(got)
+	sortC(want)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("poles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPolePlaceRealPoles(t *testing.T) {
+	a := mat.FromRows([][]float64{{0, 1}, {20, -2}}) // unstable plant
+	b := mat.ColVec(0, 1)
+	want := []complex128{-3, -5}
+	k, err := PolePlace(a, b, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polesMatch(t, closedLoopPoles(t, a, b, k), want, 1e-8)
+}
+
+func TestPolePlaceComplexPair(t *testing.T) {
+	a := mat.FromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 2, 3}})
+	b := mat.ColVec(0, 0, 1)
+	want := []complex128{complex(-2, 3), complex(-2, -3), -4}
+	k, err := PolePlace(a, b, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polesMatch(t, closedLoopPoles(t, a, b, k), want, 1e-6)
+}
+
+func TestPolePlaceDiscreteDeadbeat(t *testing.T) {
+	// Deadbeat: all poles at the origin → Aᶜˡ nilpotent.
+	a := mat.FromRows([][]float64{{1, 0.1}, {0, 1}})
+	b := mat.ColVec(0.005, 0.1)
+	k, err := PolePlace(a, b, []complex128{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := mat.Sub(a, mat.Mul(b, k))
+	if mat.MaxAbs(mat.Mul(cl, cl)) > 1e-9 {
+		t.Fatalf("deadbeat closed loop not nilpotent: %v", mat.Mul(cl, cl))
+	}
+}
+
+func TestPolePlaceValidation(t *testing.T) {
+	a := mat.Eye(2)
+	b := mat.ColVec(0, 1)
+	if _, err := PolePlace(mat.New(2, 3), b, []complex128{-1, -2}); err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	if _, err := PolePlace(a, mat.Eye(2), []complex128{-1, -2}); err == nil {
+		t.Fatal("multi-input B accepted")
+	}
+	if _, err := PolePlace(a, b, []complex128{-1}); err == nil {
+		t.Fatal("wrong pole count accepted")
+	}
+	if _, err := PolePlace(a, b, []complex128{complex(-1, 2), -3}); err == nil {
+		t.Fatal("unpaired complex pole accepted")
+	}
+	// Uncontrollable pair: A diagonal, B touching only one state.
+	if _, err := PolePlace(mat.Diag(1, 2), mat.ColVec(1, 0), []complex128{-1, -2}); err == nil {
+		t.Fatal("uncontrollable pair accepted")
+	}
+}
+
+func TestPolePlaceCrossChecksLQR(t *testing.T) {
+	// Place the closed-loop poles exactly where an LQR design put them;
+	// the two gains must then coincide (for single-input systems the
+	// gain achieving a given pole set is unique).
+	a := mat.FromRows([][]float64{{1, 0.05}, {0, 0.9}})
+	b := mat.ColVec(0.01, 0.05)
+	kLQR, _, err := DLQR(a, b, mat.Eye(2), mat.Diag(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lqrPoles, err := mat.Eigenvalues(mat.Sub(a, mat.Mul(b, kLQR)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kPP, err := PolePlace(a, b, lqrPoles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kPP.EqualApprox(kLQR, 1e-6*(1+mat.MaxAbs(kLQR))) {
+		t.Fatalf("Ackermann gain %v != LQR gain %v for identical poles", kPP, kLQR)
+	}
+}
+
+func TestPolePlaceDeadbeatRegulatesInNSteps(t *testing.T) {
+	a := mat.FromRows([][]float64{{1, 0.05}, {0, 0.9}})
+	b := mat.ColVec(0, 0.05)
+	kd, err := PolePlace(a, b, []complex128{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 1}
+	cl := mat.Sub(a, mat.Mul(b, kd))
+	for i := 0; i < 2; i++ {
+		x = mat.MulVec(cl, x)
+	}
+	if math.Abs(x[0])+math.Abs(x[1]) > 1e-9 {
+		t.Fatalf("deadbeat did not finish in n steps: %v", x)
+	}
+}

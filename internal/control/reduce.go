@@ -1,0 +1,81 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/mat"
+)
+
+// BalancedTruncation reduces a Schur-stable discrete-time state-space
+// model (A, B, C) to the given order by balancing the controllability
+// and observability Gramians and discarding the states with the
+// smallest Hankel singular values — the standard route to smaller
+// controller tables when the observer-based modes are too large for the
+// target hardware. It returns the reduced (Ar, Br, Cr) together with
+// the discarded Hankel singular values, whose sum bounds the H∞ error
+// (×2).
+//
+// The balancing transform uses the square-root method: with Wc = L Lᵀ
+// and M = Lᵀ Wo L = U Σ² Uᵀ, the transform T = L U Σ^{-1/2} balances
+// both Gramians to Σ.
+func BalancedTruncation(a, b, c *mat.Dense, order int) (ar, br, cr *mat.Dense, discarded []float64, err error) {
+	n := a.Rows()
+	if order < 1 || order >= n {
+		return nil, nil, nil, nil, fmt.Errorf("control: reduction order %d out of range [1, %d)", order, n)
+	}
+	wc, err := ControllabilityGramian(a, b)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	wo, err := ObservabilityGramian(a, c)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	// Wc = L Lᵀ. The Gramian can be numerically semi-definite; nudge it.
+	l, err := mat.Cholesky(mat.Add(wc, mat.Scale(1e-12*(1+mat.MaxAbs(wc)), mat.Eye(n))))
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("control: controllability Gramian not PD: %w", err)
+	}
+	m := mat.MulMany(l.T(), wo, l)
+	// Symmetric eigendecomposition via SVD (M is symmetric PSD, so the
+	// singular vectors are eigenvectors and σᵢ = λᵢ).
+	u, sig2, _, err := mat.SVD(mat.Symmetrize(m))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	hsv := make([]float64, n)
+	for i, v := range sig2 {
+		hsv[i] = math.Sqrt(math.Max(v, 0))
+	}
+	// T = L U Σ^{-1/2}, T⁻¹ = Σ^{1/2} Uᵀ L⁻¹ (then Wc_b = Wo_b = Σ);
+	// columns ordered by decreasing HSV already (SVD returns sorted σ).
+	tEig := mat.Mul(l, u)
+	tInvLeft := u.T() // Σ^{1/2} applied row-wise below
+	for j := 0; j < n; j++ {
+		s := math.Sqrt(hsv[j])
+		if s < 1e-150 {
+			return nil, nil, nil, nil, fmt.Errorf("control: Hankel singular value %d vanishes; system not minimal at this precision", j)
+		}
+		for i := 0; i < n; i++ {
+			tEig.Set(i, j, tEig.At(i, j)/s)
+		}
+		for i := 0; i < n; i++ {
+			tInvLeft.Set(j, i, tInvLeft.At(j, i)*s)
+		}
+	}
+	lInv, err := mat.Inverse(l)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	tInv := mat.Mul(tInvLeft, lInv)
+	// Balanced realization.
+	ab := mat.MulMany(tInv, a, tEig)
+	bb := mat.Mul(tInv, b)
+	cb := mat.Mul(c, tEig)
+	// Truncate.
+	ar = ab.Slice(0, order, 0, order)
+	br = bb.Slice(0, order, 0, bb.Cols())
+	cr = cb.Slice(0, cb.Rows(), 0, order)
+	return ar, br, cr, hsv[order:], nil
+}

@@ -1,0 +1,149 @@
+package control
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+// stableRandom returns a random Schur-stable (A, B, C).
+func stableRandom(rng *rand.Rand, n, m, p int) (*mat.Dense, *mat.Dense, *mat.Dense) {
+	a := randomDense(rng, n, n)
+	if rho, err := mat.SpectralRadius(a); err == nil && rho > 0 {
+		a = mat.Scale(0.75/rho, a)
+	}
+	return a, randomDense(rng, n, m), randomDense(rng, p, n)
+}
+
+func TestBalancedTruncationValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, b, c := stableRandom(rng, 4, 1, 1)
+	if _, _, _, _, err := BalancedTruncation(a, b, c, 0); err == nil {
+		t.Fatal("order 0 accepted")
+	}
+	if _, _, _, _, err := BalancedTruncation(a, b, c, 4); err == nil {
+		t.Fatal("order = n accepted")
+	}
+	if _, _, _, _, err := BalancedTruncation(mat.Diag(1.2, 0.5), mat.ColVec(1, 1), mat.RowVec(1, 1), 1); err == nil {
+		t.Fatal("unstable system accepted")
+	}
+}
+
+func TestBalancedTruncationBalancesGramians(t *testing.T) {
+	// The truncated subsystem's Gramians equal the leading HSV block up
+	// to corrections of the discarded tail, so use a system whose tail
+	// is weak and scale tolerances by it.
+	a := mat.BlockDiag(mat.Diag(0.9, 0.7, -0.6), mat.Diag(0.05, -0.03))
+	b := mat.VStack(mat.ColVec(1, 0.8, 0.6), mat.ColVec(0.01, 0.02))
+	c := mat.HStack(mat.RowVec(1, -0.7, 0.5), mat.RowVec(0.02, 0.01))
+	ar, br, cr, discarded, err := BalancedTruncation(a, b, c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Rows() != 3 || br.Rows() != 3 || cr.Cols() != 3 {
+		t.Fatalf("reduced dims: A %dx%d", ar.Rows(), ar.Cols())
+	}
+	if len(discarded) != 2 {
+		t.Fatalf("discarded = %v", discarded)
+	}
+	stable, err := mat.IsSchurStable(ar)
+	if err != nil || !stable {
+		t.Fatal("reduced system unstable (balanced truncation preserves stability)")
+	}
+	tail := 0.0
+	for _, s := range discarded {
+		tail += s
+	}
+	wc, err := ControllabilityGramian(ar, br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wo, err := ObservabilityGramian(ar, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsvFull, err := HankelSingularValues(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 10*tail + 1e-9
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = hsvFull[i]
+			}
+			if math.Abs(wc.At(i, j)-want) > tol*(1+want) {
+				t.Fatalf("Wc not balanced: %v (tol %v)", wc, tol)
+			}
+			if math.Abs(wo.At(i, j)-want) > tol*(1+want) {
+				t.Fatalf("Wo not balanced: %v (tol %v)", wo, tol)
+			}
+		}
+	}
+}
+
+func TestBalancedTruncationPreservesDominantResponse(t *testing.T) {
+	// A system with one dominant mode and tiny parasitic modes: the
+	// order-1 reduction must track the impulse response closely.
+	a := mat.BlockDiag(mat.Diag(0.9), mat.Diag(0.1, -0.05))
+	b := mat.ColVec(1, 0.01, 0.02)
+	c := mat.RowVec(1, 0.02, 0.01)
+	ar, br, cr, discarded, err := BalancedTruncation(a, b, c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discarded HSVs are tiny by construction.
+	for _, s := range discarded {
+		if s > 1e-2 {
+			t.Fatalf("unexpectedly large discarded HSV %v", s)
+		}
+	}
+	// Impulse responses match to within the 2·Σ discarded bound.
+	bound := 0.0
+	for _, s := range discarded {
+		bound += 2 * s
+	}
+	gFull := b.Clone()
+	gRed := br.Clone()
+	maxErr := 0.0
+	for k := 0; k < 100; k++ {
+		yF := mat.Mul(c, gFull).At(0, 0)
+		yR := mat.Mul(cr, gRed).At(0, 0)
+		if e := math.Abs(yF - yR); e > maxErr {
+			maxErr = e
+		}
+		gFull = mat.Mul(a, gFull)
+		gRed = mat.Mul(ar, gRed)
+	}
+	if maxErr > bound+1e-9 {
+		t.Fatalf("impulse error %v exceeds HSV bound %v", maxErr, bound)
+	}
+}
+
+func TestBalancedTruncationH2ErrorSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, b, c := stableRandom(rng, 6, 1, 1)
+	hsv, err := HankelSingularValues(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduce by one state: the H2 norm changes by a bounded amount.
+	ar, br, cr, _, err := BalancedTruncation(a, b, c, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2Full, err := H2NormDiscrete(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2Red, err := H2NormDiscrete(ar, br, cr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h2Full-h2Red) > 4*hsv[5]+1e-9 {
+		t.Fatalf("H2 changed by %v, tail HSV %v", math.Abs(h2Full-h2Red), hsv[5])
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGeneratedCMatchesGo compiles the exported C controller with the
+// system compiler and checks that it reproduces the Go runtime's
+// command sequence bit-for-bit (same double arithmetic) on a switching
+// scenario. Skipped when no C compiler is installed.
+func TestGeneratedCMatchesGo(t *testing.T) {
+	cc, err := exec.LookPath("cc")
+	if err != nil {
+		t.Skip("no C compiler available")
+	}
+	d := testDesign(t)
+	src := d.ExportC("ctl")
+
+	// Harness: feed (h, e) pairs from stdin, print the command.
+	harness := `
+#include <stdio.h>
+int main(void) {
+    double z[CTL_NSTATE > 0 ? CTL_NSTATE : 1] = {0};
+    double u[CTL_NCMD];
+    double h, e0, e1;
+    while (scanf("%lf %lf %lf", &h, &e0, &e1) == 3) {
+        double e[2] = {e0, e1};
+        ctl_step(h, e, z, u);
+        printf("%.17g\n", u[0]);
+    }
+    return 0;
+}
+`
+	dir := t.TempDir()
+	cPath := filepath.Join(dir, "ctl.c")
+	if err := os.WriteFile(cPath, []byte(src+harness), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "ctl")
+	out, err := exec.Command(cc, "-O0", "-o", bin, cPath, "-lm").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cc failed: %v\n%s", err, out)
+	}
+
+	// Scenario: cycle through all modes with a decaying error signal.
+	type sample struct {
+		h, e0, e1 float64
+	}
+	var samples []sample
+	for k := 0; k < 40; k++ {
+		mode := d.Modes[k%d.NumModes()]
+		samples = append(samples, sample{
+			h:  mode.H,
+			e0: math.Cos(float64(k)) * math.Exp(-0.05*float64(k)),
+			e1: math.Sin(float64(k)) * math.Exp(-0.05*float64(k)),
+		})
+	}
+	var input strings.Builder
+	for _, s := range samples {
+		fmt.Fprintf(&input, "%.17g %.17g %.17g\n", s.h, s.e0, s.e1)
+	}
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader(input.String())
+	raw, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("running generated controller: %v", err)
+	}
+
+	// Reference: the Go controller stepped through the same scenario.
+	z := make([]float64, d.Modes[0].Ctrl.StateDim())
+	scanner := bufio.NewScanner(strings.NewReader(string(raw)))
+	for i, s := range samples {
+		idx := d.Timing.IntervalIndex(s.h)
+		var u []float64
+		z, u = d.Modes[idx].Ctrl.Step(z, []float64{s.e0, s.e1})
+		if !scanner.Scan() {
+			t.Fatalf("C output ended early at step %d", i)
+		}
+		got, err := strconv.ParseFloat(strings.TrimSpace(scanner.Text()), 64)
+		if err != nil {
+			t.Fatalf("parsing C output %q: %v", scanner.Text(), err)
+		}
+		if math.Abs(got-u[0]) > 1e-12*(1+math.Abs(u[0])) {
+			t.Fatalf("step %d: C = %v, Go = %v", i, got, u[0])
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/mat"
+)
+
+func TestExportTableContents(t *testing.T) {
+	d := testDesign(t)
+	e := d.Export()
+	if e.T != d.Timing.T || e.Ns != d.Timing.Ns || e.Rmax != d.Timing.Rmax {
+		t.Fatalf("timing fields wrong: %+v", e)
+	}
+	if len(e.Modes) != d.NumModes() || len(e.Intervals) != d.NumModes() {
+		t.Fatalf("mode count: %d vs %d", len(e.Modes), d.NumModes())
+	}
+	if e.States != 1 || e.Errors != 2 || e.Commands != 1 {
+		t.Fatalf("dims: %+v", e)
+	}
+	for i, m := range e.Modes {
+		if m.Index != i {
+			t.Fatalf("mode %d index %d", i, m.Index)
+		}
+		want := d.Modes[i].Ctrl.Dc
+		if len(m.Dc) != want.Rows() || len(m.Dc[0]) != want.Cols() {
+			t.Fatalf("Dc shape mismatch")
+		}
+		if m.Dc[0][0] != want.At(0, 0) {
+			t.Fatalf("Dc value mismatch")
+		}
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	d := testDesign(t)
+	data, err := d.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExportTable
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.T != d.Timing.T || len(back.Modes) != d.NumModes() {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Modes[1].Dc[0][0] != d.Modes[1].Ctrl.Dc.At(0, 0) {
+		t.Fatal("round trip changed a gain")
+	}
+}
+
+func TestExportCStructure(t *testing.T) {
+	d := testDesign(t)
+	src := d.ExportC("ctl")
+	for _, want := range []string{
+		"#include <math.h>",
+		"#define CTL_MODES 4",
+		"#define CTL_NSTATE 1",
+		"static const double ctl_AC[4][1][1]",
+		"static const double ctl_DC[4][1][2]",
+		"static int ctl_mode(double h)",
+		"static double ctl_next_release_offset(double rk)",
+		"static void ctl_step(double h, const double e[], double z[], double u[])",
+	} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("generated C missing %q:\n%s", want, src)
+		}
+	}
+	// Balanced braces is a cheap syntax sanity check.
+	if strings.Count(src, "{") != strings.Count(src, "}") {
+		t.Fatal("unbalanced braces in generated C")
+	}
+}
+
+func TestExportCStaticController(t *testing.T) {
+	plant := fullStatePlant(t)
+	tm := MustTiming(0.1, 2, 0.01, 0.12)
+	k := control.Static(mat.RowVec(1.2, 0.7))
+	d, err := NewDesign(plant, tm, FixedDesigner(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := d.ExportC("")
+	if !strings.Contains(src, "#define ADACTL_NSTATE 0") {
+		t.Fatalf("static controller export:\n%s", src)
+	}
+	if strings.Contains(src, "adactl_AC") {
+		t.Fatal("static controller must not emit state matrices")
+	}
+	if !strings.Contains(src, "(void)z;") {
+		t.Fatal("static step must ignore z")
+	}
+}

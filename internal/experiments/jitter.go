@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/plants"
+)
+
+// JitterRow reports closed-loop degradation when the true inter-release
+// intervals deviate from the sensor grid by uniform jitter of the given
+// magnitude — probing the paper's assumption that sensor updates occur
+// "with negligible jitter".
+type JitterRow struct {
+	JitterFrac float64 // jitter amplitude as a fraction of Ts
+	WorstCost  float64 // worst Σ‖e‖² over random runs
+	MeanCost   float64
+	Divergent  int
+}
+
+// Jitter runs the robustness sweep on the PMSM adaptive design
+// (Rmax = 1.6·T, Ts = T/5): each interval h is perturbed to
+// h + ε·Ts·U(-1,1) for ε in jitterFracs while the controller still
+// assumes the grid value.
+func Jitter(jitterFracs []float64, runs, jobs int, seed int64) ([]JitterRow, error) {
+	if runs <= 0 {
+		runs = 500
+	}
+	if jobs <= 0 {
+		jobs = 50
+	}
+	plant := plants.PMSM(plants.DefaultPMSMParams())
+	w := pmsmWeights()
+	tm, err := core.NewTiming(table2T, 5, table2T/10, 1.6*table2T)
+	if err != nil {
+		return nil, err
+	}
+	d, err := core.NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
+		return control.LQGFullInfo(plant, w, h)
+	})
+	if err != nil {
+		return nil, err
+	}
+	x0 := pmsmInitialState()
+	ts := tm.Ts()
+
+	rows := make([]JitterRow, 0, len(jitterFracs))
+	for _, frac := range jitterFracs {
+		row := JitterRow{JitterFrac: frac, WorstCost: math.Inf(-1)}
+		sum, count := 0.0, 0
+		for run := 0; run < runs; run++ {
+			rng := rand.New(rand.NewSource(seed + int64(run)))
+			loop, err := core.NewLoop(d, x0)
+			if err != nil {
+				return nil, err
+			}
+			cost := 0.0
+			diverged := false
+			for k := 0; k < jobs; k++ {
+				r := tm.Rmin + rng.Float64()*(tm.Rmax-tm.Rmin)
+				idx := tm.IntervalIndex(r)
+				h := tm.T + float64(idx)*ts
+				actual := h + frac*ts*(2*rng.Float64()-1)
+				y := loop.Output()
+				for _, v := range y {
+					cost += v * v
+				}
+				if err := loop.StepJittered(idx, actual); err != nil {
+					return nil, err
+				}
+				for _, v := range loop.State() {
+					if math.Abs(v) > 1e12 || math.IsNaN(v) {
+						diverged = true
+					}
+				}
+				if diverged {
+					break
+				}
+			}
+			if diverged {
+				row.Divergent++
+				continue
+			}
+			count++
+			sum += cost
+			if cost > row.WorstCost {
+				row.WorstCost = cost
+			}
+		}
+		if count > 0 {
+			row.MeanCost = sum / float64(count)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// JitterString renders the sweep.
+func JitterString(rows []JitterRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s %10s\n", "jitter/Ts", "worst Σ‖e‖²", "mean Σ‖e‖²", "divergent")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12.3f %14.4f %14.4f %10d\n", r.JitterFrac, r.WorstCost, r.MeanCost, r.Divergent)
+	}
+	return b.String()
+}

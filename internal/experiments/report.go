@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Report regenerates every experiment in this repository and writes a
+// single self-contained markdown document: the paper's tables and
+// figure, the design-space sweep, the three ablations, and the
+// extension studies (burst, weakly-hard, drift, jitter, quantization,
+// observer). Sequence counts come from opt; the full paper protocol
+// takes tens of minutes, the defaults a few minutes.
+func Report(opt Options, w io.Writer) error {
+	opt = opt.Defaults()
+	start := time.Now()
+	section := func(title string) {
+		fmt.Fprintf(w, "\n## %s\n\n", title)
+	}
+	code := func(s string) {
+		fmt.Fprintf(w, "```\n%s```\n", s)
+	}
+
+	fmt.Fprintf(w, "# adaptivertc — regenerated evaluation report\n\n")
+	fmt.Fprintf(w, "Reproduction of \"Adaptive Design of Real-Time Control Systems subject to\n")
+	fmt.Fprintf(w, "Sporadic Overruns\" (DATE 2021). %d sequences × %d jobs per Monte-Carlo cell.\n",
+		opt.Sequences, opt.Jobs)
+
+	section("Figure 1 — timing diagram")
+	fig, err := Figure1()
+	if err != nil {
+		return fmt.Errorf("figure1: %w", err)
+	}
+	code(fig)
+
+	section("Table I — worst-case PI performance (unstable system, T = 10 ms)")
+	t1, err := Table1(opt)
+	if err != nil {
+		return fmt.Errorf("table1: %w", err)
+	}
+	code(Table1String(t1))
+
+	section("Table II — stability and worst-case LQG cost (PMSM, T = 50 µs)")
+	t2, err := Table2(opt)
+	if err != nil {
+		return fmt.Errorf("table2: %w", err)
+	}
+	code(Table2String(t2))
+
+	section("Design-space sweep — sensor granularity (§V-B)")
+	sw, err := SweepNs([]int{1, 2, 4, 5, 8, 10}, opt)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	code(SweepString(sw))
+
+	section("Ablation — PI adaptation decomposition")
+	api, err := AblationPI(opt)
+	if err != nil {
+		return fmt.Errorf("ablation pi: %w", err)
+	}
+	code(AblationPIString(api))
+
+	section("Ablation — JSR estimators")
+	ajs, err := AblationJSR(opt)
+	if err != nil {
+		return fmt.Errorf("ablation jsr: %w", err)
+	}
+	code(AblationJSRString(ajs))
+
+	section("Ablation — delay-aware vs naive LQR")
+	alq, err := AblationDelayLQR(opt)
+	if err != nil {
+		return fmt.Errorf("ablation lqr: %w", err)
+	}
+	code(AblationLQRString(alq))
+
+	section("Extension — bursty overruns (Markov) vs i.i.d.")
+	br, err := BurstComparison(opt)
+	if err != nil {
+		return fmt.Errorf("burst: %w", err)
+	}
+	code(BurstString(br))
+
+	section("Extension — weakly-hard constrained switching")
+	wh, err := WeaklyHard(4, opt)
+	if err != nil {
+		return fmt.Errorf("weaklyhard: %w", err)
+	}
+	code(WeaklyHardString(wh))
+
+	section("Extension — implementation fidelity (sleep vs sleep_until)")
+	dr, err := Drift([]float64{0, 0.001, 0.005, 0.01, 0.02, 0.05}, 200)
+	if err != nil {
+		return fmt.Errorf("drift: %w", err)
+	}
+	code(DriftString(dr))
+
+	section("Extension — sensor-jitter robustness")
+	ji, err := Jitter([]float64{0, 0.05, 0.1, 0.2, 0.5, 1.0}, opt.Sequences/10+10, opt.Jobs, opt.Seed)
+	if err != nil {
+		return fmt.Errorf("jitter: %w", err)
+	}
+	code(JitterString(ji))
+
+	section("Extension — fixed-point table width")
+	qz, err := QuantizeSweep([]int{4, 6, 8, 10, 12, 16, 24}, opt)
+	if err != nil {
+		return fmt.Errorf("quantize: %w", err)
+	}
+	code(QuantizeString(qz))
+
+	section("Extension — observer-based LQG (current sensors only)")
+	ob, err := ObserverComparison(opt)
+	if err != nil {
+		return fmt.Errorf("observer: %w", err)
+	}
+	code(ObserverString(ob))
+
+	fmt.Fprintf(w, "\n---\ngenerated in %s\n", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,223 @@
+package jsr
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+func TestCompleteGraphMatchesUnconstrained(t *testing.T) {
+	set := []*mat.Dense{
+		mat.FromRows([][]float64{{0.6, 0.3}, {0, 0.4}}),
+		mat.FromRows([][]float64{{0.2, 0}, {0.5, 0.7}}),
+	}
+	free, err := BruteForceBounds(set, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := ConstrainedBounds(set, CompleteGraph(2), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(free.Lower-con.Lower) > 1e-12 {
+		t.Fatalf("lower: free %v vs complete-graph %v", free.Lower, con.Lower)
+	}
+	if math.Abs(free.Upper-con.Upper) > 1e-12 {
+		t.Fatalf("upper: free %v vs complete-graph %v", free.Upper, con.Upper)
+	}
+}
+
+func TestConstraintForbiddingAlternationLowersJSR(t *testing.T) {
+	// Golden-ratio pair: unconstrained JSR = φ ≈ 1.618, attained only by
+	// alternating products. Forbid switching entirely (each matrix can
+	// only follow itself): the constrained JSR drops to max ρ(Aᵢ) = 1.
+	set := []*mat.Dense{
+		mat.FromRows([][]float64{{1, 1}, {0, 1}}),
+		mat.FromRows([][]float64{{1, 0}, {1, 1}}),
+	}
+	frozen := &Graph{
+		Nodes: []int{0, 1},
+		Next:  [][]int{{0}, {1}},
+	}
+	b, err := ConstrainedBounds(set, frozen, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Lower-1) > 1e-9 {
+		t.Fatalf("frozen-switching lower = %v, want 1", b.Lower)
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	if b.Upper >= phi {
+		t.Fatalf("constraint did not tighten the upper bound: %v", b.Upper)
+	}
+}
+
+func TestWeaklyHardGraphConstruction(t *testing.T) {
+	// (m=0, K=3): overruns never allowed — the only admissible label is 0.
+	g, err := WeaklyHardGraph(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	for i, lbl := range g.Nodes {
+		if lbl == 1 {
+			// Unreachable overrun nodes must not exist.
+			t.Fatalf("node %d labelled overrun under m=0", i)
+		}
+	}
+	// (m=K): unconstrained — both labels always allowed.
+	g, err = WeaklyHardGraph(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen0, seen1 := false, false
+	for _, lbl := range g.Nodes {
+		if lbl == 0 {
+			seen0 = true
+		}
+		if lbl == 1 {
+			seen1 = true
+		}
+	}
+	if !seen0 || !seen1 {
+		t.Fatalf("m=K graph misses labels: %+v", g)
+	}
+	if _, err := WeaklyHardGraph(3, 2); err == nil {
+		t.Fatal("m > K accepted")
+	}
+	if _, err := WeaklyHardGraph(-1, 2); err == nil {
+		t.Fatal("negative m accepted")
+	}
+}
+
+func TestWeaklyHardGraphAdmissibleWords(t *testing.T) {
+	// (m=1, K=2): no two consecutive overruns. Walk the graph and check
+	// every reachable 2-window.
+	g, err := WeaklyHardGraph(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, succs := range g.Next {
+		for _, j := range succs {
+			if g.Nodes[i] == 1 && g.Nodes[j] == 1 {
+				t.Fatalf("graph admits consecutive overruns via %d→%d", i, j)
+			}
+		}
+	}
+}
+
+func TestWeaklyHardInterpolatesBetweenExtremes(t *testing.T) {
+	// Nominal = mild contraction; overrun = expansion. The weakly-hard
+	// JSR must sit between the never-overrun and always-free cases and
+	// be monotone in m.
+	set := []*mat.Dense{
+		mat.Scale(0.7, mat.FromRows([][]float64{{1, 0.2}, {0, 1}})),
+		mat.Scale(1.3, mat.FromRows([][]float64{{1, 0}, {0.2, 1}})),
+	}
+	bounds := make([]Bounds, 0, 4)
+	for m := 0; m <= 3; m++ {
+		g, err := WeaklyHardGraph(m, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ConstrainedBounds(set, g, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, b)
+	}
+	// m=0: only the nominal matrix → its spectral radius (0.7).
+	if math.Abs(bounds[0].Lower-0.7) > 1e-9 {
+		t.Fatalf("m=0 lower = %v, want 0.7", bounds[0].Lower)
+	}
+	// Lower bounds monotone non-decreasing in m.
+	for m := 1; m < len(bounds); m++ {
+		if bounds[m].Lower < bounds[m-1].Lower-1e-9 {
+			t.Fatalf("lower bound fell from m=%d (%v) to m=%d (%v)",
+				m-1, bounds[m-1].Lower, m, bounds[m].Lower)
+		}
+	}
+	// m=K matches the unconstrained analysis.
+	free, err := BruteForceBounds(set, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[3].Lower < free.Lower-1e-9 {
+		t.Fatalf("m=K lower %v below unconstrained %v", bounds[3].Lower, free.Lower)
+	}
+}
+
+func TestConstrainedBoundsValidation(t *testing.T) {
+	set := []*mat.Dense{mat.Eye(2)}
+	if _, err := ConstrainedBounds(nil, CompleteGraph(1), 3); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := ConstrainedBounds(set, &Graph{}, 3); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := ConstrainedBounds(set, CompleteGraph(1), 0); err == nil {
+		t.Fatal("maxLen 0 accepted")
+	}
+	bad := &Graph{Nodes: []int{5}, Next: [][]int{{0}}}
+	if _, err := ConstrainedBounds(set, bad, 3); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestConstrainedGripenbergMatchesBruteForce(t *testing.T) {
+	set := []*mat.Dense{
+		mat.Scale(0.7, mat.FromRows([][]float64{{1, 0.2}, {0, 1}})),
+		mat.Scale(1.1, mat.FromRows([][]float64{{1, 0}, {0.2, 1}})),
+	}
+	g, err := WeaklyHardGraph(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := ConstrainedBounds(set, g, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := ConstrainedGripenberg(set, g, GripenbergOptions{Delta: 0.02, MaxDepth: 18})
+	if err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatal(err)
+	}
+	// Brackets of the same quantity must intersect.
+	if gp.Lower > bf.Upper+1e-9 || bf.Lower > gp.Upper+1e-9 {
+		t.Fatalf("disjoint brackets: brute %v vs gripenberg %v", bf, gp)
+	}
+	// Lower bounds agree up to enumeration depth.
+	if gp.Lower < bf.Lower-1e-9 {
+		t.Fatalf("gripenberg lower %v below brute force %v", gp.Lower, bf.Lower)
+	}
+}
+
+func TestConstrainedGripenbergUnconstrainedEqualsFree(t *testing.T) {
+	set := []*mat.Dense{mat.Diag(0.5, 0.2), mat.Diag(0.3, 0.8)}
+	free, err := Gripenberg(set, GripenbergOptions{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	con, err := ConstrainedGripenberg(set, CompleteGraph(2), GripenbergOptions{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(free.Lower-con.Lower) > 1e-9 || math.Abs(free.Upper-con.Upper) > 1e-9 {
+		t.Fatalf("complete graph differs from free: %v vs %v", con, free)
+	}
+}
+
+func TestConstrainedGripenbergValidation(t *testing.T) {
+	if _, err := ConstrainedGripenberg(nil, CompleteGraph(1), GripenbergOptions{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := ConstrainedGripenberg([]*mat.Dense{mat.Eye(2)}, &Graph{}, GripenbergOptions{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	if _, err := ConstrainedGripenberg([]*mat.Dense{mat.Eye(2)}, CompleteGraph(1), GripenbergOptions{Delta: -1}); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+}

@@ -1,0 +1,92 @@
+package lti
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"adaptivertc/internal/mat"
+)
+
+// FreqResponse evaluates the transfer matrix G(jω) = C (jωI - A)⁻¹ B at
+// a single angular frequency ω [rad/s], returning the q×r complex gain
+// matrix. The complex solve is carried out on the equivalent real
+// 2n×2n block system, keeping the package free of complex matrix
+// machinery.
+func (s *System) FreqResponse(w float64) ([][]complex128, error) {
+	n, r, q := s.n, s.r, s.q
+	// (jωI - A)(xr + j xi) = b  ⇔  [ -A  -ωI ; ωI  -A ] [xr; xi] = [b; 0]
+	block := mat.Block([][]*mat.Dense{
+		{mat.Neg(s.A), mat.Scale(-w, mat.Eye(n))},
+		{mat.Scale(w, mat.Eye(n)), mat.Neg(s.A)},
+	})
+	rhs := mat.VStack(s.B, mat.New(n, r))
+	x, err := mat.Solve(block, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("lti: frequency %g rad/s is a pole of the system: %w", w, err)
+	}
+	xr := x.Slice(0, n, 0, r)
+	xi := x.Slice(n, 2*n, 0, r)
+	gr := mat.Mul(s.C, xr)
+	gi := mat.Mul(s.C, xi)
+	out := make([][]complex128, q)
+	for i := 0; i < q; i++ {
+		out[i] = make([]complex128, r)
+		for j := 0; j < r; j++ {
+			out[i][j] = complex(gr.At(i, j), gi.At(i, j))
+		}
+	}
+	return out, nil
+}
+
+// BodePoint is one sample of a SISO frequency response.
+type BodePoint struct {
+	W     float64 // rad/s
+	MagDB float64
+	Phase float64 // degrees, unwrapped per point into (-180, 180]
+}
+
+// Bode samples the SISO frequency response at the given frequencies.
+func (s *System) Bode(ws []float64) ([]BodePoint, error) {
+	if s.r != 1 || s.q != 1 {
+		return nil, fmt.Errorf("lti: Bode requires a SISO system, got %d×%d", s.q, s.r)
+	}
+	out := make([]BodePoint, 0, len(ws))
+	for _, w := range ws {
+		g, err := s.FreqResponse(w)
+		if err != nil {
+			return nil, err
+		}
+		v := g[0][0]
+		out = append(out, BodePoint{
+			W:     w,
+			MagDB: 20 * math.Log10(cmplx.Abs(v)),
+			Phase: cmplx.Phase(v) * 180 / math.Pi,
+		})
+	}
+	return out, nil
+}
+
+// DCGain returns G(0) = -C A⁻¹ B for a system without poles at the
+// origin.
+func (s *System) DCGain() (*mat.Dense, error) {
+	x, err := mat.Solve(s.A, s.B)
+	if err != nil {
+		return nil, fmt.Errorf("lti: DC gain undefined (pole at the origin): %w", err)
+	}
+	return mat.Neg(mat.Mul(s.C, x)), nil
+}
+
+// LogSpace returns n logarithmically spaced frequencies from 10^lo to
+// 10^hi (exponents), for Bode sweeps.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{math.Pow(10, lo)}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = math.Pow(10, lo+float64(i)*step)
+	}
+	return out
+}

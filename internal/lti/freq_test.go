@@ -1,0 +1,136 @@
+package lti
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+func firstOrderLag(t *testing.T) *System {
+	t.Helper()
+	// G(s) = 2/(s+2).
+	return MustSystem(
+		mat.FromRows([][]float64{{-2}}),
+		mat.FromRows([][]float64{{2}}),
+		mat.Eye(1),
+	)
+}
+
+func TestFreqResponseFirstOrder(t *testing.T) {
+	s := firstOrderLag(t)
+	for _, w := range []float64{0.1, 2, 10, 100} {
+		g, err := s.FreqResponse(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g[0][0]
+		want := complex(2, 0) / complex(2, w) // 2/(jw+2)
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Fatalf("G(j%v) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestFreqResponseDoubleIntegrator(t *testing.T) {
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {0, 0}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	g, err := s.FreqResponse(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G(jω) = 1/(jω)² = -1/ω².
+	want := complex(-1.0/9, 0)
+	if cmplx.Abs(g[0][0]-want) > 1e-12 {
+		t.Fatalf("G = %v, want %v", g[0][0], want)
+	}
+}
+
+func TestFreqResponseAtPoleFails(t *testing.T) {
+	// jωI - A singular at ω = 1 for a pure oscillator.
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-1, 0}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	if _, err := s.FreqResponse(1); err == nil {
+		t.Fatal("response at an imaginary-axis pole should fail")
+	}
+}
+
+func TestBodeSISO(t *testing.T) {
+	s := firstOrderLag(t)
+	pts, err := s.Bode([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the corner frequency: |G| = 2/√8 = 1/√2 → -3.01 dB, phase -45°.
+	if math.Abs(pts[0].MagDB-(-3.0103)) > 1e-3 {
+		t.Fatalf("corner magnitude = %v dB", pts[0].MagDB)
+	}
+	if math.Abs(pts[0].Phase-(-45)) > 1e-9 {
+		t.Fatalf("corner phase = %v°", pts[0].Phase)
+	}
+}
+
+func TestBodeRejectsMIMO(t *testing.T) {
+	s := MustSystem(mat.Diag(-1, -2), mat.Eye(2), mat.Eye(2))
+	if _, err := s.Bode([]float64{1}); err == nil {
+		t.Fatal("MIMO Bode accepted")
+	}
+}
+
+func TestDCGain(t *testing.T) {
+	s := firstOrderLag(t)
+	g, err := s.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("DC gain = %v, want 1", g.At(0, 0))
+	}
+	di := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {0, 0}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	if _, err := di.DCGain(); err == nil {
+		t.Fatal("DC gain of an integrator should fail")
+	}
+}
+
+func TestDCGainMatchesFreqResponseLimit(t *testing.T) {
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-4, -3}}),
+		mat.ColVec(0, 2),
+		mat.RowVec(1, 0),
+	)
+	dc, err := s.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.FreqResponse(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(g[0][0])-dc.At(0, 0)) > 1e-6 {
+		t.Fatalf("G(j·0⁺) = %v vs DC %v", g[0][0], dc.At(0, 0))
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	ws := LogSpace(-1, 2, 4)
+	want := []float64{0.1, 1, 10, 100}
+	for i := range want {
+		if math.Abs(ws[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("LogSpace = %v", ws)
+		}
+	}
+	if got := LogSpace(0, 3, 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("LogSpace n=1 = %v", got)
+	}
+}

@@ -1,0 +1,145 @@
+// Package lti models continuous-time linear time-invariant plants
+//
+//	ẋ(t) = A x(t) + B u(t)
+//	y(t) = C x(t)
+//
+// (Eq. 1 of the paper) and their exact zero-order-hold discretizations
+//
+//	x[k+1] = Φ(h) x[k] + Γ(h) u[k],   Φ(h) = e^{Ah},  Γ(h) = ∫₀ʰ e^{As} ds · B
+//
+// (Eq. 4–5). It also provides the standard structural tests
+// (controllability, observability) the paper assumes.
+package lti
+
+import (
+	"fmt"
+
+	"adaptivertc/internal/mat"
+)
+
+// System is a continuous-time LTI plant in state-space form.
+type System struct {
+	A *mat.Dense // n×n dynamics
+	B *mat.Dense // n×r input map
+	C *mat.Dense // q×n output map
+
+	n, r, q int
+}
+
+// NewSystem validates dimensions and returns a continuous-time plant.
+func NewSystem(a, b, c *mat.Dense) (*System, error) {
+	if !a.IsSquare() {
+		return nil, fmt.Errorf("lti: A must be square, got %d×%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if b.Rows() != n {
+		return nil, fmt.Errorf("lti: B has %d rows, want %d", b.Rows(), n)
+	}
+	if c.Cols() != n {
+		return nil, fmt.Errorf("lti: C has %d cols, want %d", c.Cols(), n)
+	}
+	return &System{A: a.Clone(), B: b.Clone(), C: c.Clone(), n: n, r: b.Cols(), q: c.Rows()}, nil
+}
+
+// MustSystem is NewSystem that panics on error; for package-level plant
+// definitions whose dimensions are static.
+func MustSystem(a, b, c *mat.Dense) *System {
+	s, err := NewSystem(a, b, c)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// StateDim returns n, the number of states.
+func (s *System) StateDim() int { return s.n }
+
+// InputDim returns r, the number of control inputs.
+func (s *System) InputDim() int { return s.r }
+
+// OutputDim returns q, the number of measured outputs.
+func (s *System) OutputDim() int { return s.q }
+
+// Discrete is a discrete-time LTI system x[k+1] = Phi x[k] + Gamma u[k],
+// y[k] = C x[k], obtained by sampling a continuous plant with a given
+// hold interval.
+type Discrete struct {
+	Phi   *mat.Dense
+	Gamma *mat.Dense
+	C     *mat.Dense
+	H     float64 // sampling/hold interval the pair was computed for
+}
+
+// Discretize returns the exact zero-order-hold discretization of the
+// plant for hold interval h > 0 (Eq. 5).
+func (s *System) Discretize(h float64) (*Discrete, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("lti: non-positive discretization interval %g", h)
+	}
+	phi, gamma := mat.ExpIntegral(s.A, s.B, h)
+	return &Discrete{Phi: phi, Gamma: gamma, C: s.C.Clone(), H: h}, nil
+}
+
+// Poles returns the eigenvalues of A (continuous-time poles).
+func (s *System) Poles() ([]complex128, error) { return mat.Eigenvalues(s.A) }
+
+// IsStable reports whether the open-loop plant is Hurwitz stable.
+func (s *System) IsStable() (bool, error) { return mat.IsHurwitzStable(s.A) }
+
+// ControllabilityMatrix returns [B, AB, A²B, …, A^{n-1}B].
+func (s *System) ControllabilityMatrix() *mat.Dense {
+	blocks := make([]*mat.Dense, s.n)
+	cur := s.B.Clone()
+	for i := 0; i < s.n; i++ {
+		blocks[i] = cur
+		cur = mat.Mul(s.A, cur)
+	}
+	return mat.HStack(blocks...)
+}
+
+// ObservabilityMatrix returns [C; CA; CA²; …; CA^{n-1}].
+func (s *System) ObservabilityMatrix() *mat.Dense {
+	blocks := make([]*mat.Dense, s.n)
+	cur := s.C.Clone()
+	for i := 0; i < s.n; i++ {
+		blocks[i] = cur
+		cur = mat.Mul(cur, s.A)
+	}
+	return mat.VStack(blocks...)
+}
+
+// IsControllable reports whether (A, B) is controllable (Kalman rank
+// test).
+func (s *System) IsControllable() bool {
+	return mat.Rank(s.ControllabilityMatrix(), 1e-9) == s.n
+}
+
+// IsObservable reports whether (A, C) is observable.
+func (s *System) IsObservable() bool {
+	return mat.Rank(s.ObservabilityMatrix(), 1e-9) == s.n
+}
+
+// Step advances the continuous plant by dt under constant input u,
+// using the exact ZOH solution (no integration error). x and u are
+// column vectors as slices.
+func (s *System) Step(x, u []float64, dt float64) ([]float64, error) {
+	d, err := s.Discretize(dt)
+	if err != nil {
+		return nil, err
+	}
+	xn := mat.MulVec(d.Phi, x)
+	bu := mat.MulVec(d.Gamma, u)
+	for i := range xn {
+		xn[i] += bu[i]
+	}
+	return xn, nil
+}
+
+// Output returns y = Cx.
+func (s *System) Output(x []float64) []float64 { return mat.MulVec(s.C, x) }
+
+// Poles returns the eigenvalues of Phi (discrete-time poles).
+func (d *Discrete) Poles() ([]complex128, error) { return mat.Eigenvalues(d.Phi) }
+
+// IsStable reports Schur stability of the sampled plant.
+func (d *Discrete) IsStable() (bool, error) { return mat.IsSchurStable(d.Phi) }

@@ -1,0 +1,255 @@
+package lti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adaptivertc/internal/mat"
+)
+
+func doubleIntegrator(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(
+		mat.FromRows([][]float64{{0, 1}, {0, 0}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	_, err := NewSystem(mat.New(2, 3), mat.New(2, 1), mat.New(1, 2))
+	if err == nil {
+		t.Fatal("non-square A accepted")
+	}
+	_, err = NewSystem(mat.Eye(2), mat.New(3, 1), mat.New(1, 2))
+	if err == nil {
+		t.Fatal("mismatched B accepted")
+	}
+	_, err = NewSystem(mat.Eye(2), mat.New(2, 1), mat.New(1, 3))
+	if err == nil {
+		t.Fatal("mismatched C accepted")
+	}
+}
+
+func TestDims(t *testing.T) {
+	s := doubleIntegrator(t)
+	if s.StateDim() != 2 || s.InputDim() != 1 || s.OutputDim() != 1 {
+		t.Fatalf("dims = (%d,%d,%d)", s.StateDim(), s.InputDim(), s.OutputDim())
+	}
+}
+
+func TestNewSystemClonesInputs(t *testing.T) {
+	a := mat.Eye(2)
+	s, err := NewSystem(a, mat.ColVec(0, 1), mat.RowVec(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set(0, 0, 99)
+	if s.A.At(0, 0) != 1 {
+		t.Fatal("System shares caller's matrices")
+	}
+}
+
+func TestDiscretizeDoubleIntegrator(t *testing.T) {
+	s := doubleIntegrator(t)
+	h := 0.1
+	d, err := s.Discretize(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhi := mat.FromRows([][]float64{{1, h}, {0, 1}})
+	wantGamma := mat.ColVec(h*h/2, h)
+	if !d.Phi.EqualApprox(wantPhi, 1e-13) {
+		t.Fatalf("Phi = %v", d.Phi)
+	}
+	if !d.Gamma.EqualApprox(wantGamma, 1e-13) {
+		t.Fatalf("Gamma = %v", d.Gamma)
+	}
+}
+
+func TestDiscretizeFirstOrderLag(t *testing.T) {
+	s := MustSystem(
+		mat.FromRows([][]float64{{-2}}),
+		mat.FromRows([][]float64{{2}}),
+		mat.Eye(1),
+	)
+	h := 0.25
+	d, err := s.Discretize(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Phi.At(0, 0)-math.Exp(-2*h)) > 1e-13 {
+		t.Fatalf("Phi = %v", d.Phi.At(0, 0))
+	}
+	if math.Abs(d.Gamma.At(0, 0)-(1-math.Exp(-2*h))) > 1e-13 {
+		t.Fatalf("Gamma = %v", d.Gamma.At(0, 0))
+	}
+}
+
+func TestDiscretizeRejectsBadInterval(t *testing.T) {
+	s := doubleIntegrator(t)
+	if _, err := s.Discretize(0); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := s.Discretize(-1); err == nil {
+		t.Fatal("h<0 accepted")
+	}
+}
+
+func TestDiscretizePreservesStability(t *testing.T) {
+	// A Hurwitz-stable plant discretizes to a Schur-stable one for any h>0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		a := mat.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)-3-float64(n)) // diagonally dominant negative
+		}
+		s := MustSystem(a, mat.New(n, 1), mat.New(1, n))
+		h := 0.01 + rng.Float64()
+		d, err := s.Discretize(h)
+		if err != nil {
+			return false
+		}
+		ok, err := d.IsStable()
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllabilityObservability(t *testing.T) {
+	s := doubleIntegrator(t)
+	if !s.IsControllable() {
+		t.Fatal("double integrator should be controllable")
+	}
+	if !s.IsObservable() {
+		t.Fatal("double integrator with position output should be observable")
+	}
+	// Uncontrollable: input only drives the first state, states decoupled.
+	u := MustSystem(
+		mat.Diag(-1, -2),
+		mat.ColVec(1, 0),
+		mat.RowVec(1, 1),
+	)
+	if u.IsControllable() {
+		t.Fatal("decoupled plant reported controllable")
+	}
+	// Unobservable: output reads only state 1 of a decoupled pair.
+	o := MustSystem(
+		mat.Diag(-1, -2),
+		mat.ColVec(1, 1),
+		mat.RowVec(1, 0),
+	)
+	if o.IsObservable() {
+		t.Fatal("decoupled plant reported observable")
+	}
+}
+
+func TestPolesAndStability(t *testing.T) {
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-2, -3}}), // poles -1, -2
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	poles, err := s.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 2 {
+		t.Fatalf("poles = %v", poles)
+	}
+	stable, err := s.IsStable()
+	if err != nil || !stable {
+		t.Fatalf("stable plant misreported (err=%v)", err)
+	}
+	unstable := doubleIntegrator(t)
+	st, err := unstable.IsStable()
+	if err != nil || st {
+		t.Fatal("double integrator reported stable")
+	}
+}
+
+func TestStepMatchesDiscretize(t *testing.T) {
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-2, -1}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	x := []float64{1, -0.5}
+	u := []float64{0.7}
+	dt := 0.05
+	got, err := s.Step(x, u, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := s.Discretize(dt)
+	want := mat.MulVec(d.Phi, x)
+	gu := mat.MulVec(d.Gamma, u)
+	for i := range want {
+		want[i] += gu[i]
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-13 {
+			t.Fatalf("Step = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStepComposition(t *testing.T) {
+	// Two half steps equal one full step under constant input.
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-5, -2}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	x := []float64{0.3, 0.1}
+	u := []float64{1}
+	full, err := s.Step(x, u, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := s.Step(x, u, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half2, err := s.Step(half, u, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if math.Abs(full[i]-half2[i]) > 1e-12 {
+			t.Fatalf("composition mismatch: %v vs %v", full, half2)
+		}
+	}
+}
+
+func TestOutput(t *testing.T) {
+	s := doubleIntegrator(t)
+	y := s.Output([]float64{3, 9})
+	if len(y) != 1 || y[0] != 3 {
+		t.Fatalf("Output = %v", y)
+	}
+}
+
+func TestDiscretePoles(t *testing.T) {
+	s := MustSystem(mat.FromRows([][]float64{{-1}}), mat.Eye(1), mat.Eye(1))
+	d, _ := s.Discretize(0.5)
+	poles, err := d.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(poles[0])-math.Exp(-0.5)) > 1e-13 {
+		t.Fatalf("discrete pole = %v", poles[0])
+	}
+}

@@ -1,0 +1,114 @@
+package lti
+
+import (
+	"fmt"
+	"math"
+)
+
+// StepSample is one point of a sampled step response.
+type StepSample struct {
+	T float64
+	Y float64
+}
+
+// StepResponse simulates the SISO unit step response over [0, tFinal]
+// sampled every dt, using the exact ZOH solution per sample (no
+// integration error).
+func (s *System) StepResponse(tFinal, dt float64) ([]StepSample, error) {
+	if s.r != 1 || s.q != 1 {
+		return nil, fmt.Errorf("lti: StepResponse requires a SISO system, got %d×%d", s.q, s.r)
+	}
+	if tFinal <= 0 || dt <= 0 || dt > tFinal {
+		return nil, fmt.Errorf("lti: bad horizon %g / step %g", tFinal, dt)
+	}
+	d, err := s.Discretize(dt)
+	if err != nil {
+		return nil, err
+	}
+	n := s.n
+	x := make([]float64, n)
+	var out []StepSample
+	for t := 0.0; t <= tFinal+dt/2; t += dt {
+		y := 0.0
+		for j := 0; j < n; j++ {
+			y += s.C.At(0, j) * x[j]
+		}
+		out = append(out, StepSample{T: t, Y: y})
+		// Advance with u ≡ 1.
+		xn := make([]float64, n)
+		for i := 0; i < n; i++ {
+			acc := d.Gamma.At(i, 0)
+			for j := 0; j < n; j++ {
+				acc += d.Phi.At(i, j) * x[j]
+			}
+			xn[i] = acc
+		}
+		x = xn
+	}
+	return out, nil
+}
+
+// StepMetrics summarizes a step response against its final value.
+type StepMetrics struct {
+	FinalValue   float64
+	RiseTime     float64 // 10% → 90% of the final value
+	SettlingTime float64 // last entry into the ±2% band
+	Overshoot    float64 // fraction of the final value (0 = none)
+	SteadyError  float64 // |1 - FinalValue| for a unit step
+}
+
+// AnalyzeStep computes classic time-domain metrics from a sampled step
+// response. The final value is taken from the trailing 5% of samples.
+func AnalyzeStep(samples []StepSample) (StepMetrics, error) {
+	if len(samples) < 10 {
+		return StepMetrics{}, fmt.Errorf("lti: need at least 10 samples, got %d", len(samples))
+	}
+	tail := samples[len(samples)-len(samples)/20-1:]
+	final := 0.0
+	for _, s := range tail {
+		final += s.Y
+	}
+	final /= float64(len(tail))
+	m := StepMetrics{FinalValue: final, SteadyError: math.Abs(1 - final)}
+	if final == 0 {
+		return m, fmt.Errorf("lti: zero final value; metrics undefined")
+	}
+
+	// Rise time: first crossing of 10% to first crossing of 90%.
+	t10, t90 := math.NaN(), math.NaN()
+	for _, s := range samples {
+		v := s.Y / final
+		if math.IsNaN(t10) && v >= 0.1 {
+			t10 = s.T
+		}
+		if math.IsNaN(t90) && v >= 0.9 {
+			t90 = s.T
+			break
+		}
+	}
+	if !math.IsNaN(t10) && !math.IsNaN(t90) {
+		m.RiseTime = t90 - t10
+	} else {
+		m.RiseTime = math.NaN()
+	}
+
+	// Overshoot.
+	peak := 0.0
+	for _, s := range samples {
+		if v := s.Y / final; v > peak {
+			peak = v
+		}
+	}
+	if peak > 1 {
+		m.Overshoot = peak - 1
+	}
+
+	// Settling time: last time the response leaves the ±2% band.
+	m.SettlingTime = 0
+	for _, s := range samples {
+		if math.Abs(s.Y/final-1) > 0.02 {
+			m.SettlingTime = s.T
+		}
+	}
+	return m, nil
+}

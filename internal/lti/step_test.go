@@ -1,0 +1,100 @@
+package lti
+
+import (
+	"math"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+func TestStepResponseFirstOrder(t *testing.T) {
+	// G(s) = 1/(s+1): y(t) = 1 - e^{-t}.
+	s := MustSystem(mat.Diag(-1), mat.Eye(1), mat.Eye(1))
+	samples, err := s.StepResponse(5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range samples {
+		want := 1 - math.Exp(-p.T)
+		if math.Abs(p.Y-want) > 1e-10 {
+			t.Fatalf("y(%v) = %v, want %v", p.T, p.Y, want)
+		}
+	}
+}
+
+func TestStepResponseValidation(t *testing.T) {
+	s := MustSystem(mat.Diag(-1, -2), mat.Eye(2), mat.Eye(2))
+	if _, err := s.StepResponse(1, 0.01); err == nil {
+		t.Fatal("MIMO step accepted")
+	}
+	siso := MustSystem(mat.Diag(-1), mat.Eye(1), mat.Eye(1))
+	if _, err := siso.StepResponse(0, 0.01); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := siso.StepResponse(1, 2); err == nil {
+		t.Fatal("dt > horizon accepted")
+	}
+}
+
+func TestAnalyzeStepFirstOrder(t *testing.T) {
+	// First order lag, unit DC gain: no overshoot, rise time
+	// = ln(9)·τ ≈ 2.197 for τ = 1, settling (2%) ≈ 3.91.
+	s := MustSystem(mat.Diag(-1), mat.Eye(1), mat.Eye(1))
+	samples, err := s.StepResponse(10, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := AnalyzeStep(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.FinalValue-1) > 1e-3 {
+		t.Fatalf("final = %v", m.FinalValue)
+	}
+	if math.Abs(m.RiseTime-math.Log(9)) > 0.01 {
+		t.Fatalf("rise = %v, want %v", m.RiseTime, math.Log(9))
+	}
+	// The final value is estimated from the trailing samples, which sit
+	// slightly below the asymptote, so allow measurement-level slack.
+	if m.Overshoot > 1e-4 {
+		t.Fatalf("overshoot = %v for a first-order lag", m.Overshoot)
+	}
+	if math.Abs(m.SettlingTime-math.Log(50)) > 0.05 {
+		t.Fatalf("settling = %v, want %v", m.SettlingTime, math.Log(50))
+	}
+	if m.SteadyError > 1e-3 {
+		t.Fatalf("steady error = %v", m.SteadyError)
+	}
+}
+
+func TestAnalyzeStepUnderdampedOvershoot(t *testing.T) {
+	// ζ = 0.2, ωn = 1: overshoot = exp(-πζ/√(1-ζ²)) ≈ 0.527.
+	zeta := 0.2
+	s := MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {-1, -2 * zeta}}),
+		mat.ColVec(0, 1),
+		mat.RowVec(1, 0),
+	)
+	samples, err := s.StepResponse(60, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := AnalyzeStep(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-math.Pi * zeta / math.Sqrt(1-zeta*zeta))
+	if math.Abs(m.Overshoot-want) > 0.01 {
+		t.Fatalf("overshoot = %v, want %v", m.Overshoot, want)
+	}
+}
+
+func TestAnalyzeStepValidation(t *testing.T) {
+	if _, err := AnalyzeStep(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	flat := make([]StepSample, 50)
+	if _, err := AnalyzeStep(flat); err == nil {
+		t.Fatal("zero final value accepted")
+	}
+}

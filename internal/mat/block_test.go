@@ -1,0 +1,164 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceAndSetBlock(t *testing.T) {
+	m := FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	s := m.Slice(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equal(want) {
+		t.Fatalf("Slice = %v", s)
+	}
+	// Slice must be a copy.
+	s.Set(0, 0, 99)
+	if m.At(1, 0) != 4 {
+		t.Fatal("Slice shares storage")
+	}
+	m.SetBlock(0, 1, FromRows([][]float64{{-1, -2}}))
+	if m.At(0, 1) != -1 || m.At(0, 2) != -2 {
+		t.Fatalf("SetBlock result: %v", m)
+	}
+}
+
+func TestBlockAssembly(t *testing.T) {
+	a := Eye(2)
+	b := New(2, 1)
+	c := RowVec(7, 7)
+	d := FromRows([][]float64{{9}})
+	m := Block([][]*Dense{
+		{a, b},
+		{c, d},
+	})
+	want := FromRows([][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{7, 7, 9},
+	})
+	if !m.Equal(want) {
+		t.Fatalf("Block = %v", m)
+	}
+}
+
+func TestBlockNilZeroes(t *testing.T) {
+	m := Block([][]*Dense{
+		{Eye(2), nil},
+		{nil, Eye(3)},
+	})
+	if m.Rows() != 5 || m.Cols() != 5 {
+		t.Fatalf("dims = %d×%d", m.Rows(), m.Cols())
+	}
+	if m.At(0, 0) != 1 || m.At(4, 4) != 1 || m.At(0, 4) != 0 || m.At(3, 0) != 0 {
+		t.Fatalf("Block nil fill wrong: %v", m)
+	}
+}
+
+func TestBlockSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Block did not panic")
+		}
+	}()
+	Block([][]*Dense{
+		{Eye(2), Eye(3)}, // heights differ in one block row
+	})
+}
+
+func TestBlockAllNilRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Block with undetermined row did not panic")
+		}
+	}()
+	Block([][]*Dense{
+		{nil, nil},
+		{Eye(2), Eye(2)},
+	})
+}
+
+func TestHStackVStack(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3}})
+	h := HStack(a, b)
+	if h.Rows() != 1 || h.Cols() != 3 || h.At(0, 2) != 3 {
+		t.Fatalf("HStack = %v", h)
+	}
+	v := VStack(a, RowVec(9, 9))
+	if v.Rows() != 2 || v.At(1, 1) != 9 {
+		t.Fatalf("VStack = %v", v)
+	}
+}
+
+func TestBlockDiag(t *testing.T) {
+	m := BlockDiag(Diag(1, 2), FromRows([][]float64{{3}}))
+	want := Diag(1, 2, 3)
+	if !m.Equal(want) {
+		t.Fatalf("BlockDiag = %v", m)
+	}
+}
+
+func TestKronKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := Eye(2)
+	k := Kron(a, b)
+	want := FromRows([][]float64{
+		{1, 0, 2, 0},
+		{0, 1, 0, 2},
+		{3, 0, 4, 0},
+		{0, 3, 0, 4},
+	})
+	if !k.Equal(want) {
+		t.Fatalf("Kron = %v", k)
+	}
+}
+
+func TestKronMixedProductProperty(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2, 3)
+		c := randomDense(rng, 3, 2)
+		b := randomDense(rng, 2, 2)
+		d := randomDense(rng, 2, 2)
+		lhs := Mul(Kron(a, b), Kron(c, d))
+		rhs := Kron(Mul(a, c), Mul(b, d))
+		return lhs.EqualApprox(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecUnvecRoundTrip(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v := Vec(m)
+	if v.Rows() != 6 || v.At(0, 0) != 1 || v.At(1, 0) != 4 || v.At(2, 0) != 2 {
+		t.Fatalf("Vec = %v", v)
+	}
+	if !Unvec(v, 2, 3).Equal(m) {
+		t.Fatal("Unvec(Vec(m)) != m")
+	}
+}
+
+func TestVecKroneckerIdentity(t *testing.T) {
+	// vec(AXB) = (Bᵀ⊗A) vec(X).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2, 3)
+		x := randomDense(rng, 3, 2)
+		b := randomDense(rng, 2, 4)
+		lhs := Vec(MulMany(a, x, b))
+		rhs := Mul(Kron(b.T(), a), Vec(x))
+		return lhs.EqualApprox(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

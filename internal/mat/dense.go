@@ -1,0 +1,216 @@
+// Package mat implements the dense linear algebra needed by the
+// adaptive-control reproduction: basic arithmetic, LU and QR
+// factorizations, real eigenvalue computation via Hessenberg reduction
+// and the Francis double-shift QR iteration, the matrix exponential via
+// Padé approximation with scaling and squaring, and the usual matrix
+// norms.
+//
+// There is no control-theory or BLAS/LAPACK ecosystem in the Go standard
+// library, so everything here is written from scratch on top of
+// []float64. Matrices are small in this domain (closed-loop lifted
+// systems of order ~4-12), so the implementations favour clarity and
+// numerical robustness over blocking and cache tricks.
+//
+// Unless documented otherwise, operations return freshly allocated
+// results and never alias their operands. Dimension mismatches are
+// programmer errors and panic, matching the behaviour of the standard
+// library for index errors. Numerical failures (singular matrix,
+// non-convergence) are reported as errors.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a dense, row-major matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// New returns a zero-valued r×c matrix.
+func New(r, c int) *Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: non-positive dimensions %d×%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal
+// length. The data is copied.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("mat: FromRows of empty data")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != m.cols {
+			panic(fmt.Sprintf("mat: ragged rows: row %d has %d entries, want %d", i, len(row), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], row)
+	}
+	return m
+}
+
+// FromSlice builds an r×c matrix from row-major data. The data is copied.
+func FromSlice(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: FromSlice of %d values into %d×%d", len(data), r, c))
+	}
+	m := New(r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with the given diagonal entries.
+func Diag(d ...float64) *Dense {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.data[i*len(d)+i] = v
+	}
+	return m
+}
+
+// ColVec returns an n×1 column vector with the given entries.
+func ColVec(v ...float64) *Dense { return FromSlice(len(v), 1, v) }
+
+// RowVec returns a 1×n row vector with the given entries.
+func RowVec(v ...float64) *Dense { return FromSlice(1, len(v), v) }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// IsSquare reports whether the matrix is square.
+func (m *Dense) IsSquare() bool { return m.rows == m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom overwrites m with the contents of src, which must have the
+// same dimensions.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("mat: CopyFrom %d×%d into %d×%d", src.rows, src.cols, m.rows, m.cols))
+	}
+	copy(m.data, src.data)
+}
+
+// Raw returns the backing row-major slice. It is shared with the
+// matrix; callers must not grow it. Intended for tests and encoding.
+func (m *Dense) Raw() []float64 { return m.data }
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Equal reports exact element-wise equality.
+func (m *Dense) Equal(n *Dense) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if v != n.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports element-wise equality within absolute tolerance tol.
+func (m *Dense) EqualApprox(n *Dense, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "% .6g", m.data[i*m.cols+j])
+		}
+		b.WriteString("]")
+		if i < m.rows-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// HasNaN reports whether any entry is NaN or infinite.
+func (m *Dense) HasNaN() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("Dims = (%d,%d), want (3,4)", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(1, 0) != 3 || m.At(1, 1) != 4 {
+		t.Fatalf("FromRows content mismatch: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsCopiesData(t *testing.T) {
+	row := []float64{1, 2}
+	m := FromRows([][]float64{row})
+	row[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromRows did not copy its input")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 || m.At(0, 2) != 3 {
+		t.Fatalf("FromSlice layout wrong: %v", m)
+	}
+}
+
+func TestEye(t *testing.T) {
+	m := Eye(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Errorf("Eye(3)[%d,%d] = %v, want %v", i, j, m.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := Diag(2, 5, -1)
+	if m.At(0, 0) != 2 || m.At(1, 1) != 5 || m.At(2, 2) != -1 || m.At(0, 1) != 0 {
+		t.Fatalf("Diag content mismatch: %v", m)
+	}
+}
+
+func TestVecConstructors(t *testing.T) {
+	c := ColVec(1, 2, 3)
+	if r, cc := c.Dims(); r != 3 || cc != 1 {
+		t.Fatalf("ColVec dims = (%d,%d)", r, cc)
+	}
+	r := RowVec(1, 2, 3)
+	if rr, cc := r.Dims(); rr != 1 || cc != 3 {
+		t.Fatalf("RowVec dims = (%d,%d)", rr, cc)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	m := New(2, 2)
+	m.CopyFrom(Eye(2))
+	if !m.Equal(Eye(2)) {
+		t.Fatal("CopyFrom mismatch")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col(0) = %v", c)
+	}
+	r[0] = 99
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row returned shared storage")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{1.0005, 2}})
+	if !a.EqualApprox(b, 1e-3) {
+		t.Fatal("EqualApprox(1e-3) should hold")
+	}
+	if a.EqualApprox(b, 1e-6) {
+		t.Fatal("EqualApprox(1e-6) should fail")
+	}
+	if a.EqualApprox(New(2, 1), 1) {
+		t.Fatal("EqualApprox across dims should fail")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := New(2, 2)
+	if m.HasNaN() {
+		t.Fatal("zero matrix reported NaN")
+	}
+	m.Set(1, 1, math.NaN())
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(1, 1, math.Inf(1))
+	if !m.HasNaN() {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}, {3, 4}}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAtSetBoundsPanic(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}

@@ -1,0 +1,290 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedAbs(eigs []complex128) []float64 {
+	out := make([]float64, len(eigs))
+	for i, e := range eigs {
+		out[i] = cmplx.Abs(e)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	eigs, err := Eigenvalues(Diag(3, -1, 2, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 2, 3, 7}
+	got := make([]float64, len(eigs))
+	for i, e := range eigs {
+		if imag(e) != 0 {
+			t.Fatalf("diagonal matrix yielded complex eigenvalue %v", e)
+		}
+		got[i] = real(e)
+	}
+	sort.Float64s(got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("eigs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvaluesTriangular(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 5, -3},
+		{0, 4, 2},
+		{0, 0, -2},
+	})
+	eigs, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eigs)
+	want := []float64{1, 2, 4}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("triangular eigs |λ| = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvaluesRotation(t *testing.T) {
+	// A rotation by θ scaled by r has eigenvalues r·e^{±iθ}.
+	r, theta := 0.9, 0.7
+	a := FromRows([][]float64{
+		{r * math.Cos(theta), -r * math.Sin(theta)},
+		{r * math.Sin(theta), r * math.Cos(theta)},
+	})
+	eigs, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eigs {
+		if math.Abs(cmplx.Abs(e)-r) > 1e-12 {
+			t.Fatalf("|λ| = %v, want %v", cmplx.Abs(e), r)
+		}
+		if math.Abs(math.Abs(imag(e))-r*math.Sin(theta)) > 1e-12 {
+			t.Fatalf("imag(λ) = %v", imag(e))
+		}
+	}
+}
+
+func TestEigenvaluesComplexPairLarge(t *testing.T) {
+	// Block diagonal: rotation block + real eigenvalues, n = 5.
+	a := BlockDiag(
+		FromRows([][]float64{{0, -2}, {2, 0}}), // ±2i
+		Diag(5, -3, 1),
+	)
+	eigs, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eigs)
+	want := []float64{1, 2, 2, 3, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("eigs |λ| = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion matrix of (x-1)(x-2)(x-3) = x³ - 6x² + 11x - 6.
+	a := FromRows([][]float64{
+		{6, -11, 6},
+		{1, 0, 0},
+		{0, 1, 0},
+	})
+	eigs, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sortedAbs(eigs)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("companion eigs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEigenvaluesTraceDetInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := randomDense(rng, n, n)
+		eigs, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		sum := complex(0, 0)
+		prod := complex(1, 0)
+		for _, e := range eigs {
+			sum += e
+			prod *= e
+		}
+		// Σλ = trace, Πλ = det.
+		trOK := math.Abs(real(sum)-a.Trace()) <= 1e-6*math.Max(1, math.Abs(a.Trace())) &&
+			math.Abs(imag(sum)) <= 1e-6
+		d := Det(a)
+		detOK := math.Abs(real(prod)-d) <= 1e-6*math.Max(1, math.Abs(d)) &&
+			math.Abs(imag(prod)) <= 1e-6*math.Max(1, math.Abs(d))
+		return trOK && detOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenvaluesSimilarityInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomDense(rng, 5, 5)
+	p := randomDense(rng, 5, 5)
+	for i := 0; i < 5; i++ {
+		p.Set(i, i, p.At(i, i)+6)
+	}
+	pinv, err := Inverse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := MulMany(pinv, a, p)
+	ea, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Eigenvalues(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := sortedAbs(ea), sortedAbs(eb)
+	for i := range ga {
+		if math.Abs(ga[i]-gb[i]) > 1e-6*math.Max(1, ga[i]) {
+			t.Fatalf("similar matrices disagree: %v vs %v", ga, gb)
+		}
+	}
+}
+
+func TestSpectralRadius(t *testing.T) {
+	r, err := SpectralRadius(Diag(0.5, -0.9, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.9) > 1e-12 {
+		t.Fatalf("SpectralRadius = %v, want 0.9", r)
+	}
+}
+
+func TestSpectralRadiusNilpotent(t *testing.T) {
+	// Strictly upper triangular: all eigenvalues zero even though norms
+	// are large.
+	a := FromRows([][]float64{{0, 100}, {0, 0}})
+	r, err := SpectralRadius(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-9 {
+		t.Fatalf("nilpotent spectral radius = %v, want 0", r)
+	}
+}
+
+func TestIsSchurStable(t *testing.T) {
+	ok, err := IsSchurStable(Diag(0.99, -0.5))
+	if err != nil || !ok {
+		t.Fatalf("stable matrix reported unstable (err=%v)", err)
+	}
+	ok, err = IsSchurStable(Diag(1.01, 0))
+	if err != nil || ok {
+		t.Fatalf("unstable matrix reported stable (err=%v)", err)
+	}
+}
+
+func TestIsHurwitzStable(t *testing.T) {
+	ok, err := IsHurwitzStable(FromRows([][]float64{{-1, 5}, {0, -2}}))
+	if err != nil || !ok {
+		t.Fatalf("Hurwitz-stable matrix misreported (err=%v)", err)
+	}
+	ok, err = IsHurwitzStable(FromRows([][]float64{{0, 1}, {0, 0}}))
+	if err != nil || ok {
+		t.Fatalf("double integrator should not be Hurwitz stable")
+	}
+}
+
+func TestHessenbergPreservesEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 6, 6)
+	h := Hessenberg(a)
+	// Check Hessenberg structure.
+	for i := 2; i < 6; i++ {
+		for j := 0; j < i-1; j++ {
+			if h.At(i, j) != 0 {
+				t.Fatalf("H[%d,%d] = %v, want 0", i, j, h.At(i, j))
+			}
+		}
+	}
+	ea, _ := Eigenvalues(a)
+	eh, _ := Eigenvalues(h)
+	ga, gh := sortedAbs(ea), sortedAbs(eh)
+	for i := range ga {
+		if math.Abs(ga[i]-gh[i]) > 1e-7*math.Max(1, ga[i]) {
+			t.Fatalf("Hessenberg changed spectrum: %v vs %v", ga, gh)
+		}
+	}
+}
+
+func TestEigenvaluesZeroMatrix(t *testing.T) {
+	eigs, err := Eigenvalues(New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range eigs {
+		if e != 0 {
+			t.Fatalf("zero matrix eigenvalue %v", e)
+		}
+	}
+}
+
+func TestEigenvalues1x1And2x2(t *testing.T) {
+	e, err := Eigenvalues(FromRows([][]float64{{-4}}))
+	if err != nil || e[0] != complex(-4, 0) {
+		t.Fatalf("1×1 eig = %v (err=%v)", e, err)
+	}
+	e, err = Eigenvalues(FromRows([][]float64{{0, 1}, {-1, 0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cmplx.Abs(e[0])-1) > 1e-14 || imag(e[0]) == 0 {
+		t.Fatalf("2×2 rotation eig = %v", e)
+	}
+}
+
+func BenchmarkEigenvalues6(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 6, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenvalues12(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eigenvalues(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package mat
+
+import "math"
+
+// OneNorm returns the maximum absolute column sum ‖A‖₁.
+func OneNorm(a *Dense) float64 {
+	max := 0.0
+	for j := 0; j < a.cols; j++ {
+		s := 0.0
+		for i := 0; i < a.rows; i++ {
+			s += math.Abs(a.data[i*a.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// InfNorm returns the maximum absolute row sum ‖A‖∞.
+func InfNorm(a *Dense) float64 {
+	max := 0.0
+	for i := 0; i < a.rows; i++ {
+		s := 0.0
+		for j := 0; j < a.cols; j++ {
+			s += math.Abs(a.data[i*a.cols+j])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// FroNorm returns the Frobenius norm ‖A‖F.
+func FroNorm(a *Dense) float64 {
+	s := 0.0
+	for _, v := range a.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute entry.
+func MaxAbs(a *Dense) float64 {
+	max := 0.0
+	for _, v := range a.data {
+		if w := math.Abs(v); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// TwoNorm returns the spectral norm ‖A‖₂ = √ρ(AᵀA), computed by power
+// iteration on AᵀA with a deterministic start vector. For the small
+// matrices in this repository the iteration converges in a handful of
+// steps; a Frobenius-norm fallback (an upper bound on ‖·‖₂) is used if
+// it stagnates.
+func TwoNorm(a *Dense) float64 {
+	at := a.T()
+	ata := Mul(at, a)
+	n := ata.rows
+	// Deterministic start with energy in all directions.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n)+float64(i))
+	}
+	normalize(x)
+	lam := 0.0
+	for iter := 0; iter < 200; iter++ {
+		y := MulVec(ata, x)
+		ny := vecNorm(y)
+		if ny == 0 {
+			return 0
+		}
+		for i := range y {
+			y[i] /= ny
+		}
+		newLam := Dot(y, MulVec(ata, y))
+		x = y
+		if math.Abs(newLam-lam) <= 1e-13*math.Max(1, math.Abs(newLam)) {
+			return math.Sqrt(math.Max(newLam, 0))
+		}
+		lam = newLam
+	}
+	// Stagnation: fall back to the (valid upper bound) Frobenius norm.
+	fro := FroNorm(a)
+	est := math.Sqrt(math.Max(lam, 0))
+	if est > 0 && est < fro {
+		return est
+	}
+	return fro
+}
+
+func vecNorm(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(x []float64) {
+	n := vecNorm(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}

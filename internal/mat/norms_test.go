@@ -1,0 +1,87 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormsKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, -2},
+		{-3, 4},
+	})
+	if got := OneNorm(a); got != 6 { // max column sum |−2|+|4|
+		t.Fatalf("OneNorm = %v", got)
+	}
+	if got := InfNorm(a); got != 7 { // max row sum |−3|+|4|
+		t.Fatalf("InfNorm = %v", got)
+	}
+	if got := FroNorm(a); math.Abs(got-math.Sqrt(30)) > 1e-14 {
+		t.Fatalf("FroNorm = %v", got)
+	}
+	if got := MaxAbs(a); got != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+}
+
+func TestTwoNormDiagonal(t *testing.T) {
+	if got := TwoNorm(Diag(3, -7, 2)); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("TwoNorm(diag) = %v, want 7", got)
+	}
+}
+
+func TestTwoNormOrthogonal(t *testing.T) {
+	theta := 0.4
+	q := FromRows([][]float64{
+		{math.Cos(theta), -math.Sin(theta)},
+		{math.Sin(theta), math.Cos(theta)},
+	})
+	if got := TwoNorm(q); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TwoNorm(rotation) = %v, want 1", got)
+	}
+}
+
+func TestTwoNormZero(t *testing.T) {
+	if got := TwoNorm(New(3, 3)); got != 0 {
+		t.Fatalf("TwoNorm(0) = %v", got)
+	}
+}
+
+func TestNormOrderingProperty(t *testing.T) {
+	// ρ(A) ≤ ‖A‖₂ ≤ ‖A‖F and ‖A‖₂ ≤ √(‖A‖₁‖A‖∞).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomDense(rng, n, n)
+		two := TwoNorm(a)
+		rho, err := SpectralRadius(a)
+		if err != nil {
+			return false
+		}
+		const slack = 1e-7
+		if rho > two*(1+slack)+slack {
+			return false
+		}
+		if two > FroNorm(a)*(1+slack)+slack {
+			return false
+		}
+		return two <= math.Sqrt(OneNorm(a)*InfNorm(a))*(1+slack)+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoNormSubmultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		a, b := randomDense(rng, n, n), randomDense(rng, n, n)
+		return TwoNorm(Mul(a, b)) <= TwoNorm(a)*TwoNorm(b)*(1+1e-7)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(6)
+		n := 1 + rng.Intn(m)
+		a := randomDense(rng, m, n)
+		qr := FactorQR(a)
+		q, r := qr.Q(), qr.R()
+		// A = QR
+		if !Mul(q, r).EqualApprox(a, 1e-10) {
+			return false
+		}
+		// QᵀQ = I
+		return Mul(q.T(), q).EqualApprox(Eye(n), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRUpperTriangular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 5, 3)
+	r := FactorQR(a).R()
+	for i := 1; i < 3; i++ {
+		for j := 0; j < i; j++ {
+			if r.At(i, j) != 0 {
+				t.Fatalf("R[%d,%d] = %v, want 0", i, j, r.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSolveLSExact(t *testing.T) {
+	// Square nonsingular system: least squares equals exact solve.
+	a := FromRows([][]float64{{2, 0}, {1, 3}})
+	b := ColVec(4, 7)
+	x, err := FactorQR(a).SolveLS(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-2) > 1e-12 || math.Abs(x.At(1, 0)-5.0/3) > 1e-12 {
+		t.Fatalf("SolveLS = %v", x)
+	}
+}
+
+func TestSolveLSOverdetermined(t *testing.T) {
+	// Fit y = c0 + c1 x through (0,1), (1,3), (2,5): exact line 1 + 2x.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}})
+	b := ColVec(1, 3, 5)
+	x, err := FactorQR(a).SolveLS(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x.At(0, 0)-1) > 1e-12 || math.Abs(x.At(1, 0)-2) > 1e-12 {
+		t.Fatalf("LS fit = %v", x)
+	}
+}
+
+func TestSolveLSResidualOrthogonality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 4 + rng.Intn(4)
+		n := 1 + rng.Intn(3)
+		a := randomDense(rng, m, n)
+		b := randomDense(rng, m, 1)
+		x, err := FactorQR(a).SolveLS(b)
+		if err != nil {
+			return true // rank-deficient draw; nothing to check
+		}
+		res := Sub(Mul(a, x), b)
+		// Aᵀ(Ax - b) = 0 characterizes the least-squares minimizer.
+		return MaxAbs(Mul(a.T(), res)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if r := Rank(Eye(4), 1e-10); r != 4 {
+		t.Fatalf("Rank(I4) = %d", r)
+	}
+	// Rank-1 outer product.
+	a := Mul(ColVec(1, 2, 3), RowVec(4, 5, 6))
+	if r := Rank(a, 1e-10); r != 1 {
+		t.Fatalf("Rank(outer) = %d", r)
+	}
+	if r := Rank(New(3, 3), 1e-10); r != 0 {
+		t.Fatalf("Rank(0) = %d", r)
+	}
+	// Wide matrix goes through the transpose path.
+	wide := FromRows([][]float64{{1, 0, 0, 2}, {0, 1, 0, 3}})
+	if r := Rank(wide, 1e-10); r != 2 {
+		t.Fatalf("Rank(wide) = %d", r)
+	}
+}
+
+func TestFactorQRWidePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FactorQR of wide matrix did not panic")
+		}
+	}()
+	FactorQR(New(2, 3))
+}

@@ -1,0 +1,214 @@
+// Package nonlinear exercises the paper's §III remark that the
+// proposal "could be extended to nonlinear systems via hybridisation of
+// the system dynamics": it provides numerical linearization of smooth
+// plants, a fixed-step RK4 integrator with held inputs, and an adaptive
+// runtime that executes a core.Design (built on a linearization)
+// against the true nonlinear dynamics — so the overrun-tolerant
+// controller can be validated beyond the LTI model it was designed on.
+package nonlinear
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+// Dynamics is the right-hand side of ẋ = f(x, u). Implementations must
+// not retain or mutate the argument slices.
+type Dynamics func(x, u []float64) []float64
+
+// System is a continuous-time nonlinear plant with full state output.
+type System struct {
+	F        Dynamics
+	StateDim int
+	InputDim int
+}
+
+// NewSystem validates dimensions against a probe evaluation of F.
+func NewSystem(f Dynamics, stateDim, inputDim int) (*System, error) {
+	if f == nil {
+		return nil, fmt.Errorf("nonlinear: nil dynamics")
+	}
+	if stateDim <= 0 || inputDim <= 0 {
+		return nil, fmt.Errorf("nonlinear: non-positive dimensions %d, %d", stateDim, inputDim)
+	}
+	probe := f(make([]float64, stateDim), make([]float64, inputDim))
+	if len(probe) != stateDim {
+		return nil, fmt.Errorf("nonlinear: dynamics returned %d derivatives for %d states", len(probe), stateDim)
+	}
+	return &System{F: f, StateDim: stateDim, InputDim: inputDim}, nil
+}
+
+// Linearize returns the LTI approximation around an operating point
+// (x0, u0) with full state output, using central-difference Jacobians.
+// The point need not be an equilibrium, but the linear model then omits
+// the constant drift f(x0, u0).
+func (s *System) Linearize(x0, u0 []float64) (*lti.System, error) {
+	if len(x0) != s.StateDim || len(u0) != s.InputDim {
+		return nil, fmt.Errorf("nonlinear: operating point dims (%d,%d), want (%d,%d)",
+			len(x0), len(u0), s.StateDim, s.InputDim)
+	}
+	a := mat.New(s.StateDim, s.StateDim)
+	b := mat.New(s.StateDim, s.InputDim)
+	for j := 0; j < s.StateDim; j++ {
+		h := jacStep(x0[j])
+		xp := append([]float64(nil), x0...)
+		xm := append([]float64(nil), x0...)
+		xp[j] += h
+		xm[j] -= h
+		fp := s.F(xp, u0)
+		fm := s.F(xm, u0)
+		for i := 0; i < s.StateDim; i++ {
+			a.Set(i, j, (fp[i]-fm[i])/(2*h))
+		}
+	}
+	for j := 0; j < s.InputDim; j++ {
+		h := jacStep(u0[j])
+		up := append([]float64(nil), u0...)
+		um := append([]float64(nil), u0...)
+		up[j] += h
+		um[j] -= h
+		fp := s.F(x0, up)
+		fm := s.F(x0, um)
+		for i := 0; i < s.StateDim; i++ {
+			b.Set(i, j, (fp[i]-fm[i])/(2*h))
+		}
+	}
+	return lti.NewSystem(a, b, mat.Eye(s.StateDim))
+}
+
+// jacStep picks a central-difference step scaled to the operating
+// point.
+func jacStep(v float64) float64 {
+	return 1e-6 * (1 + math.Abs(v))
+}
+
+// RK4Step advances the plant by dt under constant input u with one
+// classical Runge–Kutta step.
+func (s *System) RK4Step(x, u []float64, dt float64) []float64 {
+	add := func(a []float64, scale float64, b []float64) []float64 {
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = a[i] + scale*b[i]
+		}
+		return out
+	}
+	k1 := s.F(x, u)
+	k2 := s.F(add(x, dt/2, k1), u)
+	k3 := s.F(add(x, dt/2, k2), u)
+	k4 := s.F(add(x, dt, k3), u)
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = x[i] + dt/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	return out
+}
+
+// Integrate advances the plant over an interval h under constant input,
+// splitting it into the given number of RK4 substeps (≥ 1).
+func (s *System) Integrate(x, u []float64, h float64, substeps int) []float64 {
+	if substeps < 1 {
+		substeps = 1
+	}
+	dt := h / float64(substeps)
+	cur := append([]float64(nil), x...)
+	for i := 0; i < substeps; i++ {
+		cur = s.RK4Step(cur, u, dt)
+	}
+	return cur
+}
+
+// Loop mirrors core.Loop but propagates the true nonlinear plant
+// between releases: the controller (and its mode table) comes from a
+// core.Design built on a linearization, while the state evolves under
+// f. Substeps controls the RK4 resolution per inter-release interval.
+type Loop struct {
+	sys      *System
+	design   *core.Design
+	substeps int
+
+	x     []float64
+	z     []float64
+	uApp  []float64
+	uNext []float64
+}
+
+// NewLoop initializes the nonlinear runtime at x0. The design's plant
+// must have full state output (C = I behaviourally), matching the
+// linearization produced by Linearize.
+func NewLoop(sys *System, design *core.Design, x0 []float64, substeps int) (*Loop, error) {
+	if design.Plant.StateDim() != sys.StateDim || design.Plant.InputDim() != sys.InputDim {
+		return nil, fmt.Errorf("nonlinear: design dims (%d,%d) do not match plant (%d,%d)",
+			design.Plant.StateDim(), design.Plant.InputDim(), sys.StateDim, sys.InputDim)
+	}
+	if design.Plant.OutputDim() != sys.StateDim {
+		return nil, fmt.Errorf("nonlinear: design must use full state output")
+	}
+	if len(x0) != sys.StateDim {
+		return nil, fmt.Errorf("nonlinear: x0 has %d entries, want %d", len(x0), sys.StateDim)
+	}
+	if substeps < 1 {
+		substeps = 8
+	}
+	l := &Loop{
+		sys:      sys,
+		design:   design,
+		substeps: substeps,
+		x:        append([]float64(nil), x0...),
+		z:        make([]float64, design.Modes[0].Ctrl.StateDim()),
+		uApp:     make([]float64, sys.InputDim),
+	}
+	l.compute(0)
+	return l, nil
+}
+
+func (l *Loop) compute(idx int) {
+	m := l.design.Modes[idx]
+	e := make([]float64, len(l.x))
+	for i, v := range l.x {
+		e[i] = -v
+	}
+	l.z, l.uNext = m.Ctrl.Step(l.z, e)
+}
+
+// StepResponse advances across one interval selected by the response
+// time r of the job whose interval is being closed.
+func (l *Loop) StepResponse(r float64) {
+	idx := l.design.Timing.IntervalIndex(r)
+	h := l.design.Timing.T + float64(idx)*l.design.Timing.Ts()
+	l.x = l.sys.Integrate(l.x, l.uApp, h, l.substeps)
+	l.uApp = l.uNext
+	l.compute(idx)
+}
+
+// State returns a copy of the current plant state.
+func (l *Loop) State() []float64 { return append([]float64(nil), l.x...) }
+
+// Applied returns a copy of the currently applied command.
+func (l *Loop) Applied() []float64 { return append([]float64(nil), l.uApp...) }
+
+// Pendulum returns the classic damped pendulum actuated at the pivot,
+// with the UPRIGHT position as the origin (θ measured from vertical):
+//
+//	θ̈ = (g/l)·sin θ - b·θ̇ + u/(m·l²)
+//
+// States [θ, θ̇], one torque input. The upright equilibrium is
+// unstable, so the adaptive controller must actively balance it — the
+// natural nonlinear companion to the paper's unstable linear example.
+func Pendulum(massKg, lengthM, damping float64) *System {
+	const g = 9.81
+	s, err := NewSystem(func(x, u []float64) []float64 {
+		theta, omega := x[0], x[1]
+		return []float64{
+			omega,
+			(g/lengthM)*math.Sin(theta) - damping*omega + u[0]/(massKg*lengthM*lengthM),
+		}
+	}, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

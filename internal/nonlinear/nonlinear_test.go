@@ -1,0 +1,202 @@
+package nonlinear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/mat"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, 1, 1); err == nil {
+		t.Fatal("nil dynamics accepted")
+	}
+	if _, err := NewSystem(func(x, u []float64) []float64 { return x }, 0, 1); err == nil {
+		t.Fatal("zero state dim accepted")
+	}
+	bad := func(x, u []float64) []float64 { return make([]float64, 3) }
+	if _, err := NewSystem(bad, 2, 1); err == nil {
+		t.Fatal("wrong derivative length accepted")
+	}
+}
+
+func TestLinearizePendulumUpright(t *testing.T) {
+	m, l, b := 0.5, 0.4, 0.1
+	p := Pendulum(m, l, b)
+	sys, err := p.Linearize([]float64{0, 0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic: A = [[0,1],[g/l, -b]], B = [0; 1/(m l²)].
+	wantA := mat.FromRows([][]float64{{0, 1}, {9.81 / l, -b}})
+	wantB := mat.ColVec(0, 1/(m*l*l))
+	if !sys.A.EqualApprox(wantA, 1e-4) {
+		t.Fatalf("A = %v, want %v", sys.A, wantA)
+	}
+	if !sys.B.EqualApprox(wantB, 1e-4) {
+		t.Fatalf("B = %v, want %v", sys.B, wantB)
+	}
+	stable, err := sys.IsStable()
+	if err != nil || stable {
+		t.Fatal("upright pendulum linearization should be unstable")
+	}
+}
+
+func TestLinearizeMatchesLinearSystem(t *testing.T) {
+	// A plant that is already linear: the Jacobians must recover it
+	// anywhere, not just at the origin.
+	a := [][]float64{{0.3, -1.2}, {2.0, 0.1}}
+	b := [][]float64{{0.5}, {-0.7}}
+	f := func(x, u []float64) []float64 {
+		return []float64{
+			a[0][0]*x[0] + a[0][1]*x[1] + b[0][0]*u[0],
+			a[1][0]*x[0] + a[1][1]*x[1] + b[1][0]*u[0],
+		}
+	}
+	s, err := NewSystem(f, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := s.Linearize([]float64{3, -2}, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.A.EqualApprox(mat.FromRows(a), 1e-6) {
+		t.Fatalf("A = %v", lin.A)
+	}
+	if !lin.B.EqualApprox(mat.FromRows(b), 1e-6) {
+		t.Fatalf("B = %v", lin.B)
+	}
+}
+
+func TestRK4AccuracyOnLinearSystem(t *testing.T) {
+	// Compare RK4 against the exact matrix-exponential solution.
+	aRows := [][]float64{{0, 1}, {-4, -0.5}}
+	f := func(x, u []float64) []float64 {
+		return []float64{
+			x[1] + u[0]*0,
+			-4*x[0] - 0.5*x[1] + u[0],
+		}
+	}
+	s, err := NewSystem(f, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := s.Linearize([]float64{0, 0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = aRows
+	x0 := []float64{1, -0.3}
+	u := []float64{0.7}
+	h := 0.2
+	exact, err := lin.Step(x0, u, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Integrate(x0, u, h, 64)
+	for i := range exact {
+		if math.Abs(got[i]-exact[i]) > 1e-8 {
+			t.Fatalf("RK4 = %v, exact %v", got, exact)
+		}
+	}
+	// Convergence order: quartering the step should shrink the error by
+	// ~4⁴ = 256; accept anything above 100.
+	coarse := s.Integrate(x0, u, h, 2)
+	fine := s.Integrate(x0, u, h, 8)
+	errC := math.Abs(coarse[0]-exact[0]) + math.Abs(coarse[1]-exact[1])
+	errF := math.Abs(fine[0]-exact[0]) + math.Abs(fine[1]-exact[1])
+	if errF <= 0 {
+		return // already exact to machine precision
+	}
+	if errC/errF < 100 {
+		t.Fatalf("RK4 order too low: coarse %v, fine %v (ratio %v)", errC, errF, errC/errF)
+	}
+}
+
+func pendulumDesign(t *testing.T) (*System, *core.Design) {
+	t.Helper()
+	p := Pendulum(0.5, 0.4, 0.1)
+	lin, err := p.Linearize([]float64{0, 0}, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := core.MustTiming(0.02, 5, 0.002, 1.6*0.02)
+	w := control.LQRWeights{Q: mat.Diag(20, 1), R: mat.Diag(0.1)}
+	d, err := core.NewDesign(lin, tm, func(h float64) (*control.StateSpace, error) {
+		return control.LQGFullInfo(lin, w, h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestNonlinearLoopBalancesPendulumUnderOverruns(t *testing.T) {
+	p, d := pendulumDesign(t)
+	loop, err := NewLoop(p, d, []float64{0.3, 0}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	maxTheta := 0.0
+	for k := 0; k < 400; k++ {
+		// Random response times over the full admissible range.
+		r := d.Timing.Rmin + rng.Float64()*(d.Timing.Rmax-d.Timing.Rmin)
+		loop.StepResponse(r)
+		if th := math.Abs(loop.State()[0]); th > maxTheta {
+			maxTheta = th
+		}
+	}
+	x := loop.State()
+	if math.Abs(x[0]) > 1e-4 || math.Abs(x[1]) > 1e-3 {
+		t.Fatalf("pendulum not balanced: θ=%v ω=%v", x[0], x[1])
+	}
+	if maxTheta > math.Pi/2 {
+		t.Fatalf("transient left the linearization's sanity region: max |θ| = %v", maxTheta)
+	}
+}
+
+func TestNonlinearLoopMatchesLinearLoopNearOrigin(t *testing.T) {
+	// For tiny deviations the nonlinear runtime must track the linear
+	// one closely over a short horizon.
+	p, d := pendulumDesign(t)
+	x0 := []float64{1e-4, 0}
+	nl, err := NewLoop(p, d, x0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := core.NewLoop(d, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		nl.StepResponse(d.Timing.Rmin)
+		lin.Step(0)
+		a, b := nl.State(), lin.State()
+		for i := range a {
+			if math.Abs(a[i]-b[i]) > 1e-7*(1+math.Abs(b[i]))+1e-12 {
+				t.Fatalf("step %d: nonlinear %v vs linear %v", k, a, b)
+			}
+		}
+	}
+}
+
+func TestNewLoopValidation(t *testing.T) {
+	p, d := pendulumDesign(t)
+	if _, err := NewLoop(p, d, []float64{1}, 4); err == nil {
+		t.Fatal("short x0 accepted")
+	}
+	other := Pendulum(1, 1, 0)
+	otherBig, err := NewSystem(func(x, u []float64) []float64 { return make([]float64, 3) }, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoop(otherBig, d, []float64{0, 0, 0}, 4); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	_ = other
+}

@@ -1,0 +1,309 @@
+// Package rt emulates the paper's §IV implementation listing at the
+// level an embedded engineer would deploy it:
+//
+//	while(true) {
+//	  if (new_data) {          // fresh sensor sample in the register
+//	    t_start = get_time();
+//	    y = read_data(); u = compute_ctl(y, h);
+//	    h = get_time() - t_start;
+//	    if (h < period) sleep(period - h);
+//	  }
+//	}
+//
+// The formal model of §IV-A idealizes this loop: releases coincide with
+// sensor ticks and samples are taken exactly at the release. The
+// listing differs in two practically important ways the paper remarks
+// on: a relative sleep(period - h) accumulates drift when each
+// iteration carries overhead ("the sleep primitive is not ideal …
+// sleep_until would be a better choice"), and read_data() returns the
+// *latest stored* register value, which can be up to Ts stale. This
+// package makes those fidelity gaps measurable: a virtual-time runtime
+// with a sensor register updated on the Ts grid, selectable sleep
+// primitive, release policy and per-iteration overhead — validated to
+// match the idealized core.Loop exactly when configured ideally.
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/lti"
+)
+
+// Plant is the physical system the runtime acts on: it evolves in
+// continuous time under a zero-order-held input.
+type Plant interface {
+	// AdvanceTo moves the plant to absolute time t (monotone calls).
+	AdvanceTo(t float64)
+	// SetInput latches a new actuator value (takes effect immediately).
+	SetInput(u []float64)
+	// Output returns y at the plant's current time.
+	Output() []float64
+	// State returns the current state (diagnostics).
+	State() []float64
+}
+
+// LTIPlant implements Plant for a continuous LTI system using exact
+// ZOH propagation between events.
+type LTIPlant struct {
+	sys *lti.System
+	x   []float64
+	u   []float64
+	t   float64
+}
+
+// NewLTIPlant wraps a continuous plant starting at x0 with zero input.
+func NewLTIPlant(sys *lti.System, x0 []float64) (*LTIPlant, error) {
+	if len(x0) != sys.StateDim() {
+		return nil, fmt.Errorf("rt: x0 has %d entries, plant has %d states", len(x0), sys.StateDim())
+	}
+	return &LTIPlant{
+		sys: sys,
+		x:   append([]float64(nil), x0...),
+		u:   make([]float64, sys.InputDim()),
+	}, nil
+}
+
+// AdvanceTo implements Plant.
+func (p *LTIPlant) AdvanceTo(t float64) {
+	dt := t - p.t
+	if dt < 0 {
+		if dt > -1e-12 {
+			return // round-off; stay put
+		}
+		panic(fmt.Sprintf("rt: time moved backwards (%g -> %g)", p.t, t))
+	}
+	if dt == 0 {
+		return
+	}
+	x, err := p.sys.Step(p.x, p.u, dt)
+	if err != nil {
+		panic(err) // dt > 0 by construction
+	}
+	p.x = x
+	p.t = t
+}
+
+// SetInput implements Plant.
+func (p *LTIPlant) SetInput(u []float64) {
+	if len(u) != len(p.u) {
+		panic(fmt.Sprintf("rt: input has %d entries, want %d", len(u), len(p.u)))
+	}
+	copy(p.u, u)
+}
+
+// Output implements Plant.
+func (p *LTIPlant) Output() []float64 { return p.sys.Output(p.x) }
+
+// State implements Plant.
+func (p *LTIPlant) State() []float64 { return append([]float64(nil), p.x...) }
+
+// SleepMode selects the timer primitive of the control loop.
+type SleepMode int
+
+const (
+	// SleepUntil targets absolute instants: releases stay on the
+	// nominal grid (the primitive the paper recommends).
+	SleepUntil SleepMode = iota
+	// SleepRelative emulates sleep(period - h): each iteration's
+	// overhead pushes the next release later, accumulating drift (the
+	// primitive "extremely common … in industrial and off-the-shelf
+	// controllers").
+	SleepRelative
+)
+
+// ReleasePolicy selects how a job release relates to sensor ticks.
+type ReleasePolicy int
+
+const (
+	// WaitFresh delays the release to the next sensor tick and samples
+	// there — the formal model of §IV-A (zero sampling age).
+	WaitFresh ReleasePolicy = iota
+	// ReadLatest releases as soon as the loop is ready (provided the
+	// register holds a sample it has not consumed yet) and reads the
+	// newest stored value, which may be up to Ts old — the listing's
+	// behaviour.
+	ReadLatest
+)
+
+// Config assembles a runtime.
+type Config struct {
+	Design   *core.Design
+	Plant    Plant
+	Sleep    SleepMode
+	Policy   ReleasePolicy
+	Overhead float64 // per-iteration loop overhead added after the sleep [s]
+}
+
+// JobRecord captures one executed control job.
+type JobRecord struct {
+	Index     int
+	Release   float64 // read_data instant
+	SampleAge float64 // age of the register value consumed
+	Compute   float64 // execution duration of this job
+	Finish    float64
+	ModeIndex int // controller mode selected (from the previous interval)
+}
+
+// Trace is the outcome of a run.
+type Trace struct {
+	Jobs       []JobRecord
+	FinalState []float64
+	FinalTime  float64
+}
+
+// MaxDrift returns the largest deviation of a release from the nominal
+// grid k·T anchored at the first release. Only meaningful for runs
+// without overruns (the drift experiment's setting).
+func (tr *Trace) MaxDrift(period float64) float64 {
+	if len(tr.Jobs) == 0 {
+		return 0
+	}
+	t0 := tr.Jobs[0].Release
+	max := 0.0
+	for k, j := range tr.Jobs {
+		nominal := t0 + float64(k)*period
+		if d := math.Abs(j.Release - nominal); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxSampleAge returns the worst staleness of consumed samples.
+func (tr *Trace) MaxSampleAge() float64 {
+	max := 0.0
+	for _, j := range tr.Jobs {
+		if j.SampleAge > max {
+			max = j.SampleAge
+		}
+	}
+	return max
+}
+
+// Runtime executes the control loop against the plant in virtual time,
+// emulating the sensor hardware task (register updated every Ts) and
+// the instantaneous actuator task of the paper's system model.
+type Runtime struct {
+	cfg Config
+
+	z     []float64
+	uNext []float64
+
+	register     []float64
+	registerTime float64
+	tickIdx      int // index of the next sensor tick
+	lastConsumed float64
+}
+
+// New validates the configuration and builds a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Design == nil || cfg.Plant == nil {
+		return nil, fmt.Errorf("rt: nil design or plant")
+	}
+	if cfg.Overhead < 0 {
+		return nil, fmt.Errorf("rt: negative overhead %g", cfg.Overhead)
+	}
+	return &Runtime{
+		cfg:          cfg,
+		z:            make([]float64, cfg.Design.Modes[0].Ctrl.StateDim()),
+		lastConsumed: -1,
+	}, nil
+}
+
+func (r *Runtime) ts() float64 { return r.cfg.Design.Timing.Ts() }
+
+// tickTime returns the absolute time of sensor tick i (exact, no
+// accumulation).
+func (r *Runtime) tickTime(i int) float64 { return float64(i) * r.ts() }
+
+// advanceTo moves the plant to time t, updating the sensor register at
+// every tick crossed. A tick within relative round-off of t counts as
+// crossed: a release arithmetically "at" a tick must see that tick's
+// sample.
+func (r *Runtime) advanceTo(t float64) {
+	tol := 1e-9 * r.ts()
+	for r.tickTime(r.tickIdx) <= t+tol {
+		at := r.tickTime(r.tickIdx)
+		r.cfg.Plant.AdvanceTo(math.Min(at, t))
+		r.register = r.cfg.Plant.Output()
+		r.registerTime = at
+		r.tickIdx++
+	}
+	r.cfg.Plant.AdvanceTo(t)
+}
+
+// Run executes the loop for the given per-job compute durations and
+// returns the trace. Compute durations play the role of response times
+// (the loop itself is not preempted; feed response times from
+// sched.Simulate to model interference).
+func (r *Runtime) Run(computeTimes []float64) (*Trace, error) {
+	d := r.cfg.Design
+	ts := r.ts()
+	tr := &Trace{}
+
+	ready := 0.0 // when the loop reaches the new_data check
+	prevRelease := math.NaN()
+	for k, c := range computeTimes {
+		if c <= 0 {
+			return nil, fmt.Errorf("rt: job %d has non-positive compute time %g", k, c)
+		}
+		// new_data gate: the register must hold a sample newer than the
+		// last one consumed. The earliest such instant at or after
+		// `ready`:
+		release := ready
+		firstFresh := r.lastConsumed + ts // first tick with unconsumed data
+		if firstFresh > release+1e-15 {
+			release = firstFresh
+		}
+		if r.cfg.Policy == WaitFresh {
+			// Align to the next tick so the sample is taken at the
+			// release itself.
+			release = math.Ceil(release/ts-1e-9) * ts
+		}
+		r.advanceTo(release)
+		// Actuator task: latch the previous job's command at release.
+		if k > 0 {
+			r.cfg.Plant.SetInput(r.uNext)
+		}
+		y := append([]float64(nil), r.register...)
+		age := math.Max(0, release-r.registerTime)
+		r.lastConsumed = r.registerTime
+
+		// Mode selection by the previous inter-release interval.
+		modeIdx := 0
+		if !math.IsNaN(prevRelease) {
+			modeIdx = d.Timing.IntervalIndex(release - prevRelease)
+		}
+		m := d.Modes[modeIdx]
+		e := make([]float64, len(y))
+		for i, v := range y {
+			e[i] = -v
+		}
+		r.z, r.uNext = m.Ctrl.Step(r.z, e)
+
+		finish := release + c
+		r.advanceTo(finish)
+		tr.Jobs = append(tr.Jobs, JobRecord{
+			Index: k, Release: release, SampleAge: age, Compute: c,
+			Finish: finish, ModeIndex: modeIdx,
+		})
+
+		// Timer per the listing.
+		if c < d.Timing.T {
+			switch r.cfg.Sleep {
+			case SleepUntil:
+				ready = release + d.Timing.T
+			default:
+				ready = finish + (d.Timing.T - c) + r.cfg.Overhead
+			}
+		} else {
+			ready = finish + r.cfg.Overhead
+		}
+		prevRelease = release
+	}
+	tr.FinalState = r.cfg.Plant.State()
+	tr.FinalTime = ready
+	return tr, nil
+}

@@ -1,0 +1,271 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+func testSetup(t *testing.T) (*lti.System, *core.Design) {
+	t.Helper()
+	plant := lti.MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {1, -0.8}}),
+		mat.ColVec(0, 1),
+		mat.Eye(2),
+	)
+	tm := core.MustTiming(0.1, 5, 0.01, 0.16)
+	w := control.LQRWeights{Q: mat.Eye(2), R: mat.Diag(0.1)}
+	d, err := core.NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
+		return control.LQGFullInfo(plant, w, h)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plant, d
+}
+
+func newRuntime(t *testing.T, plant *lti.System, d *core.Design, x0 []float64, cfgMod func(*Config)) *Runtime {
+	t.Helper()
+	lp, err := NewLTIPlant(plant, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Design: d, Plant: lp, Sleep: SleepUntil, Policy: WaitFresh}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestLTIPlantExactPropagation(t *testing.T) {
+	plant, _ := testSetup(t)
+	lp, err := NewLTIPlant(plant, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp.SetInput([]float64{0.5})
+	lp.AdvanceTo(0.07)
+	lp.AdvanceTo(0.2)
+	want, err := plant.Step([]float64{1, 0}, []float64{0.5}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lp.State()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("split propagation %v, one-shot %v", got, want)
+		}
+	}
+}
+
+// TestIdealRuntimeMatchesIdealizedLoop is the package's load-bearing
+// test: with WaitFresh + SleepUntil + zero overhead, the implementation
+// emulation must reproduce the formal model (core.Loop) exactly, for an
+// arbitrary mix of nominal jobs and overruns.
+func TestIdealRuntimeMatchesIdealizedLoop(t *testing.T) {
+	plant, d := testSetup(t)
+	x0 := []float64{1, -0.5}
+	rt := newRuntime(t, plant, d, x0, nil)
+	loop, err := core.NewLoop(d, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	computes := make([]float64, 60)
+	for i := range computes {
+		computes[i] = d.Timing.Rmin + rng.Float64()*(d.Timing.Rmax-d.Timing.Rmin)
+	}
+	trace, err := rt.Run(computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the idealized loop with the same response times.
+	for _, c := range computes {
+		loop.StepResponse(c)
+	}
+	// The runtime's plant state at its final release + last interval
+	// must match the loop. Compare at the last release instant: advance
+	// the runtime's plant record via the last job; easiest equivalent
+	// check: replay release times against the formal rule.
+	prev := 0.0
+	for k, j := range trace.Jobs {
+		if k == 0 {
+			if j.Release != 0 {
+				t.Fatalf("first release at %v", j.Release)
+			}
+			prev = 0
+			continue
+		}
+		want := d.Timing.NextRelease(prev, prev+computes[k-1])
+		if math.Abs(j.Release-want) > 1e-9 {
+			t.Fatalf("job %d released at %v, formal rule says %v", k, j.Release, want)
+		}
+		prev = want
+	}
+	// Zero sampling age in the formal model.
+	if trace.MaxSampleAge() > 1e-12 {
+		t.Fatalf("WaitFresh produced stale samples: %v", trace.MaxSampleAge())
+	}
+}
+
+// TestRuntimeStateMatchesLoopState compares the physical state at every
+// release instant between the runtime and the formal model.
+func TestRuntimeStateMatchesLoopState(t *testing.T) {
+	plant, d := testSetup(t)
+	x0 := []float64{0.7, 0.2}
+	lp, err := NewLTIPlant(plant, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Design: d, Plant: lp, Sleep: SleepUntil, Policy: WaitFresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop, err := core.NewLoop(d, x0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	// Step-by-step: run one job at a time and compare plant states at
+	// the next release.
+	prevRelease := 0.0
+	var computes []float64
+	for k := 0; k < 40; k++ {
+		c := d.Timing.Rmin + rng.Float64()*(d.Timing.Rmax-d.Timing.Rmin)
+		computes = append(computes, c)
+		loop.StepResponse(c)
+		_ = prevRelease
+		_ = k
+	}
+	trace, err := rt.Run(append(computes, 0.01)) // one extra job to reach the final release
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRelease := trace.Jobs[len(trace.Jobs)-1].Release
+	// The runtime's plant was advanced past lastRelease only to the
+	// job's finish; re-derive the state at lastRelease from the loop.
+	want := loop.State()
+	// lp.State() is at finish of the extra job; instead compare release
+	// times (already validated) and the sampled outputs via register:
+	// the register at lastRelease equals C·x(loop) since WaitFresh
+	// samples exactly at the release.
+	got := trace.Jobs[len(trace.Jobs)-1]
+	if got.SampleAge != 0 {
+		t.Fatal("expected fresh sample at final release")
+	}
+	_ = want
+	_ = lastRelease
+	// Final check through outputs: rebuild the runtime once more and
+	// capture the register at the last release by stopping there.
+	lp2, _ := NewLTIPlant(plant, x0)
+	rt2, _ := New(Config{Design: d, Plant: lp2, Sleep: SleepUntil, Policy: WaitFresh})
+	trace2, err := rt2.Run(computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = trace2
+	// lp2 now sits at the finish of job len(computes)-1; advance to the
+	// next release and compare with the loop state.
+	next := d.Timing.NextRelease(trace2.Jobs[len(trace2.Jobs)-1].Release,
+		trace2.Jobs[len(trace2.Jobs)-1].Release+computes[len(computes)-1])
+	lp2.AdvanceTo(next)
+	gotState := lp2.State()
+	for i := range want {
+		if math.Abs(gotState[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("state at release: runtime %v, formal loop %v", gotState, want)
+		}
+	}
+}
+
+func TestSleepRelativeDriftAccumulates(t *testing.T) {
+	plant, d := testSetup(t)
+	overhead := d.Timing.T / 100
+	rt := newRuntime(t, plant, d, []float64{0.1, 0}, func(c *Config) {
+		c.Sleep = SleepRelative
+		c.Policy = ReadLatest
+		c.Overhead = overhead
+	})
+	n := 40
+	computes := make([]float64, n)
+	for i := range computes {
+		computes[i] = 0.03 // no overruns
+	}
+	trace, err := rt.Run(computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := trace.MaxDrift(d.Timing.T)
+	// Drift accumulates ≈ overhead per period.
+	wantMin := float64(n-2) * overhead * 0.9
+	if drift < wantMin {
+		t.Fatalf("drift = %v, want ≥ %v", drift, wantMin)
+	}
+	// Drifted releases read stale samples, bounded by Ts.
+	if age := trace.MaxSampleAge(); age <= 0 || age > d.Timing.Ts()+1e-12 {
+		t.Fatalf("sample age = %v, want in (0, Ts]", age)
+	}
+}
+
+func TestSleepUntilHoldsTheGrid(t *testing.T) {
+	plant, d := testSetup(t)
+	rt := newRuntime(t, plant, d, []float64{0.1, 0}, func(c *Config) {
+		c.Sleep = SleepUntil
+		c.Policy = WaitFresh
+		c.Overhead = d.Timing.T / 100 // overhead present but absorbed
+	})
+	computes := make([]float64, 40)
+	for i := range computes {
+		computes[i] = 0.03
+	}
+	trace, err := rt.Run(computes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := trace.MaxDrift(d.Timing.T); drift > 1e-9 {
+		t.Fatalf("sleep_until drifted by %v", drift)
+	}
+}
+
+func TestOverrunResynchronizesToGrid(t *testing.T) {
+	plant, d := testSetup(t)
+	rt := newRuntime(t, plant, d, []float64{0.1, 0}, nil)
+	trace, err := rt.Run([]float64{0.03, 0.13, 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 released at 0.1, overran to 0.23 → job 2 at the next tick,
+	// 0.24; its mode must be the 0.14-interval mode (index 2).
+	if math.Abs(trace.Jobs[2].Release-0.24) > 1e-9 {
+		t.Fatalf("post-overrun release = %v, want 0.24", trace.Jobs[2].Release)
+	}
+	if trace.Jobs[2].ModeIndex != 2 {
+		t.Fatalf("post-overrun mode = %d, want 2", trace.Jobs[2].ModeIndex)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	plant, d := testSetup(t)
+	if _, err := New(Config{Design: d}); err == nil {
+		t.Fatal("nil plant accepted")
+	}
+	lp, _ := NewLTIPlant(plant, []float64{0, 0})
+	if _, err := New(Config{Design: d, Plant: lp, Overhead: -1}); err == nil {
+		t.Fatal("negative overhead accepted")
+	}
+	rt := newRuntime(t, plant, d, []float64{0, 0}, nil)
+	if _, err := rt.Run([]float64{0.01, 0}); err == nil {
+		t.Fatal("zero compute time accepted")
+	}
+	if _, err := NewLTIPlant(plant, []float64{1}); err == nil {
+		t.Fatal("short x0 accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import "math/rand"
+
+// BurstExec is a two-state Markov-modulated execution-time model for
+// the paper's "bursts of interrupts" overload cause: the task switches
+// between a calm regime and a burst regime with given per-job
+// transition probabilities, drawing from a different distribution in
+// each. Unlike BimodalExec, overruns produced by BurstExec cluster —
+// the temporal pattern the period-adaptation mechanism must absorb
+// without cascading delays.
+type BurstExec struct {
+	Calm        ExecModel
+	Burst       ExecModel
+	PEnter      float64 // P(calm → burst) per job
+	PExit       float64 // P(burst → calm) per job
+	inBurst     bool
+	initialized bool
+}
+
+// Sample implements ExecModel. The regime state advances once per call,
+// so a single BurstExec value must drive a single task.
+func (e *BurstExec) Sample(rng *rand.Rand) float64 {
+	if !e.initialized {
+		// Start from the stationary distribution so short runs are not
+		// biased toward calm.
+		pi := e.stationaryBurstProb()
+		e.inBurst = rng.Float64() < pi
+		e.initialized = true
+	} else if e.inBurst {
+		if rng.Float64() < e.PExit {
+			e.inBurst = false
+		}
+	} else if rng.Float64() < e.PEnter {
+		e.inBurst = true
+	}
+	if e.inBurst {
+		return e.Burst.Sample(rng)
+	}
+	return e.Calm.Sample(rng)
+}
+
+// Bounds implements ExecModel.
+func (e *BurstExec) Bounds() (float64, float64) {
+	clo, chi := e.Calm.Bounds()
+	blo, bhi := e.Burst.Bounds()
+	if blo < clo {
+		clo = blo
+	}
+	if bhi > chi {
+		chi = bhi
+	}
+	return clo, chi
+}
+
+// stationaryBurstProb returns the stationary probability of the burst
+// regime, PEnter/(PEnter+PExit), or 0 when both rates vanish.
+func (e *BurstExec) stationaryBurstProb() float64 {
+	den := e.PEnter + e.PExit
+	if den == 0 {
+		return 0
+	}
+	return e.PEnter / den
+}
+
+// ExpectedBurstLength returns the mean number of consecutive burst jobs
+// (1/PExit), useful when sizing experiments.
+func (e *BurstExec) ExpectedBurstLength() float64 {
+	if e.PExit == 0 {
+		return 0
+	}
+	return 1 / e.PExit
+}

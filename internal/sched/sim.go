@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Interval is a half-open execution window [Start, End).
+type Interval struct {
+	Start, End float64
+}
+
+// Duration returns End - Start.
+func (iv Interval) Duration() float64 { return iv.End - iv.Start }
+
+// JobRecord describes one completed job.
+type JobRecord struct {
+	Task     string
+	Index    int     // 0-based job number within its task
+	Release  float64 // a_k
+	Start    float64 // first time the job got the core
+	Finish   float64 // f_k
+	Exec     float64 // sampled execution demand
+	Response float64 // R_k = Finish - Release
+	Slices   []Interval
+}
+
+// Preempted reports whether the job's execution was split.
+func (j JobRecord) Preempted() bool { return len(j.Slices) > 1 }
+
+// Result collects the jobs of a simulation run, keyed by task name.
+type Result struct {
+	Jobs    map[string][]JobRecord
+	Horizon float64
+}
+
+// ResponseTimes returns the response-time sequence of a task.
+func (r *Result) ResponseTimes(task string) []float64 {
+	jobs := r.Jobs[task]
+	out := make([]float64, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Response
+	}
+	return out
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Horizon float64        // simulated time; required
+	MaxJobs map[string]int // optional per-task stop-after-N-completions
+	Seed    int64          // execution-time RNG seed
+}
+
+type simJob struct {
+	task      *Task
+	taskIdx   int
+	index     int
+	release   float64
+	remaining float64
+	exec      float64
+	started   bool
+	start     float64
+	slices    []Interval
+}
+
+const timeEps = 1e-12
+
+// Simulate runs fixed-priority preemptive scheduling of the task set on
+// a single core. Tasks with a nil ReleaseRule release periodically from
+// their offset; a task with a ReleaseRule releases its next job at
+// rule(prevRelease, finish) of the job that just completed — the hook
+// used by the paper's period-adaptation strategy. Jobs of the same task
+// never overlap for adaptive tasks by construction; for periodic tasks
+// an overrunning job delays its successor (the successor is released
+// but queued behind it at equal priority).
+func Simulate(tasks []*Task, opt Options) (*Result, error) {
+	if opt.Horizon <= 0 {
+		return nil, fmt.Errorf("sched: non-positive horizon %g", opt.Horizon)
+	}
+	for _, t := range tasks {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	adaptive := 0
+	for _, t := range tasks {
+		if t.Release != nil {
+			adaptive++
+		}
+	}
+	if adaptive > 1 {
+		return nil, fmt.Errorf("sched: at most one adaptive task is supported, got %d", adaptive)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	res := &Result{Jobs: make(map[string][]JobRecord), Horizon: opt.Horizon}
+	// nextRelease[i] < 0 means "no release scheduled" (adaptive task
+	// waiting for its current job to finish).
+	nextRelease := make([]float64, len(tasks))
+	jobCount := make([]int, len(tasks))
+	done := make([]bool, len(tasks)) // reached MaxJobs
+	for i, t := range tasks {
+		nextRelease[i] = t.Offset
+	}
+
+	var ready []*simJob
+	pickRunning := func() *simJob {
+		if len(ready) == 0 {
+			return nil
+		}
+		best := ready[0]
+		for _, j := range ready[1:] {
+			if j.task.Priority < best.task.Priority ||
+				(j.task.Priority == best.task.Priority && j.release < best.release-timeEps) ||
+				(j.task.Priority == best.task.Priority && math.Abs(j.release-best.release) <= timeEps && j.taskIdx < best.taskIdx) {
+				best = j
+			}
+		}
+		return best
+	}
+	earliestRelease := func() (int, float64) {
+		idx, at := -1, math.Inf(1)
+		for i := range tasks {
+			if done[i] || nextRelease[i] < 0 {
+				continue
+			}
+			if nextRelease[i] < at {
+				idx, at = i, nextRelease[i]
+			}
+		}
+		return idx, at
+	}
+	releaseAt := func(t float64) {
+		for i, task := range tasks {
+			if done[i] || nextRelease[i] < 0 || nextRelease[i] > t+timeEps {
+				continue
+			}
+			j := &simJob{
+				task:    task,
+				taskIdx: i,
+				index:   jobCount[i],
+				release: nextRelease[i],
+			}
+			j.exec = task.Exec.Sample(rng)
+			if j.exec <= 0 {
+				j.exec = timeEps
+			}
+			j.remaining = j.exec
+			jobCount[i]++
+			ready = append(ready, j)
+			if task.Release != nil {
+				nextRelease[i] = -1 // scheduled when this job finishes
+			} else {
+				nextRelease[i] += task.Period
+			}
+		}
+	}
+
+	now := 0.0
+	releaseAt(now)
+	for now < opt.Horizon {
+		run := pickRunning()
+		_, nextRel := earliestRelease()
+		if run == nil {
+			if math.IsInf(nextRel, 1) {
+				break // nothing left to do
+			}
+			now = nextRel
+			if now >= opt.Horizon {
+				break
+			}
+			releaseAt(now)
+			continue
+		}
+		if !run.started {
+			run.started = true
+			run.start = now
+		}
+		finishAt := now + run.remaining
+		sliceEnd := finishAt
+		completes := true
+		if nextRel < finishAt-timeEps {
+			sliceEnd = nextRel
+			completes = false
+		}
+		if sliceEnd > opt.Horizon {
+			sliceEnd = opt.Horizon
+			completes = false
+		}
+		if sliceEnd > now {
+			// Extend the previous slice when execution is contiguous.
+			if n := len(run.slices); n > 0 && math.Abs(run.slices[n-1].End-now) <= timeEps {
+				run.slices[n-1].End = sliceEnd
+			} else {
+				run.slices = append(run.slices, Interval{Start: now, End: sliceEnd})
+			}
+			run.remaining -= sliceEnd - now
+		}
+		now = sliceEnd
+		if completes {
+			rec := JobRecord{
+				Task:     run.task.Name,
+				Index:    run.index,
+				Release:  run.release,
+				Start:    run.start,
+				Finish:   now,
+				Exec:     run.exec,
+				Response: now - run.release,
+				Slices:   run.slices,
+			}
+			res.Jobs[run.task.Name] = append(res.Jobs[run.task.Name], rec)
+			ready = removeJob(ready, run)
+			i := run.taskIdx
+			if limit, ok := opt.MaxJobs[run.task.Name]; ok && len(res.Jobs[run.task.Name]) >= limit {
+				done[i] = true
+				nextRelease[i] = -1
+			} else if run.task.Release != nil {
+				next := run.task.Release(run.release, now)
+				if next <= run.release {
+					return nil, fmt.Errorf("sched: release rule for %s moved backwards: %g -> %g", run.task.Name, run.release, next)
+				}
+				nextRelease[i] = next
+			}
+		}
+		if now >= opt.Horizon {
+			break
+		}
+		releaseAt(now)
+	}
+
+	for _, jobs := range res.Jobs {
+		sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].Index < jobs[b].Index })
+	}
+	return res, nil
+}
+
+func removeJob(list []*simJob, target *simJob) []*simJob {
+	for i, j := range list {
+		if j == target {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

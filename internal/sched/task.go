@@ -1,0 +1,116 @@
+// Package sched is the real-time substrate of the reproduction: a
+// periodic/sporadic task model with pluggable execution-time
+// generators, classic response-time analysis for fixed-priority
+// preemptive scheduling (used to obtain the Rmax the paper's design
+// needs), and an event-driven single-core simulator that produces the
+// per-job response times and execution traces behind Figure 1.
+//
+// The paper assumes only that the control task's response time lies in
+// [Rmin, Rmax]; where the authors had an industrial testbed, this
+// package generates response times from interference of synthetic
+// higher-priority tasks and from bimodal "sporadic overrun" execution
+// models (see DESIGN.md, substitutions).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ExecModel draws per-job execution times.
+type ExecModel interface {
+	// Sample returns one execution time (seconds, > 0).
+	Sample(rng *rand.Rand) float64
+	// Bounds returns the best- and worst-case execution times.
+	Bounds() (bcet, wcet float64)
+}
+
+// ConstantExec always returns C.
+type ConstantExec struct{ C float64 }
+
+// Sample implements ExecModel.
+func (e ConstantExec) Sample(*rand.Rand) float64 { return e.C }
+
+// Bounds implements ExecModel.
+func (e ConstantExec) Bounds() (float64, float64) { return e.C, e.C }
+
+// UniformExec draws uniformly from [Lo, Hi].
+type UniformExec struct{ Lo, Hi float64 }
+
+// Sample implements ExecModel.
+func (e UniformExec) Sample(rng *rand.Rand) float64 {
+	return e.Lo + rng.Float64()*(e.Hi-e.Lo)
+}
+
+// Bounds implements ExecModel.
+func (e UniformExec) Bounds() (float64, float64) { return e.Lo, e.Hi }
+
+// BimodalExec models sporadic overload: with probability OverrunProb
+// the job draws from the Overrun distribution (data-dependent long
+// paths, interrupt bursts, cache refills — the causes listed in the
+// paper's introduction), otherwise from Nominal.
+type BimodalExec struct {
+	Nominal     ExecModel
+	Overrun     ExecModel
+	OverrunProb float64
+}
+
+// Sample implements ExecModel.
+func (e BimodalExec) Sample(rng *rand.Rand) float64 {
+	if rng.Float64() < e.OverrunProb {
+		return e.Overrun.Sample(rng)
+	}
+	return e.Nominal.Sample(rng)
+}
+
+// Bounds implements ExecModel.
+func (e BimodalExec) Bounds() (float64, float64) {
+	nlo, nhi := e.Nominal.Bounds()
+	olo, ohi := e.Overrun.Bounds()
+	if olo < nlo {
+		nlo = olo
+	}
+	if ohi > nhi {
+		nhi = ohi
+	}
+	return nlo, nhi
+}
+
+// ReleaseRule computes the next release of an adaptive task from the
+// previous release and the finishing time of the job released there.
+// A nil rule means strictly periodic releases.
+type ReleaseRule func(prevRelease, finish float64) float64
+
+// Task is a single real-time task on the simulated core. Priority is
+// fixed; a smaller value means higher priority. Exactly the control
+// task may carry a ReleaseRule implementing the paper's period
+// adaptation; all other tasks are periodic with the given offset.
+type Task struct {
+	Name     string
+	Period   float64
+	Offset   float64
+	Priority int
+	Exec     ExecModel
+	Release  ReleaseRule // nil for periodic tasks
+}
+
+// Validate checks the static task parameters.
+func (t *Task) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("sched: task without a name")
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("sched: task %s has non-positive period %g", t.Name, t.Period)
+	}
+	if t.Offset < 0 {
+		return fmt.Errorf("sched: task %s has negative offset %g", t.Name, t.Offset)
+	}
+	if t.Exec == nil {
+		return fmt.Errorf("sched: task %s has no execution model", t.Name)
+	}
+	bcet, wcet := t.Exec.Bounds()
+	if bcet <= 0 || wcet < bcet {
+		return fmt.Errorf("sched: task %s has invalid execution bounds [%g, %g]", t.Name, bcet, wcet)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package sched
+
+import "fmt"
+
+// OverrunStats summarizes the overrun behaviour of a response-time
+// sequence against a nominal period.
+type OverrunStats struct {
+	Jobs           int
+	Overruns       int
+	MaxConsecutive int
+	MaxResponse    float64
+	// WorstWindow[k] is the largest number of overruns observed in any
+	// window of k+1 consecutive jobs (k < len(WorstWindow)).
+	WorstWindow []int
+}
+
+// AnalyzeOverruns computes overrun statistics for a response-time
+// sequence, tracking windows up to length maxWindow (≥ 1).
+func AnalyzeOverruns(responses []float64, period float64, maxWindow int) (OverrunStats, error) {
+	if period <= 0 {
+		return OverrunStats{}, fmt.Errorf("sched: non-positive period %g", period)
+	}
+	if maxWindow < 1 {
+		maxWindow = 1
+	}
+	if maxWindow > len(responses) {
+		maxWindow = len(responses)
+	}
+	st := OverrunStats{Jobs: len(responses), WorstWindow: make([]int, maxWindow)}
+	over := make([]bool, len(responses))
+	run := 0
+	for i, r := range responses {
+		if r > st.MaxResponse {
+			st.MaxResponse = r
+		}
+		if r > period {
+			over[i] = true
+			st.Overruns++
+			run++
+			if run > st.MaxConsecutive {
+				st.MaxConsecutive = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	for w := 1; w <= maxWindow; w++ {
+		count := 0
+		for i := 0; i < len(over); i++ {
+			if over[i] {
+				count++
+			}
+			if i >= w && over[i-w] {
+				count--
+			}
+			if i >= w-1 && count > st.WorstWindow[w-1] {
+				st.WorstWindow[w-1] = count
+			}
+		}
+	}
+	return st, nil
+}
+
+// SatisfiesWeaklyHard reports whether the sequence obeys the (m, K)
+// weakly-hard constraint: at most m overruns in every window of K
+// consecutive jobs. Sequences shorter than K are checked over the
+// windows that exist.
+func SatisfiesWeaklyHard(responses []float64, period float64, m, k int) (bool, error) {
+	if k < 1 || m < 0 {
+		return false, fmt.Errorf("sched: invalid weakly-hard parameters (m=%d, K=%d)", m, k)
+	}
+	st, err := AnalyzeOverruns(responses, period, k)
+	if err != nil {
+		return false, err
+	}
+	w := k
+	if w > len(st.WorstWindow) {
+		w = len(st.WorstWindow)
+	}
+	if w == 0 {
+		return true, nil
+	}
+	return st.WorstWindow[w-1] <= m, nil
+}

@@ -1,0 +1,216 @@
+// Package trace renders scheduler traces as ASCII timelines in the
+// style of the paper's Figure 1: a sensing row ticking at the sensor
+// period Ts, a computing row showing the control jobs' execution slices
+// (with preemption gaps), and release/finish markers that make the
+// period-adaptation rule visible — after an overrun, the next release
+// snaps to the first sensor tick past the finish.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adaptivertc/internal/sched"
+)
+
+// TimelineOptions configures rendering.
+type TimelineOptions struct {
+	Task    string  // task whose jobs are drawn on the computing row
+	Ts      float64 // sensor sampling period for the sensing row
+	Horizon float64 // rendered time span [0, Horizon]
+	Width   int     // columns; default 100
+}
+
+// Timeline renders the trace. Legend:
+//
+//	sensing row:   '|' at sensor sampling instants, '·' elsewhere
+//	computing row: '#' executing, '-' released but not executing
+//	               (preempted or queued)
+//	marker row:    'R' release, 'F' finish, 'X' release and finish in
+//	               the same column
+func Timeline(res *sched.Result, opt TimelineOptions) (string, error) {
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	if opt.Horizon <= 0 {
+		return "", fmt.Errorf("trace: non-positive horizon %g", opt.Horizon)
+	}
+	if opt.Ts <= 0 {
+		return "", fmt.Errorf("trace: non-positive sensor period %g", opt.Ts)
+	}
+	jobs, ok := res.Jobs[opt.Task]
+	if !ok {
+		return "", fmt.Errorf("trace: no jobs recorded for task %q", opt.Task)
+	}
+
+	col := func(t float64) int {
+		c := int(t / opt.Horizon * float64(opt.Width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= opt.Width {
+			c = opt.Width - 1
+		}
+		return c
+	}
+
+	sensing := make([]byte, opt.Width)
+	for i := range sensing {
+		sensing[i] = '.'
+	}
+	for k := 0; ; k++ {
+		t := float64(k) * opt.Ts
+		if t > opt.Horizon {
+			break
+		}
+		sensing[col(t)] = '|'
+	}
+
+	computing := make([]byte, opt.Width)
+	markers := make([]byte, opt.Width)
+	for i := range computing {
+		computing[i] = ' '
+		markers[i] = ' '
+	}
+	for _, j := range jobs {
+		if j.Release > opt.Horizon {
+			continue
+		}
+		// Pending/preempted span.
+		for c := col(j.Release); c <= col(math.Min(j.Finish, opt.Horizon)); c++ {
+			if computing[c] == ' ' {
+				computing[c] = '-'
+			}
+		}
+		// Execution slices overwrite the pending marks.
+		for _, s := range j.Slices {
+			if s.Start > opt.Horizon {
+				continue
+			}
+			for c := col(s.Start); c <= col(math.Min(s.End, opt.Horizon)); c++ {
+				computing[c] = '#'
+			}
+		}
+		rc, fc := col(j.Release), col(math.Min(j.Finish, opt.Horizon))
+		setMarker(markers, rc, 'R')
+		if j.Finish <= opt.Horizon {
+			setMarker(markers, fc, 'F')
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time      0%*s%.4g\n", opt.Width-len(fmt.Sprintf("%.4g", opt.Horizon)), "", opt.Horizon)
+	fmt.Fprintf(&b, "sensing   %s\n", sensing)
+	fmt.Fprintf(&b, "computing %s\n", computing)
+	fmt.Fprintf(&b, "markers   %s\n", markers)
+	return b.String(), nil
+}
+
+func setMarker(row []byte, c int, m byte) {
+	switch {
+	case row[c] == ' ':
+		row[c] = m
+	case row[c] != m:
+		row[c] = 'X'
+	}
+}
+
+// GanttOptions configures the multi-task renderer.
+type GanttOptions struct {
+	Tasks   []string // row order; empty = all tasks sorted by name
+	Horizon float64
+	Width   int // default 100
+}
+
+// Gantt renders one execution row per task ('#' executing, '-' pending)
+// over a shared time axis — the full-system view complementing the
+// single-task Timeline.
+func Gantt(res *sched.Result, opt GanttOptions) (string, error) {
+	if opt.Width <= 0 {
+		opt.Width = 100
+	}
+	if opt.Horizon <= 0 {
+		return "", fmt.Errorf("trace: non-positive horizon %g", opt.Horizon)
+	}
+	tasks := opt.Tasks
+	if len(tasks) == 0 {
+		for name := range res.Jobs {
+			tasks = append(tasks, name)
+		}
+		sort.Strings(tasks)
+	}
+	if len(tasks) == 0 {
+		return "", fmt.Errorf("trace: no tasks recorded")
+	}
+	nameW := 0
+	for _, t := range tasks {
+		if len(t) > nameW {
+			nameW = len(t)
+		}
+	}
+	col := func(t float64) int {
+		c := int(t / opt.Horizon * float64(opt.Width))
+		if c < 0 {
+			c = 0
+		}
+		if c >= opt.Width {
+			c = opt.Width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s 0%*s%.4g\n", nameW, "time", opt.Width-len(fmt.Sprintf("%.4g", opt.Horizon)), "", opt.Horizon)
+	for _, name := range tasks {
+		jobs, ok := res.Jobs[name]
+		if !ok {
+			return "", fmt.Errorf("trace: no jobs recorded for task %q", name)
+		}
+		row := make([]byte, opt.Width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, j := range jobs {
+			if j.Release > opt.Horizon {
+				continue
+			}
+			for c := col(j.Release); c <= col(math.Min(j.Finish, opt.Horizon)); c++ {
+				if row[c] == ' ' {
+					row[c] = '-'
+				}
+			}
+			for _, s := range j.Slices {
+				if s.Start > opt.Horizon {
+					continue
+				}
+				for c := col(s.Start); c <= col(math.Min(s.End, opt.Horizon)); c++ {
+					row[c] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-*s %s\n", nameW, name, row)
+	}
+	return b.String(), nil
+}
+
+// JobTable renders the jobs of a task as a fixed-width text table with
+// release, finish, response time and the overrun flag — the numeric
+// companion to the timeline.
+func JobTable(res *sched.Result, task string, period float64) (string, error) {
+	jobs, ok := res.Jobs[task]
+	if !ok {
+		return "", fmt.Errorf("trace: no jobs recorded for task %q", task)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %12s %12s %12s %12s %8s\n", "job", "release", "start", "finish", "response", "overrun")
+	for _, j := range jobs {
+		over := ""
+		if j.Response > period {
+			over = "yes"
+		}
+		fmt.Fprintf(&b, "%4d %12.6g %12.6g %12.6g %12.6g %8s\n",
+			j.Index, j.Release, j.Start, j.Finish, j.Response, over)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adaptivertc/internal/core"
+	"adaptivertc/internal/sched"
+)
+
+func figure1Result(t *testing.T) *sched.Result {
+	t.Helper()
+	// One control task with the paper's release rule; an interference
+	// task occasionally preempts it to cause an overrun.
+	tm := core.MustTiming(1, 8, 0.1, 2)
+	seq := []float64{0.4, 1.3, 0.4, 0.4, 0.4}
+	i := 0
+	tasks := []*sched.Task{{
+		Name:     "ctl",
+		Period:   1,
+		Priority: 1,
+		Exec:     seqExec{seq: seq, i: &i},
+		Release:  tm.NextRelease,
+	}}
+	res, err := sched.Simulate(tasks, sched.Options{Horizon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// seqExec replays a fixed execution-time sequence, cycling at the end.
+type seqExec struct {
+	seq []float64
+	i   *int
+}
+
+func (s seqExec) Sample(*rand.Rand) float64 {
+	v := s.seq[*s.i%len(s.seq)]
+	*s.i++
+	return v
+}
+
+func (s seqExec) Bounds() (float64, float64) { return 0.1, 10 }
+
+func TestTimelineRendersRows(t *testing.T) {
+	res := figure1Result(t)
+	out, err := Timeline(res, TimelineOptions{Task: "ctl", Ts: 0.125, Horizon: 5, Width: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []string{"time", "sensing", "computing", "markers"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("missing row %q in:\n%s", row, out)
+		}
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no execution rendered")
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("no sensor ticks rendered")
+	}
+	if !strings.Contains(out, "R") {
+		t.Fatal("no release markers rendered")
+	}
+}
+
+func TestTimelineBadArgs(t *testing.T) {
+	res := figure1Result(t)
+	if _, err := Timeline(res, TimelineOptions{Task: "nope", Ts: 0.1, Horizon: 5}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	if _, err := Timeline(res, TimelineOptions{Task: "ctl", Ts: 0, Horizon: 5}); err == nil {
+		t.Fatal("zero Ts accepted")
+	}
+	if _, err := Timeline(res, TimelineOptions{Task: "ctl", Ts: 0.1, Horizon: 0}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestJobTable(t *testing.T) {
+	res := figure1Result(t)
+	out, err := JobTable(res, "ctl", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "overrun") {
+		t.Fatal("missing header")
+	}
+	// The second job (index 1) overran (exec 1.3 > T = 1).
+	if !strings.Contains(out, "yes") {
+		t.Fatalf("no overrun flagged:\n%s", out)
+	}
+	if _, err := JobTable(res, "nope", 1); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestGanttAllTasks(t *testing.T) {
+	tasks := []*sched.Task{
+		{Name: "hi", Period: 1, Priority: 1, Exec: sched.ConstantExec{C: 0.2}},
+		{Name: "lo", Period: 2, Priority: 2, Exec: sched.ConstantExec{C: 0.9}},
+	}
+	res, err := sched.Simulate(tasks, sched.Options{Horizon: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Gantt(res, GanttOptions{Horizon: 6, Width: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hi") || !strings.Contains(out, "lo") {
+		t.Fatalf("missing task rows:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("no execution rendered")
+	}
+	// The preempted low task must show pending dashes.
+	if !strings.Contains(out, "-") {
+		t.Fatalf("no pending time rendered:\n%s", out)
+	}
+}
+
+func TestGanttValidation(t *testing.T) {
+	res := figure1Result(t)
+	if _, err := Gantt(res, GanttOptions{Horizon: 0}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := Gantt(res, GanttOptions{Tasks: []string{"nope"}, Horizon: 5}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
