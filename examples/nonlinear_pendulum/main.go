@@ -29,7 +29,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	poles, _ := lin.Poles()
+	poles, err := lin.Poles()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("upright linearization poles: %v (unstable)\n", poles)
 
 	const T = 0.020

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -17,6 +18,15 @@ import (
 	"adaptivertc/internal/plants"
 	"adaptivertc/internal/sim"
 )
+
+// mustBounds tolerates a budget-limited (looser but valid) bracket and
+// aborts on any real JSR failure.
+func mustBounds(b jsr.Bounds, err error) jsr.Bounds {
+	if err != nil && !errors.Is(err, jsr.ErrBudget) {
+		log.Fatal(err)
+	}
+	return b
+}
 
 func main() {
 	params := plants.DefaultPMSMParams()
@@ -64,14 +74,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	frozenBounds, _ := frozen.StabilityBounds(6, jsr.GripenbergOptions{Delta: 1e-4, MaxDepth: 30})
+	frozenBounds := mustBounds(frozen.StabilityBounds(6, jsr.GripenbergOptions{Delta: 1e-4, MaxDepth: 30}))
 	adaptiveCoarse, err := core.NewDesign(plant, tmCoarse, func(h float64) (*control.StateSpace, error) {
 		return control.LQGFullInfo(plant, w, h)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	adaptiveCoarseBounds, _ := adaptiveCoarse.StabilityBounds(6, jsr.GripenbergOptions{Delta: 1e-4, MaxDepth: 30})
+	adaptiveCoarseBounds := mustBounds(adaptiveCoarse.StabilityBounds(6, jsr.GripenbergOptions{Delta: 1e-4, MaxDepth: 30}))
 	fmt.Printf("coarse grid Ts = T/2: adaptive JSR ∈ %s (stable: %v),\n",
 		adaptiveCoarseBounds, adaptiveCoarseBounds.CertifiesStable())
 	fmt.Printf("            frozen-T JSR ∈ %s → provably UNSTABLE: %v\n",
@@ -102,7 +112,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	obsBounds, _ := observerDesign.StabilityBounds(5, jsr.GripenbergOptions{Delta: 1e-3, MaxDepth: 25})
+	obsBounds := mustBounds(observerDesign.StabilityBounds(5, jsr.GripenbergOptions{Delta: 1e-3, MaxDepth: 25}))
 	fmt.Printf("\nobserver-based variant (current sensors only, %d controller states):\n",
 		observerDesign.Modes[0].Ctrl.StateDim())
 	fmt.Printf("JSR ∈ %s → certified stable: %v\n", obsBounds, obsBounds.CertifiesStable())

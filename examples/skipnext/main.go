@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -40,7 +41,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bounds, _ := design.StabilityBounds(5, jsr.GripenbergOptions{Delta: 1e-3, MaxDepth: 25})
+		bounds, err := design.StabilityBounds(5, jsr.GripenbergOptions{Delta: 1e-3, MaxDepth: 25})
+		if err != nil && !errors.Is(err, jsr.ErrBudget) {
+			log.Fatal(err)
+		}
 		m, err := sim.MonteCarlo(design, x0, sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}, cost,
 			sim.MonteCarloOptions{Sequences: 2000, Jobs: 50, Seed: 9})
 		if err != nil {

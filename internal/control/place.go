@@ -68,6 +68,7 @@ func realPolyFromRoots(roots []complex128) ([]float64, error) {
 	// Verify conjugate closure.
 	used := make([]bool, n)
 	for i, r := range roots {
+		//lint:ignore floatcompare classifying caller-specified poles: a real pole is one whose imaginary part is exactly zero
 		if used[i] || imag(r) == 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -143,7 +144,10 @@ func AblationJSR(opt Options) ([]AblationJSRRow, error) {
 		row.PreTime = time.Since(t0)
 
 		t0 = time.Now()
-		row.PreGrip, _ = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		row.PreGrip, err = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		if err != nil && !errors.Is(err, jsr.ErrBudget) {
+			return nil, err
+		}
 		row.GripTime = time.Since(t0)
 
 		rows = append(rows, row)

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -68,6 +69,7 @@ func (o Options) Defaults() Options {
 	if o.BruteLen == 0 {
 		o.BruteLen = 6
 	}
+	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
 	if o.Delta == 0 {
 		o.Delta = 1e-3
 	}
@@ -363,7 +365,10 @@ func Table2(opt Options) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		fixedTBounds, _ := fixedTDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		fixedTBounds, err := fixedTDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		if err != nil && !errors.Is(err, jsr.ErrBudget) {
+			return nil, err
+		}
 		row.FixedTUnstable = simDiverged || fixedTBounds.CertifiesUnstable()
 		if row.FixedRmax, _, err = evalVariant(core.FixedDesigner(ctlMax)); err != nil {
 			return nil, err
@@ -493,7 +498,10 @@ func SweepNs(factors []int, opt Options) ([]SweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bounds, _ := d.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25})
+		bounds, err := d.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25})
+		if err != nil && !errors.Is(err, jsr.ErrBudget) {
+			return nil, err
+		}
 		m, err := sim.MonteCarlo(d, x0, sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}, cost,
 			sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed})
 		if err != nil {

@@ -26,6 +26,8 @@ func Report(opt Options, w io.Writer) error {
 	fmt.Fprintf(w, "Reproduction of \"Adaptive Design of Real-Time Control Systems subject to\n")
 	fmt.Fprintf(w, "Sporadic Overruns\" (DATE 2021). %d sequences × %d jobs per Monte-Carlo cell.\n",
 		opt.Sequences, opt.Jobs)
+	fmt.Fprintf(w, "Base RNG seed %d — rerun with the same seed to reproduce every number below.\n",
+		opt.Seed)
 
 	section("Figure 1 — timing diagram")
 	fig, err := Figure1()

@@ -247,6 +247,7 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 	if err := g.Validate(len(set)); err != nil {
 		return Bounds{}, err
 	}
+	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
 	if opt.Delta == 0 {
 		opt.Delta = 1e-3
 	}

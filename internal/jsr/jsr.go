@@ -170,6 +170,7 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
+	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
 	if opt.Delta == 0 {
 		opt.Delta = 1e-3
 	}

@@ -37,6 +37,7 @@ func Precondition(set []*mat.Dense) (transformed []*mat.Dense, m *mat.Dense, ok 
 			gamma = rho
 		}
 	}
+	//lint:ignore floatcompare all spectral radii exactly zero (nilpotent set); any positive scale works, use 1
 	if gamma == 0 {
 		gamma = 1
 	}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"testing"
+
+	"adaptivertc/internal/lint"
+	"adaptivertc/internal/lint/linttest"
+)
+
+func TestFloatCompare(t *testing.T) {
+	linttest.Run(t, "testdata/floatcompare", lint.FloatCompare)
+}
+
+func TestUnseededRand(t *testing.T) {
+	linttest.Run(t, "testdata/unseededrand", lint.UnseededRand)
+}
+
+func TestUnseededRandMainPackage(t *testing.T) {
+	linttest.Run(t, "testdata/unseededmain", lint.UnseededRand)
+}
+
+func TestMatAlias(t *testing.T) {
+	linttest.Run(t, "testdata/matalias", lint.MatAlias)
+}
+
+func TestNakedPanic(t *testing.T) {
+	linttest.Run(t, "testdata/nakedpanic", lint.NakedPanic)
+}
+
+func TestDroppedErr(t *testing.T) {
+	linttest.Run(t, "testdata/droppederr", lint.DroppedErr)
+}
+
+// TestFullSuiteOnFixtures runs every registered check over every
+// fixture at once: checks must not fire outside their own fixture's
+// annotated lines (each fixture's wants only mention its own check, so
+// any cross-check finding fails the comparison).
+func TestFullSuiteOnFixtures(t *testing.T) {
+	for _, dir := range []string{
+		"testdata/unseededrand",
+		"testdata/matalias",
+		"testdata/nakedpanic",
+	} {
+		linttest.Run(t, dir, lint.Checks()...)
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags discarded error results from this module's own
+// fallible routines. The numerical core reports genuine failures —
+// singular matrices, non-convergent eigen iterations, Riccati
+// divergence — through error returns; assigning one to _ (or invoking
+// the call as a bare statement) converts a detected numerical failure
+// into silently wrong downstream results, exactly the failure mode a
+// stability certificate must not have. Standard-library calls
+// (fmt.Fprintf and friends) are out of scope.
+var DroppedErr = &Check{
+	Name: "droppederr",
+	Doc:  "ignored error return from a module-internal fallible routine",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignDrop(p, st)
+			case *ast.ExprStmt:
+				checkExprDrop(p, st)
+			case *ast.GoStmt:
+				checkCallDrop(p, st.Call)
+			case *ast.DeferStmt:
+				checkCallDrop(p, st.Call)
+			}
+			return true
+		})
+	}
+}
+
+// checkAssignDrop handles `v, _ := f()` and `_ = f()` forms.
+func checkAssignDrop(p *Pass, st *ast.AssignStmt) {
+	// Tuple assignment from a single call: x, _, _ := f().
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isModuleFallible(p, call) {
+			return
+		}
+		sig := callSignature(p, call)
+		if sig == nil || sig.Results().Len() != len(st.Lhs) {
+			return
+		}
+		for i, lhs := range st.Lhs {
+			if isBlank(lhs) && isErrorType(sig.Results().At(i).Type()) {
+				p.Reportf(lhs.Pos(), "error result of %s discarded; handle it or propagate it — a swallowed numerical failure corrupts everything downstream", calleeName(p, call))
+			}
+		}
+		return
+	}
+	// Parallel one-to-one assignments: _ = f(), a, _ = g(), h().
+	if len(st.Lhs) == len(st.Rhs) {
+		for i, lhs := range st.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			call, ok := ast.Unparen(st.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isModuleFallible(p, call) {
+				continue
+			}
+			if t := p.TypeOf(st.Rhs[i]); t != nil && isErrorType(t) {
+				p.Reportf(lhs.Pos(), "error result of %s discarded; handle it or propagate it — a swallowed numerical failure corrupts everything downstream", calleeName(p, call))
+			}
+		}
+	}
+}
+
+// checkExprDrop handles a call used as a bare statement, discarding
+// every result including the error.
+func checkExprDrop(p *Pass, st *ast.ExprStmt) {
+	if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+		checkCallDrop(p, call)
+	}
+}
+
+func checkCallDrop(p *Pass, call *ast.CallExpr) {
+	if !isModuleFallible(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "all results of %s discarded, including its error; handle the error or assign the results", calleeName(p, call))
+}
+
+// isModuleFallible reports whether call invokes a function declared in
+// this module whose last result is an error.
+func isModuleFallible(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil || !p.IsModuleObject(fn) {
+		return false
+	}
+	sig := callSignature(p, call)
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	return isErrorType(sig.Results().At(sig.Results().Len() - 1).Type())
+}
+
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return "call"
+	}
+	if fn.Pkg() != nil && fn.Pkg() != p.Pkg.Types {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+var universeError = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, universeError)
+}

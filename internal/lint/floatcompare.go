@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCompare flags == and != between floating-point (or complex)
+// operands. Exact float equality is almost always a latent bug in
+// numerical code — round-off turns mathematically equal quantities
+// into unequal bit patterns — so comparisons must either use an
+// explicit tolerance (math.Abs(a-b) <= tol, mat.EqualApprox) or carry
+// a suppression explaining why exactness is intended (structural
+// zero tests on freshly assigned entries, IEEE sentinel checks).
+var FloatCompare = &Check{
+	Name: "floatcompare",
+	Doc:  "== or != between floating-point operands outside tolerance helpers",
+	Run:  runFloatCompare,
+}
+
+func runFloatCompare(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xv := typeAndConst(p, be.X)
+			yt, yv := typeAndConst(p, be.Y)
+			if !isFloatish(xt) && !isFloatish(yt) {
+				return true
+			}
+			// Two constants compare exactly by definition.
+			if xv && yv {
+				return true
+			}
+			p.Reportf(be.OpPos, "%s between floating-point operands; use a tolerance (math.Abs(a-b) <= tol, mat.EqualApprox) or add //lint:ignore floatcompare <reason>", be.Op)
+			return true
+		})
+	}
+}
+
+func typeAndConst(p *Pass, e ast.Expr) (types.Type, bool) {
+	tv, ok := p.Info().Types[e]
+	if !ok {
+		return nil, false
+	}
+	return tv.Type, tv.Value != nil
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,121 @@
+// Package linttest runs lint checks over annotated fixture files, in
+// the style of Prysm's tools/analyzers testdata: a fixture line that
+// should be flagged carries a trailing comment
+//
+//	// want "regexp"
+//
+// where the quoted regexp must match the finding's message. Multiple
+// expectations on one line are written as consecutive quoted strings:
+// // want "first" "second". Lines without a want comment must produce
+// no finding, and suppressed findings (//lint:ignore) count as absent
+// — fixtures therefore cover positive, negative, and suppressed cases
+// with the same mechanism.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptivertc/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one want annotation.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the package in dir, runs the given checks, and compares
+// the findings against the fixture's want annotations.
+func Run(t *testing.T, dir string, checks ...*lint.Check) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	loader, err := lint.NewLoader(abs)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := loader.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("linttest: load %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("linttest: no Go files in %s", dir)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("linttest: fixture should type-check cleanly: %v", terr)
+	}
+
+	wants, err := collectWants(pkg.Fset, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.RunChecks(pkg, checks)
+
+	for i := range findings {
+		f := &findings[i]
+		ok := false
+		for j := range wants {
+			w := &wants[j]
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants extracts the want annotations of every fixture file.
+func collectWants(fset *token.FileSet, pkg *lint.Package) ([]expectation, error) {
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRE.FindAllString(strings.TrimPrefix(text, "want "), -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

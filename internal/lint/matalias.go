@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MatAlias flags calls to internal/mat in-place operations whose
+// destination aliases a source operand. The mat package documents
+// which arguments may not alias (MulVecInto's dst and x share no
+// elements; mulInto's c must not alias a or b); violating that silently
+// corrupts the result because partially written output feeds back into
+// the input. The analysis is syntactic-but-resolved: it reports only
+// when destination and source are the same variable or the same field
+// chain on the same variables, so it has no false positives.
+var MatAlias = &Check{
+	Name: "matalias",
+	Doc:  "in-place internal/mat operation whose destination aliases a source argument",
+	Run:  runMatAlias,
+}
+
+// matAliasRules maps function name -> pairs of argument indexes that
+// must not alias (destination first).
+var matAliasRules = map[string][][2]int{
+	"AddInPlace": {{0, 1}}, // a += b is fine elementwise, but a+=a is Scale(2,·) in disguise: flag self-add as a likely copy-paste bug
+	"MulVecInto": {{0, 2}}, // dst must not alias x (row dot-products read x after dst[i] is written)
+	"mulInto":    {{0, 1}, {0, 2}},
+}
+
+func runMatAlias(p *Pass) {
+	matPath := p.Pkg.ModulePath + "/internal/mat"
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != matPath {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Method: the only in-place method with an operand is CopyFrom.
+				if fn.Name() == "CopyFrom" && len(call.Args) == 1 {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+						sameStorage(p, sel.X, call.Args[0]) {
+						p.Reportf(call.Pos(), "CopyFrom copies a matrix onto itself; the call is a no-op and likely names the wrong source")
+					}
+				}
+				return true
+			}
+			for _, pair := range matAliasRules[fn.Name()] {
+				dst, src := pair[0], pair[1]
+				if dst < len(call.Args) && src < len(call.Args) &&
+					sameStorage(p, call.Args[dst], call.Args[src]) {
+					p.Reportf(call.Pos(), "mat.%s destination aliases source argument %d; in-place mat operations require non-aliasing operands", fn.Name(), src)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sameStorage reports whether a and b statically denote the same
+// variable or the same field chain rooted at the same variable.
+// Conservative: anything it cannot resolve is assumed distinct.
+func sameStorage(p *Pass, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := p.Info().Uses[ae], p.Info().Uses[be]
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		ao, bo := p.Info().Uses[ae.Sel], p.Info().Uses[be.Sel]
+		return ao != nil && ao == bo && sameStorage(p, ae.X, be.X)
+	}
+	return false
+}

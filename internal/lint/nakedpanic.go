@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NakedPanic flags panic calls in library packages (under internal/)
+// whose argument is a bare string literal. Those panics fire on
+// programmer error — dimension mismatches, empty inputs — and a
+// message without the offending values (sizes, indexes) turns a
+// one-glance fix into a debugging session. Either interpolate the
+// dynamic context with fmt.Sprintf, or suppress with a reason when the
+// condition genuinely has no dynamic data (e.g. "called with zero
+// arguments").
+var NakedPanic = &Check{
+	Name: "nakedpanic",
+	Doc:  "panic with a bare string literal and no dynamic context in internal/ packages",
+	Run:  runNakedPanic,
+}
+
+func runNakedPanic(p *Pass) {
+	if !strings.Contains(p.Pkg.ImportPath, "/internal/") {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, ok := p.Info().Uses[id].(*types.Builtin); !ok || id.Name != "panic" {
+				return true
+			}
+			if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				p.Reportf(call.Pos(), "panic with a bare string; include the offending values via fmt.Sprintf, or add //lint:ignore nakedpanic <reason> if no dynamic context exists")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,11 @@
+// Fixture for the driver's directive validation: a //lint:ignore with
+// no reason is itself reported and does not suppress the finding it
+// sits above. Checked programmatically by TestMalformedIgnore — the
+// malformed finding lands on the directive's own line, so the fixture
+// carries no want annotations.
+package badignore
+
+//lint:ignore floatcompare
+func missingReason(x float64) bool {
+	return x == 0
+}

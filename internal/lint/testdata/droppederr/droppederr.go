@@ -1,0 +1,33 @@
+// Fixture for the droppederr check: discarded errors from
+// module-internal fallible routines are flagged in every discard form;
+// handled errors, stdlib calls, and suppressed lines are not.
+package droppederr
+
+import "fmt"
+
+func eig() (float64, error) { return 0, nil }
+
+func solve() error { return nil }
+
+func drops() float64 {
+	v, _ := eig() // want "error result of eig discarded"
+	_ = solve()   // want "error result of solve discarded"
+	solve()       // want "all results of solve discarded"
+	go solve()    // want "all results of solve discarded"
+	defer solve() // want "all results of solve discarded"
+	return v
+}
+
+func handled() error {
+	v, err := eig()
+	if err != nil {
+		return err
+	}
+	fmt.Println(v) // stdlib calls are out of scope
+	return solve()
+}
+
+func suppressedDrop() {
+	//lint:ignore droppederr best-effort cleanup, failure is benign here
+	_ = solve()
+}

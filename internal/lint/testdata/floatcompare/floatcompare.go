@@ -1,0 +1,38 @@
+// Fixture for the floatcompare check: raw float equality is flagged,
+// integer comparisons, constant folds, tolerance helpers and
+// suppressed lines are not.
+package floatcompare
+
+import "math"
+
+func approxEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func compare(a, b float64) bool {
+	if a == b { // want "== between floating-point operands"
+		return true
+	}
+	if a != b { // want "!= between floating-point operands"
+		return false
+	}
+	return approxEqual(a, b, 1e-9)
+}
+
+func kinds(n int, x float64, f float32, c complex128, s string) bool {
+	ints := n == 3   // integers compare exactly
+	strs := s == "x" // strings too
+	xs := x == 0     // want "== between floating-point operands"
+	fs := f != 0     // want "!= between floating-point operands"
+	cs := c == 1i    // want "== between floating-point operands"
+	const zero = 0.0
+	consts := zero == 0.0 // two constants fold at compile time
+	return ints && strs && xs && fs && cs && consts
+}
+
+func suppressedSameLine(x float64) bool {
+	return x == math.Inf(1) //lint:ignore floatcompare IEEE infinity sentinel compares exactly
+}
+
+func suppressedLineAbove(x float64) bool {
+	//lint:ignore floatcompare structural exact-zero test on a freshly assigned entry
+	return x == 0
+}

@@ -1,0 +1,34 @@
+// Fixture for the matalias check: in-place mat operations whose
+// destination is the same variable (or same field chain) as a source
+// are flagged; distinct operands and suppressed lines are not.
+package matalias
+
+import "adaptivertc/internal/mat"
+
+type pair struct{ A, B *mat.Dense }
+
+func inPlace(a, b *mat.Dense) {
+	mat.AddInPlace(a, a) // want "destination aliases source"
+	mat.AddInPlace(a, b)
+}
+
+func vectors(a *mat.Dense, x, y []float64) {
+	mat.MulVecInto(x, a, x) // want "destination aliases source"
+	mat.MulVecInto(y, a, x)
+}
+
+func selfCopy(a, b *mat.Dense) {
+	a.CopyFrom(a) // want "copies a matrix onto itself"
+	a.CopyFrom(b)
+}
+
+func fieldChains(p, q pair) {
+	mat.AddInPlace(p.A, p.A) // want "destination aliases source"
+	mat.AddInPlace(p.A, p.B)
+	mat.AddInPlace(p.A, q.A) // same field on different roots: distinct storage
+}
+
+func suppressedDoubling(a *mat.Dense) {
+	//lint:ignore matalias elementwise self-add doubles in place by design
+	mat.AddInPlace(a, a)
+}

@@ -1,0 +1,31 @@
+// Fixture for the nakedpanic check: bare string panics in library
+// packages are flagged, fmt.Sprintf panics with dynamic context and
+// suppressed lines are not.
+package nakedpanic
+
+import "fmt"
+
+func bare(n int) {
+	if n < 0 {
+		panic("nakedpanic: negative size") // want "panic with a bare string"
+	}
+}
+
+func withContext(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("nakedpanic: negative size %d", n))
+	}
+}
+
+func nonString(err error) {
+	if err != nil {
+		panic(err) // non-string panic values carry their own context
+	}
+}
+
+func suppressedBare(ok bool) {
+	if !ok {
+		//lint:ignore nakedpanic the empty-input condition has no dynamic values to report
+		panic("nakedpanic: empty input")
+	}
+}

@@ -1,0 +1,12 @@
+// Fixture for the unseededrand check in package main: a fixed literal
+// seed in an example binary is a deliberate, reproducible choice and
+// is not flagged; global-source draws still are.
+package main
+
+import "math/rand"
+
+func main() {
+	rng := rand.New(rand.NewSource(5)) // fixed documented seed in a main package is allowed
+	_ = rng.Float64()
+	_ = rand.Float64() // want "draws from the global source"
+}

@@ -1,0 +1,36 @@
+// Fixture for the unseededrand check in a library (non-main) package:
+// global-source draws and hard-coded seeds are flagged, caller-seeded
+// generators and *rand.Rand methods are not.
+package unseededrand
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func global() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "draws from the global source"
+	return rand.Float64()              // want "draws from the global source"
+}
+
+func aliasedImport() int {
+	return mrand.Intn(10) // want "draws from the global source"
+}
+
+func hardcodedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "hard-coded rand seed in library package"
+}
+
+func callerSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // seed flows from the caller
+}
+
+func methodsAreFine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64() // drawing from an explicit Rand is the approved pattern
+}
+
+func suppressedGlobal() float64 {
+	//lint:ignore unseededrand throwaway jitter for a demo, determinism not required
+	return rand.Float64()
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnseededRand flags math/rand usage that breaks the repository's
+// reproducibility contract: every Monte-Carlo experiment must be
+// replayable from a recorded seed (EXPERIMENTS.md), so randomness has
+// to flow from a caller-provided seed through an explicit *rand.Rand.
+//
+// Two patterns are reported:
+//
+//  1. package-level math/rand functions (rand.Float64, rand.Intn,
+//     rand.Shuffle, ...), which draw from the shared global source the
+//     caller cannot seed deterministically per run, and
+//  2. rand.New(rand.NewSource(<constant>)) in library (non-main)
+//     packages, which hard-codes a seed the caller can neither choose
+//     nor record. Fixed literal seeds in package main (examples) are
+//     deliberate and allowed.
+var UnseededRand = &Check{
+	Name: "unseededrand",
+	Doc:  "math/rand global-source functions, or hard-coded seeds in library packages",
+	Run:  runUnseededRand,
+}
+
+// randGlobalFuncs are the math/rand (and math/rand/v2) package-level
+// functions that consume the process-global source.
+var randGlobalFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"UintN": true, "N": true,
+	"Float32": true, "Float64": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func isMathRand(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
+func runUnseededRand(p *Pass) {
+	isMain := p.Pkg.Types != nil && p.Pkg.Types.Name() == "main"
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || !isMathRand(fn.Pkg()) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand: fine, the Rand was constructed somewhere
+			}
+			if randGlobalFuncs[fn.Name()] {
+				p.Reportf(call.Pos(), "rand.%s draws from the global source; plumb an explicit seed through rand.New(rand.NewSource(seed)) so runs are reproducible", fn.Name())
+				return true
+			}
+			if fn.Name() == "NewSource" && !isMain && len(call.Args) == 1 {
+				if tv, ok := p.Info().Types[call.Args[0]]; ok && tv.Value != nil {
+					p.Reportf(call.Pos(), "hard-coded rand seed in library package; accept the seed from the caller so experiments are reproducible from a recorded value")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function, seeing through selector and
+// plain identifier callees. Returns nil for builtins, type conversions
+// and indirect calls.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info().Uses[id].(*types.Func)
+	return fn
+}

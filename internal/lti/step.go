@@ -70,8 +70,8 @@ func AnalyzeStep(samples []StepSample) (StepMetrics, error) {
 	}
 	final /= float64(len(tail))
 	m := StepMetrics{FinalValue: final, SteadyError: math.Abs(1 - final)}
-	if final == 0 {
-		return m, fmt.Errorf("lti: zero final value; metrics undefined")
+	if math.Abs(final) < 1e-12 {
+		return m, fmt.Errorf("lti: near-zero final value %g; relative metrics undefined", final)
 	}
 
 	// Rise time: first crossing of 10% to first crossing of 90%.

@@ -64,6 +64,7 @@ func mulInto(c, a, b *Dense) {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		crow := c.data[i*c.cols : (i+1)*c.cols]
 		for k, av := range arow {
+			//lint:ignore floatcompare exact-zero sparsity skip: any nonzero value, however small, multiplies normally
 			if av == 0 {
 				continue
 			}
@@ -78,6 +79,7 @@ func mulInto(c, a, b *Dense) {
 // MulMany multiplies the given matrices left to right.
 func MulMany(ms ...*Dense) *Dense {
 	if len(ms) == 0 {
+		//lint:ignore nakedpanic the empty-argument condition has no dynamic values to report
 		panic("mat: MulMany with no operands")
 	}
 	acc := ms[0]

@@ -33,14 +33,14 @@ func (m *Dense) SetBlock(r0, c0 int, src *Dense) {
 // block.
 func Block(blocks [][]*Dense) *Dense {
 	if len(blocks) == 0 || len(blocks[0]) == 0 {
-		panic("mat: Block of empty grid")
+		panic(fmt.Sprintf("mat: Block of empty grid (%d block rows)", len(blocks)))
 	}
 	nbr, nbc := len(blocks), len(blocks[0])
 	rowH := make([]int, nbr)
 	colW := make([]int, nbc)
 	for i, brow := range blocks {
 		if len(brow) != nbc {
-			panic("mat: Block with ragged grid")
+			panic(fmt.Sprintf("mat: Block with ragged grid: block row %d has %d columns, want %d", i, len(brow), nbc))
 		}
 		for j, b := range brow {
 			if b == nil {
@@ -118,6 +118,7 @@ func Kron(a, b *Dense) *Dense {
 	for i := 0; i < a.rows; i++ {
 		for j := 0; j < a.cols; j++ {
 			av := a.data[i*a.cols+j]
+			//lint:ignore floatcompare exact-zero sparsity skip: any nonzero value, however small, multiplies normally
 			if av == 0 {
 				continue
 			}

@@ -42,7 +42,7 @@ func New(r, c int) *Dense {
 // length. The data is copied.
 func FromRows(rows [][]float64) *Dense {
 	if len(rows) == 0 || len(rows[0]) == 0 {
-		panic("mat: FromRows of empty data")
+		panic(fmt.Sprintf("mat: FromRows of empty data (%d rows)", len(rows)))
 	}
 	m := New(len(rows), len(rows[0]))
 	for i, row := range rows {
@@ -166,6 +166,7 @@ func (m *Dense) Equal(n *Dense) bool {
 		return false
 	}
 	for i, v := range m.data {
+		//lint:ignore floatcompare Equal is the documented exact-equality API; EqualApprox is the tolerance variant
 		if v != n.data[i] {
 			return false
 		}

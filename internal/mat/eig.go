@@ -26,6 +26,7 @@ func Hessenberg(a *Dense) *Dense {
 		for i := k + 1; i < n; i++ {
 			scale += math.Abs(d[i*n+k])
 		}
+		//lint:ignore floatcompare exactly zero subdiagonal column needs no reflector, and 1/scale below requires scale != 0
 		if scale == 0 {
 			continue
 		}
@@ -40,6 +41,7 @@ func Hessenberg(a *Dense) *Dense {
 		}
 		v[k+1] += nrm
 		beta := nrm * v[k+1]
+		//lint:ignore floatcompare division guard: v vᵀ/beta is applied below only when beta is exactly nonzero
 		if beta == 0 {
 			continue
 		}
@@ -91,6 +93,7 @@ func balance(a *Dense) {
 					r += math.Abs(d[i*n+j])
 				}
 			}
+			//lint:ignore floatcompare an exactly zero row or column cannot be balanced and would divide by zero below
 			if c == 0 || r == 0 {
 				continue
 			}
@@ -138,6 +141,7 @@ func Eigenvalues(a *Dense) ([]complex128, error) {
 	// matrices (e.g. checkerboard sparsity). Retry on equivalent
 	// problems: a normalized copy (eigenvalues scale linearly) and the
 	// transpose (identical spectrum).
+	//lint:ignore floatcompare rescaling is only pointless at exactly 1; any other norm value is safe to divide by
 	if s := InfNorm(a); s > 0 && s != 1 {
 		if eigs, err := eigOnce(Scale(1/s, a)); err == nil {
 			for i := range eigs {
@@ -191,6 +195,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 			anorm += math.Abs(at(i, j))
 		}
 	}
+	//lint:ignore floatcompare a norm is exactly zero only for the exactly zero matrix
 	if anorm == 0 {
 		// The zero matrix: all eigenvalues are zero.
 		return make([]complex128, n), nil
@@ -207,6 +212,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 			// Look for a single small subdiagonal element.
 			for l = nn; l >= 1; l-- {
 				s := math.Abs(at(l-1, l-1)) + math.Abs(at(l, l))
+				//lint:ignore floatcompare guard before using s as a relative-threshold denominator
 				if s == 0 {
 					s = anorm
 				}
@@ -240,6 +246,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 					}
 					wr[nn-1] = x + z
 					wr[nn] = wr[nn-1]
+					//lint:ignore floatcompare division guard for w/z; a zero root keeps the paired value
 					if z != 0 {
 						wr[nn] = x - w/z
 					}
@@ -309,6 +316,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 						r = at(k+2, k-1)
 					}
 					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					//lint:ignore floatcompare division guard before normalizing the reflector by x
 					if x != 0 {
 						p /= x
 						q /= x
@@ -319,6 +327,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 				if p < 0 {
 					s = -s
 				}
+				//lint:ignore floatcompare a zero Householder norm means the column is already eliminated; also guards s divisions below
 				if s == 0 {
 					continue
 				}
@@ -367,6 +376,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 		out[i] = complex(wr[i], wi[i])
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floatcompare sort comparator: a deterministic total order needs exact tie-breaks
 		if real(out[i]) != real(out[j]) {
 			return real(out[i]) < real(out[j])
 		}

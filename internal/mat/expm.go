@@ -1,6 +1,9 @@
 package mat
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Exp returns the matrix exponential e^A, computed with the [13/13]
 // Padé approximant and scaling-and-squaring (Higham 2005). This is the
@@ -56,7 +59,7 @@ func Exp(a *Dense) *Dense {
 	den := Sub(v, u)
 	e, err := Solve(den, num)
 	if err != nil {
-		panic("mat: Exp: Padé denominator is singular (NaN/Inf input?)")
+		panic(fmt.Sprintf("mat: Exp of %d×%d matrix: Padé denominator is singular (NaN/Inf input?): %v", a.rows, a.cols, err))
 	}
 	for i := 0; i < s; i++ {
 		e = Mul(e, e)
@@ -70,7 +73,7 @@ func Exp(a *Dense) *Dense {
 func ExpIntegral(a, bmat *Dense, h float64) (phi, gamma *Dense) {
 	mustSquare("ExpIntegral", a)
 	if bmat.rows != a.rows {
-		panic("mat: ExpIntegral with mismatched A and B row counts")
+		panic(fmt.Sprintf("mat: ExpIntegral with mismatched row counts: A has %d, B has %d", a.rows, bmat.rows))
 	}
 	n, r := a.rows, bmat.cols
 	aug := New(n+r, n+r)

@@ -52,6 +52,7 @@ func FactorLU(a *Dense) *LU {
 		if max < f.small {
 			f.small = max
 		}
+		//lint:ignore floatcompare an exactly zero pivot after partial pivoting makes elimination undefined; near-singularity is reported via Cond, and a threshold here would reject solvable systems
 		if pivot == 0 {
 			f.fail = true
 			continue
@@ -59,6 +60,7 @@ func FactorLU(a *Dense) *LU {
 		for i := k + 1; i < n; i++ {
 			m := lu[i*n+k] / pivot
 			lu[i*n+k] = m
+			//lint:ignore floatcompare exact-zero sparsity skip: the row update is a no-op only for an exactly zero multiplier
 			if m == 0 {
 				continue
 			}
@@ -101,6 +103,7 @@ func (f *LU) Solve(b *Dense) (*Dense, error) {
 	for i := 1; i < n; i++ {
 		for k := 0; k < i; k++ {
 			m := lu[i*n+k]
+			//lint:ignore floatcompare exact-zero sparsity skip: the substitution update is a no-op only for an exactly zero multiplier
 			if m == 0 {
 				continue
 			}
@@ -113,6 +116,7 @@ func (f *LU) Solve(b *Dense) (*Dense, error) {
 	for i := n - 1; i >= 0; i-- {
 		for k := i + 1; k < n; k++ {
 			m := lu[i*n+k]
+			//lint:ignore floatcompare exact-zero sparsity skip: the substitution update is a no-op only for an exactly zero multiplier
 			if m == 0 {
 				continue
 			}

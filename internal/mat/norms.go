@@ -71,6 +71,7 @@ func TwoNorm(a *Dense) float64 {
 	for iter := 0; iter < 200; iter++ {
 		y := MulVec(ata, x)
 		ny := vecNorm(y)
+		//lint:ignore floatcompare power iteration collapsed to the exactly zero vector; also guards the division below
 		if ny == 0 {
 			return 0
 		}
@@ -103,6 +104,7 @@ func vecNorm(x []float64) float64 {
 
 func normalize(x []float64) {
 	n := vecNorm(x)
+	//lint:ignore floatcompare division guard: the zero vector has no direction to normalize
 	if n == 0 {
 		return
 	}

@@ -28,6 +28,7 @@ func FactorQR(a *Dense) *QR {
 		for i := k; i < m; i++ {
 			nrm = math.Hypot(nrm, q[i*n+k])
 		}
+		//lint:ignore floatcompare an exactly zero column norm means no reflector exists; also guards divisions by nrm
 		if nrm == 0 {
 			f.rdia[k] = 0
 			continue
@@ -75,6 +76,7 @@ func (f *QR) Q() *Dense {
 	for k := n - 1; k >= 0; k-- {
 		q.data[k*n+k] = 1
 		for j := k; j < n; j++ {
+			//lint:ignore floatcompare a zero Householder diagonal marks a skipped (zero) column; no reflector was stored
 			if qr[k*n+k] == 0 {
 				continue
 			}
@@ -98,6 +100,7 @@ func (f *QR) SolveLS(b *Dense) (*Dense, error) {
 		panic(fmt.Sprintf("mat: QR.SolveLS with rhs of %d rows, want %d", b.rows, f.m))
 	}
 	for _, d := range f.rdia {
+		//lint:ignore floatcompare exactly singular R (a zero diagonal was stored for a zero column); near-singularity is the caller's concern
 		if d == 0 {
 			return nil, ErrSingular
 		}
@@ -107,6 +110,7 @@ func (f *QR) SolveLS(b *Dense) (*Dense, error) {
 	qr := f.qr.data
 	// Apply Householder reflectors to b: x = Qᵀ b.
 	for k := 0; k < n; k++ {
+		//lint:ignore floatcompare a zero Householder diagonal marks a skipped (zero) column; no reflector was stored
 		if qr[k*n+k] == 0 {
 			continue
 		}
@@ -151,6 +155,7 @@ func Rank(a *Dense, tol float64) int {
 			max = v
 		}
 	}
+	//lint:ignore floatcompare all R diagonals exactly zero means the exactly zero matrix: rank 0
 	if max == 0 {
 		return 0
 	}

@@ -65,6 +65,7 @@ func SVD(a *Dense) (u *Dense, s []float64, v *Dense, err error) {
 				}
 			}
 		}
+		//lint:ignore floatcompare early exit when every off-diagonal rotation this sweep was exactly zero; the eps test below handles near-convergence
 		if off == 0 {
 			break
 		}
@@ -119,6 +120,7 @@ func Cond(a *Dense) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore floatcompare division guard: an exactly zero smallest singular value means κ = ∞
 	if s[len(s)-1] == 0 {
 		return math.Inf(1), nil
 	}
@@ -159,6 +161,7 @@ func RankSVD(a *Dense, rtol float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore floatcompare guard before the relative threshold rtol*s[0]: the zero matrix has rank 0
 	if s[0] == 0 {
 		return 0, nil
 	}

@@ -6,6 +6,7 @@ package optimize
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -37,14 +38,17 @@ type NelderMeadOptions struct {
 func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 	n := len(x0)
 	if n == 0 {
+		//lint:ignore nakedpanic the empty-argument condition has no dynamic values to report
 		panic("optimize: NelderMead with empty start point")
 	}
 	if opt.MaxIter == 0 {
 		opt.MaxIter = 400 * n
 	}
+	//lint:ignore floatcompare the zero value of TolF is the documented "use the default" sentinel
 	if opt.TolF == 0 {
 		opt.TolF = 1e-10
 	}
+	//lint:ignore floatcompare the zero value of TolX is the documented "use the default" sentinel
 	if opt.TolX == 0 {
 		opt.TolX = 1e-9
 	}
@@ -74,6 +78,7 @@ func NelderMead(f Objective, x0 []float64, opt NelderMeadOptions) Result {
 	for i := 0; i < n; i++ {
 		v := append([]float64(nil), x0...)
 		step := opt.Step
+		//lint:ignore floatcompare the zero value of Step is the documented "use the default" sentinel
 		if step == 0 {
 			step = 0.1 * (1 + math.Abs(x0[i]))
 		}
@@ -215,11 +220,12 @@ func GoldenSection(f func(float64) float64, a, b, tol float64) (xmin, fmin float
 // returns the best point. Axes must be non-empty.
 func GridSearch(f Objective, axes [][]float64) Result {
 	if len(axes) == 0 {
+		//lint:ignore nakedpanic the empty-argument condition has no dynamic values to report
 		panic("optimize: GridSearch with no axes")
 	}
-	for _, ax := range axes {
+	for i, ax := range axes {
 		if len(ax) == 0 {
-			panic("optimize: GridSearch with empty axis")
+			panic(fmt.Sprintf("optimize: GridSearch axis %d of %d is empty", i, len(axes)))
 		}
 	}
 	idx := make([]int, len(axes))

@@ -67,14 +67,17 @@ func NewLTIPlant(sys *lti.System, x0 []float64) (*LTIPlant, error) {
 
 // AdvanceTo implements Plant.
 func (p *LTIPlant) AdvanceTo(t float64) {
+	// Steps within ±timeJitterEps of zero are round-off from interval
+	// arithmetic on release instants, not real time advances.
+	const timeJitterEps = 1e-12
 	dt := t - p.t
 	if dt < 0 {
-		if dt > -1e-12 {
+		if dt > -timeJitterEps {
 			return // round-off; stay put
 		}
 		panic(fmt.Sprintf("rt: time moved backwards (%g -> %g)", p.t, t))
 	}
-	if dt == 0 {
+	if dt < timeJitterEps {
 		return
 	}
 	x, err := p.sys.Step(p.x, p.u, dt)

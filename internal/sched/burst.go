@@ -57,6 +57,7 @@ func (e *BurstExec) Bounds() (float64, float64) {
 // regime, PEnter/(PEnter+PExit), or 0 when both rates vanish.
 func (e *BurstExec) stationaryBurstProb() float64 {
 	den := e.PEnter + e.PExit
+	//lint:ignore floatcompare division guard: both transition rates exactly zero means the chain never enters the burst regime
 	if den == 0 {
 		return 0
 	}
@@ -66,6 +67,7 @@ func (e *BurstExec) stationaryBurstProb() float64 {
 // ExpectedBurstLength returns the mean number of consecutive burst jobs
 // (1/PExit), useful when sizing experiments.
 func (e *BurstExec) ExpectedBurstLength() float64 {
+	//lint:ignore floatcompare division guard: an exactly zero exit rate means bursts never end
 	if e.PExit == 0 {
 		return 0
 	}

@@ -69,6 +69,7 @@ func ResponseTimeAnalysis(tasks []*Task, horizon float64) (map[string]float64, e
 			if next > horizon {
 				return nil, fmt.Errorf("%w: task %s", ErrUnschedulable, t.Name)
 			}
+			//lint:ignore floatcompare fixed-point test of a monotone step function: the iterate repeats bit-exactly at convergence
 			if next == r {
 				break
 			}
@@ -124,6 +125,7 @@ func AdaptiveTaskWCRT(ctl *Task, hp []*Task, horizon float64) (float64, error) {
 		if next > horizon {
 			return 0, fmt.Errorf("%w: adaptive task %s", ErrUnschedulable, ctl.Name)
 		}
+		//lint:ignore floatcompare fixed-point test of a monotone step function: the iterate repeats bit-exactly at convergence
 		if next == r {
 			return r, nil
 		}

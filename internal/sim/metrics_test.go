@@ -65,6 +65,28 @@ func TestCostDistributionMatchesMonteCarlo(t *testing.T) {
 	}
 }
 
+func TestCostDistributionWorkerIndependence(t *testing.T) {
+	d := testDesign(t)
+	model := UniformResponse{Rmin: 0.01, Rmax: 0.16}
+	run := func(workers int) []float64 {
+		costs, err := CostDistribution(d, []float64{1, 0}, model, ErrorCost(),
+			MonteCarloOptions{Sequences: 64, Jobs: 30, Seed: 21, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return costs
+	}
+	// Sequence i gets its own RNG derived from (Seed, i), so the cost
+	// vector must be bit-identical no matter how sequences are spread
+	// over workers.
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cost[%d] differs across worker counts: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestCostDistributionValidation(t *testing.T) {
 	d := testDesign(t)
 	if _, err := CostDistribution(d, []float64{1, 0}, ConstantResponse(0.05), ErrorCost(),

@@ -42,6 +42,7 @@ func RefineWorst(d *core.Design, x0 []float64, responses []float64, cost CostFun
 		for k := range seq {
 			orig := seq[k]
 			for _, h := range hs {
+				//lint:ignore floatcompare set-membership test: both values come verbatim from the same Intervals() grid
 				if h == orig {
 					continue
 				}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Extended verification gate: build, vet, adalint, race-enabled tests.
+# Run from anywhere inside the repo; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== adalint ./..."
+go run ./cmd/adalint ./...
+
+echo "== adalint self-test (fixtures must trip the linter)"
+# The testdata fixtures contain deliberate violations; adalint must
+# report them (exit non-zero) or the checks have gone soft.
+if go run ./cmd/adalint ./internal/lint/testdata/floatcompare >/dev/null 2>&1; then
+    echo "error: adalint exited 0 on a violation fixture" >&2
+    exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "OK"
