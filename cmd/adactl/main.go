@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	adactl table1 [-sequences N] [-jobs M] [-seed S]
-//	adactl table2 [-sequences N] [-jobs M] [-seed S] [-delta D] [-brute L]
+//	adactl table1 [-sequences N] [-jobs M] [-seed S] [-workers W]
+//	adactl table2 [-sequences N] [-jobs M] [-seed S] [-delta D] [-brute L] [-workers W]
 //	adactl fig1
 //	adactl sweep  [-ns 1,2,4,5,8,10]
 //	adactl ablation [pi|jsr|lqr|all]
@@ -114,9 +114,10 @@ func experimentFlags(fs *flag.FlagSet) (*experiments.Options, *bool) {
 	fs.IntVar(&opt.Jobs, "jobs", 50, "jobs per sequence")
 	fs.Int64Var(&opt.Seed, "seed", 1, "base RNG seed")
 	fs.IntVar(&opt.BruteLen, "brute", 6, "brute-force JSR product depth")
-	fs.Float64Var(&opt.Delta, "delta", 1e-4, "Gripenberg target accuracy")
+	fs.Float64Var(&opt.Delta, "delta", 1e-3, "Gripenberg target accuracy (shared default with jsrtool)")
 	fs.StringVar(&opt.Model, "model", "uniform", "response model: uniform | sporadic | burst")
 	fs.IntVar(&opt.Refine, "refine", 0, "coordinate-ascent passes refining the sampled worst case (0 = off)")
+	fs.IntVar(&opt.Workers, "workers", 0, "worker goroutines per parallel stage (0 = all cores); results are identical for every value")
 	return opt, paper
 }
 
@@ -363,8 +364,9 @@ func runCertify(args []string) error {
 	scenario := fs.String("scenario", "pmsm", "pmsm | unstable | quickstart")
 	rmaxFactor := fs.Float64("rmax-factor", 1.6, "Rmax as a multiple of T")
 	ns := fs.Int("ns", 5, "sensor oversampling factor")
-	delta := fs.Float64("delta", 1e-3, "Gripenberg target accuracy")
+	delta := fs.Float64("delta", 1e-3, "Gripenberg target accuracy (shared default with jsrtool)")
 	check := fs.Float64("check-rmax-factor", 0, "if > 0, also check coverage of a deployment with this Rmax/T")
+	workers := fs.Int("workers", 0, "JSR worker goroutines (0 = all cores); bounds are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -372,7 +374,7 @@ func runCertify(args []string) error {
 	if err != nil {
 		return err
 	}
-	cert, err := design.Certify(6, jsr.GripenbergOptions{Delta: *delta, MaxDepth: 30})
+	cert, err := design.Certify(6, jsr.GripenbergOptions{Delta: *delta, MaxDepth: 30, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -447,10 +449,11 @@ func runWeaklyHard(args []string) error {
 	fs := flag.NewFlagSet("weaklyhard", flag.ExitOnError)
 	k := fs.Int("k", 4, "weakly-hard window K")
 	brute := fs.Int("brute", 6, "product enumeration depth")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = all cores); results are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := experiments.WeaklyHard(*k, experiments.Options{BruteLen: *brute})
+	rows, err := experiments.WeaklyHard(*k, experiments.Options{BruteLen: *brute, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -501,12 +504,13 @@ func runJitter(args []string) error {
 // runQuantize sweeps fixed-point table widths.
 func runQuantize(args []string) error {
 	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
-	delta := fs.Float64("delta", 1e-3, "Gripenberg target accuracy")
+	delta := fs.Float64("delta", 1e-3, "Gripenberg target accuracy (shared default with jsrtool)")
+	workers := fs.Int("workers", 0, "JSR worker goroutines (0 = all cores); bounds are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	rows, err := experiments.QuantizeSweep([]int{4, 6, 8, 10, 12, 16, 24},
-		experiments.Options{BruteLen: 5, Delta: *delta})
+		experiments.Options{BruteLen: 5, Delta: *delta, Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	jsrtool [-in matrices.json] [-delta 1e-4] [-depth 30] [-brute 6] [-raw]
+//	jsrtool [-in matrices.json] [-delta 1e-3] [-depth 30] [-brute 6] [-raw] [-workers N]
 //
 // Exit status: 0 when stability is certified (upper bound < 1), 3 when
 // instability is certified (lower bound ≥ 1), 4 when undecided at the
@@ -31,10 +31,11 @@ import (
 
 func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
-	delta := flag.Float64("delta", 1e-4, "Gripenberg target accuracy")
+	delta := flag.Float64("delta", 1e-3, "Gripenberg target accuracy (shared default with adactl)")
 	depth := flag.Int("depth", 30, "maximum product length")
 	brute := flag.Int("brute", 6, "brute-force enumeration depth")
 	raw := flag.Bool("raw", false, "skip Lyapunov preconditioning")
+	workers := flag.Int("workers", 0, "JSR worker goroutines (0 = all cores); bounds are identical for every value")
 	flag.Parse()
 
 	set, err := readSet(*in)
@@ -45,12 +46,12 @@ func main() {
 
 	var bounds jsr.Bounds
 	if *raw {
-		bf, err := jsr.BruteForceBounds(set, *brute)
+		bf, err := jsr.BruteForceBoundsOpt(set, *brute, jsr.BruteForceOptions{Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jsrtool:", err)
 			os.Exit(2)
 		}
-		gp, gerr := jsr.Gripenberg(set, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth})
+		gp, gerr := jsr.Gripenberg(set, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers})
 		if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) {
 			fmt.Fprintln(os.Stderr, "jsrtool:", gerr)
 			os.Exit(2)
@@ -58,7 +59,7 @@ func main() {
 		bounds = jsr.Bounds{Lower: max(bf.Lower, gp.Lower), Upper: min(bf.Upper, gp.Upper)}
 	} else {
 		var gerr error
-		bounds, gerr = jsr.Estimate(set, *brute, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth})
+		bounds, gerr = jsr.Estimate(set, *brute, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers})
 		if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) {
 			fmt.Fprintln(os.Stderr, "jsrtool:", gerr)
 			os.Exit(2)

@@ -30,19 +30,20 @@ func AblationPI(opt Options) ([]AblationPIRow, error) {
 	plant := plants.Unstable()
 	x0 := []float64{1, 0}
 	tuner := newPITuner(plant)
-	rows := make([]AblationPIRow, 0, len(opt.Grid))
-	for _, cfg := range opt.Grid {
+	rows := make([]AblationPIRow, len(opt.Grid))
+	gerr := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table1T, cfg.Ns, table1T/10, cfg.RmaxFactor*table1T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gT, err := tuner.tunedSingle(tm.T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		table, err := tuner.adaptiveTable(tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		intOnly := core.Designer(func(h float64) (*control.StateSpace, error) {
 			return table[gainKey(h)].Controller(), nil
@@ -55,7 +56,7 @@ func AblationPI(opt Options) ([]AblationPIRow, error) {
 			return g.Controller(), nil
 		})
 		model := sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}
-		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}
+		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}
 		eval := func(des core.Designer) (float64, error) {
 			d, err := core.NewDesign(plant, tm, des)
 			if err != nil {
@@ -69,15 +70,19 @@ func AblationPI(opt Options) ([]AblationPIRow, error) {
 		}
 		row := AblationPIRow{Config: cfg}
 		if row.FixedT, err = eval(core.FixedDesigner(gT.Controller())); err != nil {
-			return nil, err
+			return err
 		}
 		if row.IntegratorH, err = eval(intOnly); err != nil {
-			return nil, err
+			return err
 		}
 		if row.RetunedPerH, err = eval(perH); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }
@@ -113,44 +118,50 @@ func AblationJSR(opt Options) ([]AblationJSRRow, error) {
 	opt = opt.Defaults()
 	plant := plants.PMSM(plants.DefaultPMSMParams())
 	w := pmsmWeights()
-	rows := make([]AblationJSRRow, 0, len(opt.Grid))
-	for _, cfg := range opt.Grid {
+	rows := make([]AblationJSRRow, len(opt.Grid))
+	gerr := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d, err := core.NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
 			return control.LQGFullInfo(plant, w, h)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		set := d.OmegaSet()
 		row := AblationJSRRow{Config: cfg, BruteLen: opt.BruteLen}
+		bf := jsr.BruteForceOptions{Workers: opt.Workers}
 
 		t0 := time.Now()
-		row.RawBrute, err = jsr.BruteForceBounds(set, opt.BruteLen)
+		row.RawBrute, err = jsr.BruteForceBoundsOpt(set, opt.BruteLen, bf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.RawTime = time.Since(t0)
 
 		t0 = time.Now()
 		work, _, _ := jsr.Precondition(set)
-		row.PreBrute, err = jsr.BruteForceBounds(work, opt.BruteLen)
+		row.PreBrute, err = jsr.BruteForceBoundsOpt(work, opt.BruteLen, bf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.PreTime = time.Since(t0)
 
 		t0 = time.Now()
-		row.PreGrip, err = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		row.PreGrip, err = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
-			return nil, err
+			return err
 		}
 		row.GripTime = time.Since(t0)
 
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }
@@ -186,14 +197,15 @@ func AblationDelayLQR(opt Options) ([]AblationLQRRow, error) {
 	w := pmsmWeights()
 	cost := sim.QuadCost(w.Q, w.R)
 	x0 := pmsmInitialState()
-	rows := make([]AblationLQRRow, 0, len(opt.Grid))
-	for _, cfg := range opt.Grid {
+	rows := make([]AblationLQRRow, len(opt.Grid))
+	gerr := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		model := sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}
-		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}
+		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}
 		eval := func(des core.Designer) (float64, bool, error) {
 			d, err := core.NewDesign(plant, tm, des)
 			if err != nil {
@@ -210,7 +222,7 @@ func AblationDelayLQR(opt Options) ([]AblationLQRRow, error) {
 		if row.DelayAware, unst, err = eval(func(h float64) (*control.StateSpace, error) {
 			return control.LQGFullInfo(plant, w, h)
 		}); err != nil {
-			return nil, err
+			return err
 		}
 		if unst {
 			row.DelayAware = math.Inf(1)
@@ -218,9 +230,13 @@ func AblationDelayLQR(opt Options) ([]AblationLQRRow, error) {
 		if row.Naive, row.NaiveUnst, err = eval(func(h float64) (*control.StateSpace, error) {
 			return control.PeriodLQR(plant, w, h)
 		}); err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }

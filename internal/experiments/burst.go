@@ -48,7 +48,7 @@ func BurstComparison(opt Options) ([]BurstRow, error) {
 		}
 		iid := sim.SporadicResponse{Rmin: tm.Rmin, T: tm.T, Rmax: tm.Rmax, OverrunProb: frac}
 		burst := sim.BurstResponse{Rmin: tm.Rmin, T: tm.T, Rmax: tm.Rmax, PEnter: pEnter, PExit: pExit}
-		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}
+		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}
 
 		ctlT, err := lqg(tm.T)
 		if err != nil {

@@ -11,7 +11,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 
 	"adaptivertc/internal/control"
 	"adaptivertc/internal/core"
@@ -53,6 +55,41 @@ type Options struct {
 	Grid      []Config // evaluation grid; nil selects PaperGrid
 	Model     string   // response model: "uniform" (default), "sporadic", "burst"
 	Refine    int      // coordinate-ascent passes on the sampled worst (0 = off)
+	// Workers bounds the goroutines used per parallel stage (grid rows,
+	// JSR expansion, Monte-Carlo sequences); ≤ 0 selects GOMAXPROCS.
+	// Results are identical for every value.
+	Workers int
+}
+
+// gridParallel evaluates fn(i) for every grid row i on at most
+// `workers` goroutines. Each fn owns row i exclusively (it writes only
+// rows[i]), so results are deterministic; the returned error is the one
+// from the lowest-indexed failing row.
+func gridParallel(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Defaults fills zero fields with fast-but-meaningful values.
@@ -119,10 +156,14 @@ const table1T = 0.010
 
 // piTuner memoizes the single-mode PI tuning behind Table I (used for
 // the fixed-gain baselines and the nominal mode) and assembles the
-// adaptive mode tables.
+// adaptive mode tables. It is safe for concurrent use by the parallel
+// grid rows: TunePI is deterministic in h, so even a duplicated tuning
+// race stores the same gains.
 type piTuner struct {
-	plant  *lti.System
-	x0     []float64
+	plant *lti.System
+	x0    []float64
+
+	mu     sync.Mutex
 	single map[int64]control.PIGains
 }
 
@@ -137,6 +178,8 @@ func newPITuner(plant *lti.System) *piTuner {
 func gainKey(h float64) int64 { return int64(math.Round(h * 1e12)) }
 
 func (t *piTuner) tunedSingle(h float64) (control.PIGains, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if g, ok := t.single[gainKey(h)]; ok {
 		return g, nil
 	}
@@ -171,25 +214,27 @@ func (t *piTuner) adaptiveTable(tm core.Timing) (map[int64]control.PIGains, erro
 	return table, nil
 }
 
-// Table1 regenerates Table I.
+// Table1 regenerates Table I. Grid rows are independent and evaluated
+// in parallel; each goroutine owns exactly one row slot.
 func Table1(opt Options) ([]Table1Row, error) {
 	opt = opt.Defaults()
 	plant := plants.Unstable()
 	x0 := []float64{1, 0}
 	tuner := newPITuner(plant)
 
-	rows := make([]Table1Row, 0, len(opt.Grid))
-	for _, cfg := range opt.Grid {
+	rows := make([]Table1Row, len(opt.Grid))
+	err := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table1T, cfg.Ns, table1T/10, cfg.RmaxFactor*table1T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hs := tm.Intervals()
 		hmax := hs[len(hs)-1]
 
 		table, err := tuner.adaptiveTable(tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		adaptive := core.Designer(func(h float64) (*control.StateSpace, error) {
 			g, ok := table[gainKey(h)]
@@ -200,17 +245,17 @@ func Table1(opt Options) ([]Table1Row, error) {
 		})
 		gT, err := tuner.tunedSingle(tm.T)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tuning for T: %w", err)
+			return fmt.Errorf("experiments: tuning for T: %w", err)
 		}
 		gMax, err := tuner.tunedSingle(hmax)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tuning for Rmax: %w", err)
+			return fmt.Errorf("experiments: tuning for Rmax: %w", err)
 		}
 
 		row := Table1Row{Config: cfg, Intervals: hs}
 		model, err := opt.responseModel(tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, strat := range []struct {
 			dst      *float64
@@ -222,16 +267,20 @@ func Table1(opt Options) ([]Table1Row, error) {
 		} {
 			d, err := core.NewDesign(plant, tm, strat.designer)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m, err := sim.WorstCase(d, x0, model, sim.ErrorCost(),
-				sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}, opt.Refine)
+				sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}, opt.Refine)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			*strat.dst = m.WorstCost
 		}
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -295,11 +344,12 @@ func Table2(opt Options) ([]Table2Row, error) {
 		return control.LQGFullInfo(plant, w, h)
 	}
 
-	rows := make([]Table2Row, 0, len(opt.Grid))
-	for _, cfg := range opt.Grid {
+	rows := make([]Table2Row, len(opt.Grid))
+	gerr := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		hs := tm.Intervals()
 		hmax := hs[len(hs)-1]
@@ -307,9 +357,9 @@ func Table2(opt Options) ([]Table2Row, error) {
 
 		adaptiveDesign, err := core.NewDesign(plant, tm, lqg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bounds, jerr := adaptiveDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		bounds, jerr := adaptiveDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 		if jerr != nil {
 			row.JSRBudgetHit = true
 		}
@@ -317,24 +367,24 @@ func Table2(opt Options) ([]Table2Row, error) {
 
 		ideal, err := sim.NoOverrunCost(adaptiveDesign, x0, opt.Jobs, cost)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.CostIdeal = ideal * costScale
 
 		ctlT, err := lqg(tm.T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ctlMax, err := lqg(hmax)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		model, err := opt.responseModel(tm)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}
+		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}
 
 		evalVariant := func(designer core.Designer) (float64, bool, error) {
 			d, err := core.NewDesign(plant, tm, designer)
@@ -352,45 +402,49 @@ func Table2(opt Options) ([]Table2Row, error) {
 		}
 
 		if row.Adaptive, _, err = evalVariant(lqg); err != nil {
-			return nil, err
+			return err
 		}
 		var simDiverged bool
 		if row.FixedT, simDiverged, err = evalVariant(core.FixedDesigner(ctlT)); err != nil {
-			return nil, err
+			return err
 		}
 		// The fixed-gain baseline is declared unstable either by
 		// simulation divergence or, as in the paper, deterministically:
 		// its own switched closed loop has JSR ≥ 1.
 		fixedTDesign, err := core.NewDesign(plant, tm, core.FixedDesigner(ctlT))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fixedTBounds, err := fixedTDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+		fixedTBounds, err := fixedTDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
-			return nil, err
+			return err
 		}
 		row.FixedTUnstable = simDiverged || fixedTBounds.CertifiesUnstable()
 		if row.FixedRmax, _, err = evalVariant(core.FixedDesigner(ctlMax)); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Fixed-period baseline: controller designed and run at period
 		// hmax; by construction no overruns occur (Rmax ≤ T' = hmax).
 		fixedTm, err := core.NewTiming(hmax, 1, hmax/2, hmax*0.99)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fixedDesign, err := core.NewDesign(plant, fixedTm, lqg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fp, err := sim.NoOverrunCost(fixedDesign, x0, opt.Jobs, cost)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.FixedPeriod = fp * costScale
 
-		rows = append(rows, row)
+		rows[ri] = row
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }
@@ -498,12 +552,12 @@ func SweepNs(factors []int, opt Options) ([]SweepRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		bounds, err := d.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25})
+		bounds, err := d.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
 			return nil, err
 		}
 		m, err := sim.MonteCarlo(d, x0, sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}, cost,
-			sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed})
+			sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -54,7 +54,7 @@ func ObserverComparison(opt Options) ([]ObserverRow, error) {
 			return nil, err
 		}
 		row := ObserverRow{Config: cfg}
-		gopt := jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25}
+		gopt := jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers}
 		if row.FullInfo, err = errTolerant(fullDesign.StabilityBounds(opt.BruteLen, gopt)); err != nil {
 			return nil, err
 		}
@@ -62,7 +62,7 @@ func ObserverComparison(opt Options) ([]ObserverRow, error) {
 			return nil, err
 		}
 		model := sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}
-		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed}
+		mc := sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}
 		// Identical state-based metric for both designs (their output
 		// dimensions differ, so output-error costs would not compare).
 		stateCost := sim.QuadCost(mat.Eye(3), mat.New(2, 2))

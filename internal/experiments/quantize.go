@@ -44,7 +44,7 @@ func QuantizeSweep(bits []int, opt Options) ([]QuantizeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cert, err := q.Certify(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25})
+		cert, err := q.Certify(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
 		if err != nil {
 			return nil, err
 		}

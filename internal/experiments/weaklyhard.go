@@ -64,21 +64,25 @@ func WeaklyHard(k int, opt Options) ([]WeaklyHardRow, error) {
 	setA, _, _ = jsr.Precondition(setA)
 	setF, _, _ = jsr.Precondition(setF)
 
-	rows := make([]WeaklyHardRow, 0, k+1)
-	for m := 0; m <= k; m++ {
+	rows := make([]WeaklyHardRow, k+1)
+	gerr := gridParallel(k+1, opt.Workers, func(m int) error {
 		g, err := jsr.WeaklyHardGraph(m, k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ba, err := constrainedBracket(setA, g, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bf, err := constrainedBracket(setF, g, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, WeaklyHardRow{M: m, K: k, Adaptive: ba, FixedT: bf})
+		rows[m] = WeaklyHardRow{M: m, K: k, Adaptive: ba, FixedT: bf}
+		return nil
+	})
+	if gerr != nil {
+		return nil, gerr
 	}
 	return rows, nil
 }
@@ -104,7 +108,7 @@ func constrainedBracket(set []*mat.Dense, g *jsr.Graph, opt Options) (jsr.Bounds
 	if err != nil {
 		return jsr.Bounds{}, err
 	}
-	gp, gerr := jsr.ConstrainedGripenberg(set, g, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30})
+	gp, gerr := jsr.ConstrainedGripenberg(set, g, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 	if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) {
 		return jsr.Bounds{}, gerr
 	}

@@ -234,12 +234,46 @@ func closes(g *Graph, node, start int) bool {
 	return false
 }
 
+// cgripNode is a live branch of the constrained search: a walk ending
+// at graph node `at`, started at `start` (needed for cycle detection).
+type cgripNode struct {
+	at    int
+	start int
+	prod  *mat.Dense
+	word  []int
+	cert  float64
+}
+
+// cgripChild is one expanded successor; rho is meaningful only when cyc
+// is set (spectral radii of non-closable walks never bound the
+// constrained JSR from below, so they are not computed).
+type cgripChild struct {
+	at   int
+	prod *mat.Dense
+	rho  float64
+	cyc  bool
+	cert float64
+}
+
+func cgripFrontierMax(fr []cgripNode) float64 {
+	m := 0.0
+	for _, nd := range fr {
+		if nd.cert > m {
+			m = nd.cert
+		}
+	}
+	return m
+}
+
 // ConstrainedGripenberg runs the branch-and-bound bound refinement on a
 // switching graph: identical pruning logic to Gripenberg, with the walk
 // set restricted to the graph and lower bounds taken only from closable
-// walks (whose periodic repetition is admissible). Combine with
-// ConstrainedBounds via the caller; ErrBudget signals a valid but
-// looser-than-requested bracket.
+// walks (whose periodic repetition is admissible). Levels are expanded
+// in parallel with the same index-sharded, deterministically merged
+// scheme as Gripenberg, so the result is identical for every Workers
+// value. Combine with ConstrainedBounds via the caller; ErrBudget
+// signals a valid but looser-than-requested bracket, returned only
+// after the remaining node budget has been spent on a partial level.
 func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
@@ -247,34 +281,18 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 	if err := g.Validate(len(set)); err != nil {
 		return Bounds{}, err
 	}
-	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
-	if opt.Delta == 0 {
-		opt.Delta = 1e-3
-	}
-	if opt.Delta < 0 {
-		return Bounds{}, fmt.Errorf("jsr: negative delta %g", opt.Delta)
-	}
-	if opt.MaxDepth == 0 {
-		opt.MaxDepth = 40
-	}
-	if opt.MaxNodes == 0 {
-		opt.MaxNodes = 2_000_000
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return Bounds{}, err
 	}
 
-	type node struct {
-		at    int
-		start int
-		prod  *mat.Dense
-		word  []int
-		cert  float64
-	}
 	lower := 0.0
 	var witness []int
 	nodes := 0
-	var frontier []node
+	var frontier []cgripNode
 	for i := range g.Nodes {
 		p := set[g.Nodes[i]]
-		nd := node{at: i, start: i, prod: p, word: []int{g.Nodes[i]}, cert: norm(p)}
+		nd := cgripNode{at: i, start: i, prod: p, word: []int{g.Nodes[i]}, cert: norm(p)}
 		if closes(g, i, i) {
 			rho, err := mat.SpectralRadius(p)
 			if err != nil {
@@ -288,15 +306,6 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 		frontier = append(frontier, nd)
 		nodes++
 	}
-	frontierMax := func(fr []node) float64 {
-		m := 0.0
-		for _, nd := range fr {
-			if nd.cert > m {
-				m = nd.cert
-			}
-		}
-		return m
-	}
 	depth := 1
 	for len(frontier) > 0 && depth < opt.MaxDepth {
 		kept := frontier[:0]
@@ -309,43 +318,109 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 		if len(frontier) == 0 {
 			break
 		}
-		grow := 0
-		for _, nd := range frontier {
-			grow += len(g.Next[nd.at])
+
+		// Child slots are laid out by prefix sums of the per-node
+		// out-degree: node fi owns slots [offs[fi], offs[fi+1]).
+		offs := make([]int, len(frontier)+1)
+		for fi, nd := range frontier {
+			offs[fi+1] = offs[fi] + len(g.Next[nd.at])
 		}
-		if nodes+grow > opt.MaxNodes {
-			return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, frontierMax(frontier)), WitnessWord: witness}, ErrBudget
+
+		// Budget: expand the longest prefix of whole nodes whose
+		// cumulative growth fits the remaining budget, so a partial
+		// level still tightens the bracket before ErrBudget.
+		remaining := opt.MaxNodes - nodes
+		expand := len(frontier)
+		for expand > 0 && offs[expand] > remaining {
+			expand--
 		}
+		if expand == 0 {
+			return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, cgripFrontierMax(frontier)), WitnessWord: witness}, ErrBudget
+		}
+
 		depth++
 		exp := 1 / float64(depth)
-		var next []node
-		for _, nd := range frontier {
-			for _, nxt := range g.Next[nd.at] {
-				p := mat.Mul(set[g.Nodes[nxt]], nd.prod)
-				nodes++
-				word := make([]int, len(nd.word)+1)
-				copy(word, nd.word)
-				word[len(word)-1] = g.Nodes[nxt]
-				if closes(g, nxt, nd.start) {
-					rho, err := mat.SpectralRadius(p)
-					if err != nil {
-						return Bounds{}, err
+		children := make([]cgripChild, offs[expand])
+		err := parallelRanges(expand, opt.Workers, func(lo, hi int) error {
+			for fi := lo; fi < hi; fi++ {
+				nd := frontier[fi]
+				for j, nxt := range g.Next[nd.at] {
+					p := mat.Mul(set[g.Nodes[nxt]], nd.prod)
+					c := cgripChild{
+						at:   nxt,
+						prod: p,
+						cert: math.Min(nd.cert, math.Pow(norm(p), exp)),
 					}
-					if lb := math.Pow(rho, exp); lb > lower {
-						lower = lb
-						witness = word
+					if closes(g, nxt, nd.start) {
+						rho, err := mat.SpectralRadius(p)
+						if err != nil {
+							return err
+						}
+						c.rho, c.cyc = rho, true
 					}
-				}
-				cert := math.Min(nd.cert, math.Pow(norm(p), exp))
-				if cert > lower+opt.Delta {
-					next = append(next, node{at: nxt, start: nd.start, prod: p, word: word, cert: cert})
+					children[offs[fi]+j] = c
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return Bounds{}, err
+		}
+		nodes += offs[expand]
+
+		// Merge pass 1: raise the lower bound from closable children,
+		// lowest index winning ties via the strictly-greater scan.
+		parentOf := func(ci int) int {
+			fi := 0
+			for offs[fi+1] <= ci {
+				fi++
+			}
+			return fi
+		}
+		bestIdx := -1
+		for ci := range children {
+			if !children[ci].cyc {
+				continue
+			}
+			if lb := math.Pow(children[ci].rho, exp); lb > lower {
+				lower = lb
+				bestIdx = ci
+			}
+		}
+		if bestIdx >= 0 {
+			pw := frontier[parentOf(bestIdx)].word
+			witness = make([]int, len(pw)+1)
+			copy(witness, pw)
+			witness[len(witness)-1] = g.Nodes[children[bestIdx].at]
+		}
+
+		// Merge pass 2: survivors against the final per-level lower.
+		// The in-order walk advances the parent cursor incrementally.
+		next := make([]cgripNode, 0, len(children))
+		fi := 0
+		for ci := range children {
+			for offs[fi+1] <= ci {
+				fi++
+			}
+			c := &children[ci]
+			if c.cert <= lower+opt.Delta {
+				continue
+			}
+			parent := frontier[fi]
+			word := make([]int, len(parent.word)+1)
+			copy(word, parent.word)
+			word[len(word)-1] = g.Nodes[c.at]
+			next = append(next, cgripNode{at: c.at, start: parent.start, prod: c.prod, word: word, cert: c.cert})
+		}
+
+		if expand < len(frontier) {
+			upper := math.Max(lower+opt.Delta, math.Max(cgripFrontierMax(next), cgripFrontierMax(frontier[expand:])))
+			return Bounds{Lower: lower, Upper: upper, WitnessWord: witness}, ErrBudget
 		}
 		frontier = next
 	}
 	if len(frontier) == 0 {
 		return Bounds{Lower: lower, Upper: lower + opt.Delta, WitnessWord: witness}, nil
 	}
-	return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, frontierMax(frontier)), WitnessWord: witness}, ErrBudget
+	return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, cgripFrontierMax(frontier)), WitnessWord: witness}, ErrBudget
 }

@@ -22,7 +22,10 @@
 //     radius", 1996).
 //
 // Both return certified bounds, not estimates: the upper bounds are
-// valid regardless of truncation depth.
+// valid regardless of truncation depth. Both are parallel: independent
+// subtrees of the product tree are sharded across a worker pool, and
+// the merge is deterministic, so the returned Bounds (including the
+// WitnessWord) are bit-identical for every worker count.
 package jsr
 
 import (
@@ -60,9 +63,13 @@ func (b Bounds) String() string {
 // ErrEmptySet is returned when no matrices are supplied.
 var ErrEmptySet = errors.New("jsr: empty matrix set")
 
-// ErrBudget is returned by Gripenberg when the node budget is exhausted
-// before the requested accuracy δ is certified; the bounds returned
-// alongside are still valid.
+// ErrBudget is returned by Gripenberg when the node or depth budget is
+// exhausted before the requested accuracy δ is certified. The budget is
+// spent before giving up: when a whole level no longer fits, the search
+// expands as many frontier nodes as the remaining budget allows and
+// folds their children into the bracket, so the bounds returned
+// alongside ErrBudget are both valid and as tight as the budget could
+// make them.
 var ErrBudget = errors.New("jsr: node budget exhausted before reaching requested accuracy")
 
 func validateSet(set []*mat.Dense) (int, error) {
@@ -82,49 +89,128 @@ func validateSet(set []*mat.Dense) (int, error) {
 // gives the tightest one-step certificates among the cheap norms.
 func norm(m *mat.Dense) float64 { return mat.TwoNorm(m) }
 
+// WitnessRate replays a witness word against a matrix set and returns
+// the averaged spectral radius ρ(P_w)^{1/len(w)} it attains — the
+// lower-bound certificate the word encodes. The product is assembled in
+// the same association order the estimators use (successive left
+// multiplications), so replaying a WitnessWord returned together with a
+// set reproduces the returned Lower bit for bit.
+func WitnessRate(set []*mat.Dense, word []int) (float64, error) {
+	if _, err := validateSet(set); err != nil {
+		return 0, err
+	}
+	if len(word) == 0 {
+		return 0, errors.New("jsr: empty witness word")
+	}
+	for _, i := range word {
+		if i < 0 || i >= len(set) {
+			return 0, fmt.Errorf("jsr: witness index %d out of range [0,%d)", i, len(set))
+		}
+	}
+	p := set[word[0]]
+	for _, i := range word[1:] {
+		p = mat.Mul(set[i], p)
+	}
+	rho, err := mat.SpectralRadius(p)
+	if err != nil {
+		return 0, err
+	}
+	return math.Pow(rho, 1/float64(len(word))), nil
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force sandwich (Eq. 12), streamed.
+
+// BruteForceOptions configures the brute-force enumeration. The zero
+// value selects defaults.
+type BruteForceOptions struct {
+	// Workers is the number of enumeration goroutines; ≤ 0 selects
+	// GOMAXPROCS. The returned Bounds are bit-identical for every value.
+	Workers int
+}
+
+// bruteChunkCap bounds how many depth-first roots the shallow phase may
+// materialize, which caps resident memory regardless of maxLen.
+const bruteChunkCap = 4096
+
+// levelBest accumulates the per-product-length extrema of the Eq. 12
+// sandwich: the largest spectral radius (with the first word, in
+// enumeration order, attaining it) and the largest norm.
+type levelBest struct {
+	rho  float64
+	word []int
+	norm float64
+}
+
+// fold merges a candidate into the accumulator; candidates must arrive
+// in enumeration order (strictly-greater wins, so the first maximizer
+// is kept).
+func (lb *levelBest) fold(rho float64, word []int, nv float64) {
+	if rho > lb.rho {
+		lb.rho = rho
+		lb.word = append([]int(nil), word...)
+	}
+	if nv > lb.norm {
+		lb.norm = nv
+	}
+}
+
 // BruteForceBounds evaluates every product of length 1..maxLen and
-// returns the Eq. 12 sandwich. The work grows as k^maxLen for k
-// matrices; callers should keep k^maxLen below ~10⁶.
+// returns the Eq. 12 sandwich with default options. The work grows as
+// k^maxLen for k matrices; callers should keep k^maxLen below ~10⁶.
 func BruteForceBounds(set []*mat.Dense, maxLen int) (Bounds, error) {
+	return BruteForceBoundsOpt(set, maxLen, BruteForceOptions{})
+}
+
+// BruteForceBoundsOpt is BruteForceBounds with explicit options. The
+// product tree is enumerated depth-first in chunks: a shallow
+// breadth-first pass materializes at most bruteChunkCap subtree roots,
+// and workers stream the deep levels holding one product per tree level
+// each, so resident memory is O(chunk + workers·maxLen·n²) rather than
+// the O(k^maxLen·n²) of a stored breadth-first sweep.
+func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
 	if maxLen < 1 {
 		return Bounds{}, fmt.Errorf("jsr: maxLen must be ≥ 1, got %d", maxLen)
 	}
-	lower := 0.0
-	upper := math.Inf(1)
-	var witness []int
-	level := make([]*mat.Dense, len(set))
-	words := make([][]int, len(set))
+	workers := resolveWorkers(opt.Workers)
+	k := len(set)
+
+	// splitDepth is where breadth-first seeding stops and depth-first
+	// streaming starts. The value depends on the worker count, but the
+	// result does not: every word's product is assembled by the same
+	// left-multiplication chain and every level is visited in the same
+	// lexicographic order in either phase.
+	splitDepth := 1
+	for pow := k; splitDepth < maxLen && pow < 4*workers && pow*k <= bruteChunkCap; splitDepth++ {
+		pow *= k
+	}
+
+	acc := make([]levelBest, maxLen+1)
+
+	// Shallow phase: levels 1..splitDepth, breadth-first in
+	// lexicographic word order; the last level seeds the chunks.
+	level := make([]*mat.Dense, k)
+	words := make([][]int, k)
 	for i := range set {
 		level[i] = set[i]
 		words[i] = []int{i}
 	}
-	for l := 1; l <= maxLen; l++ {
-		maxNorm := 0.0
-		exp := 1 / float64(l)
+	for l := 1; ; l++ {
 		for pi, p := range level {
 			rho, err := mat.SpectralRadius(p)
 			if err != nil {
 				return Bounds{}, err
 			}
-			if lb := math.Pow(rho, exp); lb > lower {
-				lower = lb
-				witness = words[pi]
-			}
-			if nv := norm(p); nv > maxNorm {
-				maxNorm = nv
-			}
+			acc[l].fold(rho, words[pi], norm(p))
 		}
-		if ub := math.Pow(maxNorm, exp); ub < upper {
-			upper = ub
-		}
-		if l == maxLen {
+		if l == splitDepth || l == maxLen {
 			break
 		}
-		next := make([]*mat.Dense, 0, len(level)*len(set))
-		nextWords := make([][]int, 0, len(level)*len(set))
+		next := make([]*mat.Dense, 0, len(level)*k)
+		nextWords := make([][]int, 0, len(level)*k)
 		for pi, p := range level {
 			for ai, a := range set {
 				next = append(next, mat.Mul(a, p))
@@ -137,6 +223,65 @@ func BruteForceBounds(set []*mat.Dense, maxLen int) (Bounds, error) {
 		level = next
 		words = nextWords
 	}
+
+	// Deep phase: one depth-first stream per chunk, merged in chunk
+	// order so the per-level "first maximizer" is the lexicographically
+	// first one, exactly as a sequential sweep would pick it.
+	if splitDepth < maxLen {
+		parts := make([][]levelBest, len(level))
+		err := parallelRanges(len(level), workers, func(lo, hi int) error {
+			path := make([]int, maxLen)
+			for ci := lo; ci < hi; ci++ {
+				part := make([]levelBest, maxLen+1)
+				copy(path, words[ci])
+				var dfs func(prod *mat.Dense, length int) error
+				dfs = func(prod *mat.Dense, length int) error {
+					for ai := 0; ai < k; ai++ {
+						p := mat.Mul(set[ai], prod)
+						path[length] = ai
+						rho, err := mat.SpectralRadius(p)
+						if err != nil {
+							return err
+						}
+						part[length+1].fold(rho, path[:length+1], norm(p))
+						if length+1 < maxLen {
+							if err := dfs(p, length+1); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				}
+				if err := dfs(level[ci], splitDepth); err != nil {
+					return err
+				}
+				parts[ci] = part
+			}
+			return nil
+		})
+		if err != nil {
+			return Bounds{}, err
+		}
+		for _, part := range parts {
+			for l := splitDepth + 1; l <= maxLen; l++ {
+				acc[l].fold(part[l].rho, part[l].word, part[l].norm)
+			}
+		}
+	}
+
+	lower := 0.0
+	upper := math.Inf(1)
+	var witness []int
+	for l := 1; l <= maxLen; l++ {
+		exp := 1 / float64(l)
+		if lb := math.Pow(acc[l].rho, exp); lb > lower {
+			lower = lb
+			witness = acc[l].word
+		}
+		if ub := math.Pow(acc[l].norm, exp); ub < upper {
+			upper = ub
+		}
+	}
 	if upper < lower {
 		// Round-off at the crossover; collapse to a consistent point.
 		upper = lower
@@ -144,12 +289,36 @@ func BruteForceBounds(set []*mat.Dense, maxLen int) (Bounds, error) {
 	return Bounds{Lower: lower, Upper: upper, WitnessWord: witness}, nil
 }
 
+// ---------------------------------------------------------------------------
+// Gripenberg branch-and-bound.
+
 // GripenbergOptions configures the branch-and-bound search. Zero values
 // select defaults.
 type GripenbergOptions struct {
 	Delta    float64 // target accuracy; default 1e-3
 	MaxDepth int     // maximum product length; default 40
 	MaxNodes int     // total node budget; default 2_000_000
+	// Workers is the number of expansion goroutines; ≤ 0 selects
+	// GOMAXPROCS. The returned Bounds are bit-identical for every value.
+	Workers int
+}
+
+func (o GripenbergOptions) withDefaults() (GripenbergOptions, error) {
+	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
+	if o.Delta == 0 {
+		o.Delta = 1e-3
+	}
+	if o.Delta < 0 {
+		return o, fmt.Errorf("jsr: negative delta %g", o.Delta)
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 40
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 2_000_000
+	}
+	o.Workers = resolveWorkers(o.Workers)
+	return o, nil
 }
 
 type gripNode struct {
@@ -162,32 +331,56 @@ type gripNode struct {
 	cert float64
 }
 
-// Gripenberg runs the branch-and-bound JSR algorithm. On normal
-// termination the true JSR lies in [Lower, Upper] with
-// Upper ≤ Lower + δ. If the node budget is exhausted first, valid but
-// looser bounds are returned together with ErrBudget.
+// gripChild is one freshly expanded product of a level-synchronous
+// expansion pass; the word is reconstructed from the child index during
+// the merge, so workers never allocate it.
+type gripChild struct {
+	prod *mat.Dense
+	rho  float64
+	cert float64
+}
+
+func frontierMax(fr []gripNode) float64 {
+	m := 0.0
+	for _, nd := range fr {
+		if nd.cert > m {
+			m = nd.cert
+		}
+	}
+	return m
+}
+
+func childWord(parent []int, label int) []int {
+	w := make([]int, len(parent)+1)
+	copy(w, parent)
+	w[len(w)-1] = label
+	return w
+}
+
+// Gripenberg runs the branch-and-bound JSR algorithm. Each level of the
+// search tree is expanded level-synchronously across the worker pool:
+// the frontier is sharded by index, every child's spectral radius and
+// norm certificate is computed independently, and the merge raises the
+// lower bound with a lowest-index tie-break before pruning the children
+// against the final per-level bound — so the result is identical for
+// every worker count. On normal termination the true JSR lies in
+// [Lower, Upper] with Upper ≤ Lower + δ. If the node budget runs out
+// first, the remaining budget is spent on a partial level before valid
+// but looser bounds are returned together with ErrBudget.
 func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
-	//lint:ignore floatcompare the zero value of Delta is the documented "use the default" sentinel
-	if opt.Delta == 0 {
-		opt.Delta = 1e-3
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return Bounds{}, err
 	}
-	if opt.Delta < 0 {
-		return Bounds{}, fmt.Errorf("jsr: negative delta %g", opt.Delta)
-	}
-	if opt.MaxDepth == 0 {
-		opt.MaxDepth = 40
-	}
-	if opt.MaxNodes == 0 {
-		opt.MaxNodes = 2_000_000
-	}
+	k := len(set)
 
 	lower := 0.0
 	var witness []int
 	nodes := 0
-	frontier := make([]gripNode, 0, len(set))
+	frontier := make([]gripNode, 0, k)
 	for i, a := range set {
 		rho, err := mat.SpectralRadius(a)
 		if err != nil {
@@ -199,16 +392,6 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 		}
 		frontier = append(frontier, gripNode{prod: a, word: []int{i}, cert: norm(a)})
 		nodes++
-	}
-
-	frontierMax := func(fr []gripNode) float64 {
-		m := 0.0
-		for _, nd := range fr {
-			if nd.cert > m {
-				m = nd.cert
-			}
-		}
-		return m
 	}
 
 	depth := 1
@@ -224,38 +407,76 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 		if len(frontier) == 0 {
 			break
 		}
-		if nodes+len(frontier)*len(set) > opt.MaxNodes {
+
+		// Budget: expand whole nodes only, and as many of them as the
+		// remaining budget affords. A partial level still tightens
+		// lower (and the certificates folded below) before ErrBudget.
+		expand := len(frontier)
+		if remaining := opt.MaxNodes - nodes; expand*k > remaining {
+			expand = remaining / k
+		}
+		if expand == 0 {
 			return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, frontierMax(frontier)), WitnessWord: witness}, ErrBudget
 		}
+
 		depth++
-		next := make([]gripNode, 0, len(frontier)*len(set))
 		exp := 1 / float64(depth)
-		for _, nd := range frontier {
-			for ai, a := range set {
-				p := mat.Mul(a, nd.prod)
-				nodes++
-				rho, err := mat.SpectralRadius(p)
-				if err != nil {
-					return Bounds{}, err
-				}
-				var word []int
-				makeWord := func() []int {
-					if word == nil {
-						word = make([]int, len(nd.word)+1)
-						copy(word, nd.word)
-						word[len(word)-1] = ai
+		children := make([]gripChild, expand*k)
+		err := parallelRanges(expand, opt.Workers, func(lo, hi int) error {
+			for fi := lo; fi < hi; fi++ {
+				nd := frontier[fi]
+				for ai, a := range set {
+					p := mat.Mul(a, nd.prod)
+					rho, err := mat.SpectralRadius(p)
+					if err != nil {
+						return err
 					}
-					return word
-				}
-				if lb := math.Pow(rho, exp); lb > lower {
-					lower = lb
-					witness = makeWord()
-				}
-				cert := math.Min(nd.cert, math.Pow(norm(p), exp))
-				if cert > lower+opt.Delta {
-					next = append(next, gripNode{prod: p, word: makeWord(), cert: cert})
+					children[fi*k+ai] = gripChild{
+						prod: p,
+						rho:  rho,
+						cert: math.Min(nd.cert, math.Pow(norm(p), exp)),
+					}
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return Bounds{}, err
+		}
+		nodes += expand * k
+
+		// Merge pass 1: raise the lower bound; the scan order makes the
+		// lowest-index maximizer the witness.
+		bestIdx := -1
+		for ci := range children {
+			if lb := math.Pow(children[ci].rho, exp); lb > lower {
+				lower = lb
+				bestIdx = ci
+			}
+		}
+		if bestIdx >= 0 {
+			witness = childWord(frontier[bestIdx/k].word, bestIdx%k)
+		}
+
+		// Merge pass 2: keep children that survive the final per-level
+		// lower bound (at least as strong as the sequential running
+		// prune, and worker-count independent).
+		next := make([]gripNode, 0, len(children))
+		for ci := range children {
+			if c := &children[ci]; c.cert > lower+opt.Delta {
+				next = append(next, gripNode{
+					prod: c.prod,
+					word: childWord(frontier[ci/k].word, ci%k),
+					cert: c.cert,
+				})
+			}
+		}
+
+		if expand < len(frontier) {
+			// Budget exhausted mid-level: unexpanded nodes stay live, so
+			// their certificates cap the JSR alongside the new children's.
+			upper := math.Max(lower+opt.Delta, math.Max(frontierMax(next), frontierMax(frontier[expand:])))
+			return Bounds{Lower: lower, Upper: upper, WitnessWord: witness}, ErrBudget
 		}
 		frontier = next
 	}
@@ -271,11 +492,14 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 // that tightens the norm certificates, then a shallow brute-force pass
 // provides a lower bound and norm sandwich and Gripenberg refines to
 // the requested accuracy; the intersection of the two brackets is
-// returned. A non-nil error (ErrBudget) indicates the bracket is looser
-// than requested but still valid.
+// returned. The witness is replayed against the caller's (untransformed)
+// matrices and Lower is set to the rate it actually attains there, so
+// WitnessRate(set, out.WitnessWord) reproduces out.Lower. A non-nil
+// error (ErrBudget) indicates the bracket is looser than requested but
+// still valid.
 func Estimate(set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, error) {
 	work, _, _ := Precondition(set)
-	bf, err := BruteForceBounds(work, bruteLen)
+	bf, err := BruteForceBoundsOpt(work, bruteLen, BruteForceOptions{Workers: opt.Workers})
 	if err != nil {
 		return Bounds{}, err
 	}
@@ -287,6 +511,27 @@ func Estimate(set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, er
 	}
 	if gp.Lower > bf.Lower {
 		out.WitnessWord = gp.WitnessWord
+	}
+	// The bracket above was computed on the transformed set. Similarity
+	// preserves spectral radii exactly in real arithmetic but not in
+	// floating point, so replay both candidate witnesses on the original
+	// matrices and return the best rate actually attained there.
+	bestRate, bestWord := 0.0, out.WitnessWord
+	for _, w := range [][]int{bf.WitnessWord, gp.WitnessWord} {
+		if len(w) == 0 {
+			continue
+		}
+		rate, rerr := WitnessRate(set, w)
+		if rerr != nil {
+			continue
+		}
+		if rate > bestRate {
+			bestRate, bestWord = rate, w
+		}
+	}
+	if bestRate > 0 {
+		out.Lower = bestRate
+		out.WitnessWord = bestWord
 	}
 	if out.Upper < out.Lower {
 		out.Upper = out.Lower

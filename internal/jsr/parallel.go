@@ -1,0 +1,71 @@
+package jsr
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file holds the worker-pool machinery shared by the parallel JSR
+// estimators. The engine-wide contract (mirroring the sim package's
+// worker-invariance guarantee) is that every exported bound is
+// bit-identical for every worker count:
+//
+//   - work is split by *index*, never by arrival order: each level (or
+//     chunk) is a deterministically ordered array, workers own disjoint
+//     contiguous index ranges and write only into their own slots;
+//   - all floating-point reductions are pure max/min folds (no sums),
+//     which are exact and order-free once ties are broken by the lowest
+//     index — the same "first strictly greater wins" rule the original
+//     sequential scans used;
+//   - errors are reported from the lowest-indexed failing range, so
+//     even failure modes do not depend on scheduling.
+
+// resolveWorkers maps the Workers option (≤ 0 means "use the default")
+// to an actual worker count.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelRanges splits the index range [0, n) into at most `workers`
+// contiguous chunks and runs fn on each concurrently. fn(lo, hi) must
+// touch only state owned by indexes in [lo, hi). The returned error is
+// the one from the lowest-indexed failing chunk.
+func parallelRanges(n, workers int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -22,7 +22,13 @@ if go run ./cmd/adalint ./internal/lint/testdata/floatcompare >/dev/null 2>&1; t
     exit 1
 fi
 
+echo "== go test -race ./internal/jsr/ ./internal/sim/ (worker-invariance under the race detector)"
+go test -race ./internal/jsr/ ./internal/sim/
+
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== benchmark smoke: JSR worker sweep"
+go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
 
 echo "OK"
