@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"adaptivertc/internal/control"
+	"adaptivertc/internal/lti"
+	"adaptivertc/internal/mat"
+)
+
+func benchDesign(b *testing.B) *Design {
+	b.Helper()
+	plant := lti.MustSystem(
+		mat.FromRows([][]float64{{0, 1}, {1, -0.8}}),
+		mat.ColVec(0, 1),
+		mat.Eye(2),
+	)
+	w := control.LQRWeights{Q: mat.Eye(2), R: mat.Diag(0.1)}
+	tm := MustTiming(0.1, 5, 0.01, 0.16)
+	d, err := NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
+		return control.LQGFullInfo(plant, w, h)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkStepJittered quantifies the discretization cache: jitter
+// sweeps revisit a small set of perturbed intervals, so the warm case
+// (every actualH seen before) is the sweep steady state, while the cold
+// case (a fresh interval every step, a cache miss by construction)
+// reproduces the pre-cache behaviour of one matrix exponential per
+// step.
+func BenchmarkStepJittered(b *testing.B) {
+	intervals := []float64{0.101, 0.1203, 0.1397, 0.161}
+
+	b.Run("warm", func(b *testing.B) {
+		d := benchDesign(b)
+		loop, err := NewLoop(d, []float64{1, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, h := range intervals { // pre-populate the cache
+			if err := loop.StepJittered(0, h); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := loop.StepJittered(i%len(d.Modes), intervals[i%len(intervals)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		d := benchDesign(b)
+		loop, err := NewLoop(d, []float64{1, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A unique interval per step defeats the cache, forcing the
+			// per-step Discretize the old implementation always paid.
+			h := 0.1 + float64(i+1)*1e-9
+			if err := loop.StepJittered(i%len(d.Modes), h); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -97,27 +97,58 @@ func (tm Timing) Intervals() []float64 {
 // IntervalIndex maps a job response time R to the index i of the
 // inter-release interval h = T + i·Ts it produces under the period
 // adaptation rule: i = 0 when R ≤ T, otherwise ⌈R/Ts⌉ - Ns.
-// The index is clamped to MaxDelaySteps (R is not allowed to exceed
-// Rmax by assumption; clamping keeps Monte-Carlo draws on the grid in
-// the presence of round-off at the boundary).
+//
+// The index is clamped to MaxDelaySteps. The clamp is SILENT: a
+// response time beyond the certified Rmax — an assumption violation
+// the stability certificate does not cover — maps to the largest
+// certified mode with no indication to the caller. The clamp exists to
+// keep Monte-Carlo draws on the grid in the presence of round-off at
+// the Rmax boundary; callers that must detect genuine R > Rmax
+// excursions (e.g. a runtime monitor) use IntervalIndexChecked.
 func (tm Timing) IntervalIndex(r float64) int {
+	idx, _ := tm.IntervalIndexChecked(r)
+	return idx
+}
+
+// IntervalIndexChecked is IntervalIndex with the clamp surfaced:
+// violated reports that r lies outside the certified envelope — either
+// r maps beyond MaxDelaySteps (R > Rmax beyond grid round-off, so the
+// returned index is the clamped largest mode) or r is non-positive
+// (no real job responds in r ≤ 0; index 0 is returned). Grid-boundary
+// round-off within relTol is absorbed and not a violation.
+func (tm Timing) IntervalIndexChecked(r float64) (idx int, violated bool) {
 	if r <= tm.T*(1+relTol) {
-		return 0
+		return 0, r <= 0
 	}
 	i := ceilGrid(r, tm.Ts()) - tm.Ns
 	if i < 0 {
 		i = 0
 	}
 	if max := tm.MaxDelaySteps(); i > max {
-		i = max
+		return max, true
 	}
-	return i
+	return i, false
 }
 
 // IntervalFor returns the inter-release interval h_k = T + Δ_k produced
-// by response time r (Eq. 2).
+// by response time r (Eq. 2). Like IntervalIndex it silently clamps
+// r > Rmax to the largest certified interval.
 func (tm Timing) IntervalFor(r float64) float64 {
 	return tm.T + float64(tm.IntervalIndex(r))*tm.Ts()
+}
+
+// GridInterval returns the inter-release interval the adaptation rule
+// would produce for response time r WITHOUT clamping to H: the first
+// sensor tick at or after max(r, T). For r ≤ Rmax it agrees with
+// IntervalFor; beyond Rmax it keeps growing with r, leaving the
+// certified set H. The runtime guard uses it to evolve the plant
+// faithfully through an R > Rmax excursion while the controller is
+// clamped to the largest certified mode.
+func (tm Timing) GridInterval(r float64) float64 {
+	if r <= tm.T*(1+relTol) {
+		return tm.T
+	}
+	return float64(ceilGrid(r, tm.Ts())) * tm.Ts()
 }
 
 // NextRelease implements the paper's period-adaptation rule (§IV-A):

@@ -1,0 +1,278 @@
+// Package faults provides composable, deterministic fault injectors
+// for the adaptive runtime: response-time excursions beyond the
+// certified Rmax, sensor-sample dropout (hold-last or zero-substitute),
+// stuck and noisy measurements, actuator hold faults, and release
+// jitter. Everything is drawn from a caller-supplied RNG in a fixed
+// order, so — like the rest of the simulation stack — results are
+// bit-identical for every worker count given the same per-sequence
+// seed.
+//
+// The injectors split along the two surfaces where the paper's
+// assumptions can break:
+//
+//   - timing faults enter as response times: OverrunExcursion wraps any
+//     response model and pushes draws beyond Rmax, violating the §V-B
+//     coverage condition the stability certificate rests on;
+//   - signal faults enter through the core.Loop hooks: a Profile draws
+//     a complete per-job Plan, whose SensorHook/ActuatorHook adapters
+//     plug into Loop.SetSensorHook and Loop.SetActuatorHook, and whose
+//     Jitter entries drive Loop.StepJittered.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ResponseModel matches sim.ResponseModel structurally, so injectors
+// wrap any of the sim package's response-time generators without this
+// package importing sim (sim layers the fault-aware Monte-Carlo on top
+// of this package).
+type ResponseModel interface {
+	Sequence(rng *rand.Rand, m int) []float64
+}
+
+// OverrunExcursion wraps a response model and, with probability Prob
+// per job, replaces the drawn response time with an excursion beyond
+// the certified worst case: R uniform in (Rmax, MaxFactor·Rmax]. These
+// are exactly the draws Timing.IntervalIndex silently clamps and the
+// guard must detect.
+type OverrunExcursion struct {
+	Base      ResponseModel
+	Rmax      float64
+	Prob      float64
+	MaxFactor float64 // excursion ceiling as a multiple of Rmax (> 1)
+}
+
+// Sequence implements ResponseModel. The base sequence is drawn first,
+// then the excursion overlay, keeping the draw order independent of
+// which jobs end up faulted.
+func (o OverrunExcursion) Sequence(rng *rand.Rand, m int) []float64 {
+	out := o.Base.Sequence(rng, m)
+	for i := range out {
+		if rng.Float64() < o.Prob {
+			out[i] = o.Rmax * (1 + rng.Float64()*(o.MaxFactor-1))
+		}
+	}
+	return out
+}
+
+// SensorKind labels the measurement fault injected at one job.
+type SensorKind uint8
+
+const (
+	// SensorOK delivers the true sample.
+	SensorOK SensorKind = iota
+	// SensorDrop loses the sample: the register holds its previous
+	// value (hold-last) or reads zero (zero-substitute), per
+	// Plan.DropZero.
+	SensorDrop
+	// SensorStuck freezes the transducer at the value it shows when the
+	// fault begins; the freeze persists for Profile.StuckLen jobs.
+	SensorStuck
+	// SensorNoise adds the per-channel perturbations in
+	// SensorFault.Noise to the true sample.
+	SensorNoise
+)
+
+// String renders the fault kind for reports.
+func (k SensorKind) String() string {
+	switch k {
+	case SensorOK:
+		return "ok"
+	case SensorDrop:
+		return "drop"
+	case SensorStuck:
+		return "stuck"
+	case SensorNoise:
+		return "noise"
+	}
+	return fmt.Sprintf("SensorKind(%d)", uint8(k))
+}
+
+// SensorFault is the measurement fault scheduled for one job.
+type SensorFault struct {
+	Kind  SensorKind
+	Noise []float64 // per-channel additive noise when Kind == SensorNoise
+}
+
+// Plan is the fully drawn per-job fault schedule for one simulated
+// sequence. Entry k of every slice applies to the job closing interval
+// k, i.e. the k-th call into the runtime. A Plan is deterministic given
+// the RNG it was drawn from and is consumed by exactly one loop run
+// (the hook adapters carry hold-last state).
+type Plan struct {
+	Resp     []float64 // response times, excursions included
+	Sensor   []SensorFault
+	ActHold  []bool    // actuator misses the latch at this release
+	Jitter   []float64 // additive release jitter in seconds
+	DropZero bool      // dropped samples read zero instead of holding
+}
+
+// Jobs returns the number of scheduled jobs.
+func (pl *Plan) Jobs() int { return len(pl.Resp) }
+
+// SensorHook adapts the plan to core.Loop.SetSensorHook. The loop
+// numbers hook invocations by its job counter: job 0 is sampled inside
+// core.NewLoop before any hook can be installed, so plan entry k fires
+// at hook job k+1. The returned closure carries the sample-register
+// state for hold-last and stuck faults and must not be shared between
+// loops.
+func (pl *Plan) SensorHook() func(job int, y []float64) {
+	var register []float64 // last value the controller saw
+	var frozen []float64   // value captured at stuck-fault onset
+	stuckActive := false
+	return func(job int, y []float64) {
+		k := job - 1
+		if k < 0 || k >= len(pl.Sensor) {
+			return
+		}
+		f := pl.Sensor[k]
+		if f.Kind != SensorStuck {
+			stuckActive = false
+		}
+		switch f.Kind {
+		case SensorOK:
+			// true sample delivered
+		case SensorDrop:
+			if pl.DropZero || register == nil {
+				for i := range y {
+					y[i] = 0
+				}
+			} else {
+				copy(y, register)
+			}
+		case SensorStuck:
+			if !stuckActive {
+				frozen = append(frozen[:0], y...)
+				stuckActive = true
+			}
+			copy(y, frozen)
+		case SensorNoise:
+			for i := range y {
+				if i < len(f.Noise) {
+					y[i] += f.Noise[i]
+				}
+			}
+		}
+		register = append(register[:0], y...)
+	}
+}
+
+// ActuatorHook adapts the plan to core.Loop.SetActuatorHook, using the
+// same job numbering as SensorHook.
+func (pl *Plan) ActuatorHook() func(job int) bool {
+	return func(job int) bool {
+		k := job - 1
+		return k >= 0 && k < len(pl.ActHold) && pl.ActHold[k]
+	}
+}
+
+// Profile parameterizes the fault mix. Zero value = no faults. All
+// probabilities are per job; the sensor fault classes are mutually
+// exclusive within a job (Drop + Stuck + Noise ≤ 1).
+type Profile struct {
+	// Timing faults.
+	Excursion       float64 // P(response time beyond the certified Rmax)
+	ExcursionFactor float64 // excursion ceiling as a multiple of Rmax (default 1.5)
+
+	// Sensor faults.
+	Drop     float64 // P(sample lost)
+	DropZero bool    // lost samples read zero instead of holding the last value
+	Stuck    float64 // P(transducer freezes at the current value)
+	StuckLen int     // jobs a stuck fault persists (default 5)
+	Noise    float64 // P(noisy sample)
+	NoiseAmp float64 // uniform per-channel noise amplitude
+
+	// Actuator and timing-grid faults.
+	ActHold   float64 // P(actuator misses a latch)
+	JitterAmp float64 // release jitter amplitude as a fraction of Ts (< 1)
+}
+
+// Validate checks the profile's parameters.
+func (p Profile) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"Excursion", p.Excursion}, {"Drop", p.Drop}, {"Stuck", p.Stuck},
+		{"Noise", p.Noise}, {"ActHold", p.ActHold},
+	} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faults: probability %s = %g outside [0, 1]", pr.name, pr.v)
+		}
+	}
+	if s := p.Drop + p.Stuck + p.Noise; s > 1 {
+		return fmt.Errorf("faults: sensor fault probabilities sum to %g > 1", s)
+	}
+	if p.Excursion > 0 && p.ExcursionFactor > 0 && p.ExcursionFactor <= 1 {
+		return fmt.Errorf("faults: ExcursionFactor = %g must exceed 1", p.ExcursionFactor)
+	}
+	if p.JitterAmp < 0 || p.JitterAmp >= 1 {
+		return fmt.Errorf("faults: JitterAmp = %g outside [0, 1)", p.JitterAmp)
+	}
+	if p.NoiseAmp < 0 {
+		return fmt.Errorf("faults: negative NoiseAmp = %g", p.NoiseAmp)
+	}
+	if p.StuckLen < 0 {
+		return fmt.Errorf("faults: negative StuckLen = %d", p.StuckLen)
+	}
+	return nil
+}
+
+// Plan draws the complete fault schedule for one m-job sequence with q
+// measured outputs on a sensor grid of ts seconds: first the response
+// times (base model plus excursion overlay), then per job the sensor
+// fault, the actuator latch fault and the release jitter. All
+// randomness comes from rng in this fixed order, so a Plan — and hence
+// an entire fault-injected Monte-Carlo — is reproducible from the
+// per-sequence seed alone.
+func (p Profile) Plan(rng *rand.Rand, base ResponseModel, rmax float64, m, q int, ts float64) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 || q <= 0 {
+		return nil, fmt.Errorf("faults: need positive jobs and outputs, got %d, %d", m, q)
+	}
+	exc := OverrunExcursion{Base: base, Rmax: rmax, Prob: p.Excursion, MaxFactor: p.ExcursionFactor}
+	if exc.MaxFactor <= 1 {
+		exc.MaxFactor = 1.5
+	}
+	stuckLen := p.StuckLen
+	if stuckLen <= 0 {
+		stuckLen = 5
+	}
+	pl := &Plan{
+		Resp:     exc.Sequence(rng, m),
+		Sensor:   make([]SensorFault, m),
+		ActHold:  make([]bool, m),
+		Jitter:   make([]float64, m),
+		DropZero: p.DropZero,
+	}
+	stuckLeft := 0
+	for k := 0; k < m; k++ {
+		if stuckLeft > 0 {
+			pl.Sensor[k] = SensorFault{Kind: SensorStuck}
+			stuckLeft--
+		} else {
+			switch u := rng.Float64(); {
+			case u < p.Drop:
+				pl.Sensor[k] = SensorFault{Kind: SensorDrop}
+			case u < p.Drop+p.Stuck:
+				pl.Sensor[k] = SensorFault{Kind: SensorStuck}
+				stuckLeft = stuckLen - 1
+			case u < p.Drop+p.Stuck+p.Noise:
+				noise := make([]float64, q)
+				for i := range noise {
+					noise[i] = p.NoiseAmp * (2*rng.Float64() - 1)
+				}
+				pl.Sensor[k] = SensorFault{Kind: SensorNoise, Noise: noise}
+			}
+		}
+		pl.ActHold[k] = p.ActHold > 0 && rng.Float64() < p.ActHold
+		if p.JitterAmp > 0 {
+			pl.Jitter[k] = p.JitterAmp * ts * (2*rng.Float64() - 1)
+		}
+	}
+	return pl, nil
+}

@@ -1,0 +1,185 @@
+package faults
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// uniform is a minimal stand-in for sim.UniformResponse, avoiding an
+// import cycle in this package's tests.
+type uniform struct{ lo, hi float64 }
+
+func (u uniform) Sequence(rng *rand.Rand, m int) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = u.lo + rng.Float64()*(u.hi-u.lo)
+	}
+	return out
+}
+
+func fullProfile() Profile {
+	return Profile{
+		Excursion: 0.2, ExcursionFactor: 2,
+		Drop: 0.1, Stuck: 0.05, StuckLen: 3,
+		Noise: 0.1, NoiseAmp: 0.2,
+		ActHold: 0.1, JitterAmp: 0.25,
+	}
+}
+
+// TestPlanDeterministic pins the contract the Monte-Carlo merge rests
+// on: the same seed yields a bit-identical plan.
+func TestPlanDeterministic(t *testing.T) {
+	p := fullProfile()
+	base := uniform{lo: 0.01, hi: 0.16}
+	a, err := p.Plan(rand.New(rand.NewSource(7)), base, 0.16, 40, 2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Plan(rand.New(rand.NewSource(7)), base, 0.16, 40, 2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("plans from identical seeds differ")
+	}
+	c, err := p.Plan(rand.New(rand.NewSource(8)), base, 0.16, 40, 2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Resp, c.Resp) {
+		t.Fatal("plans from different seeds are identical — RNG not threaded through")
+	}
+}
+
+// TestOverrunExcursion verifies the excursion overlay: with Prob 1
+// every response escapes the certified Rmax, with Prob 0 the base
+// sequence passes through untouched.
+func TestOverrunExcursion(t *testing.T) {
+	base := uniform{lo: 0.01, hi: 0.16}
+	all := OverrunExcursion{Base: base, Rmax: 0.16, Prob: 1, MaxFactor: 1.5}
+	seq := all.Sequence(rand.New(rand.NewSource(1)), 100)
+	for i, r := range seq {
+		if r <= 0.16 || r > 0.16*1.5 {
+			t.Fatalf("job %d: excursion %g outside (Rmax, 1.5·Rmax]", i, r)
+		}
+	}
+	none := OverrunExcursion{Base: base, Rmax: 0.16, Prob: 0, MaxFactor: 1.5}
+	got := none.Sequence(rand.New(rand.NewSource(1)), 100)
+	want := base.Sequence(rand.New(rand.NewSource(1)), 100)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: Prob=0 overlay altered the base draw %g → %g", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSensorHookSemantics drives a hand-written schedule through the
+// hook and checks each fault class against its specified behaviour.
+func TestSensorHookSemantics(t *testing.T) {
+	pl := &Plan{
+		Sensor: []SensorFault{
+			{Kind: SensorOK},
+			{Kind: SensorDrop},
+			{Kind: SensorStuck},
+			{Kind: SensorStuck},
+			{Kind: SensorNoise, Noise: []float64{0.5, -0.5}},
+			{Kind: SensorOK},
+		},
+	}
+	hook := pl.SensorHook()
+	sample := func(job int, y []float64) []float64 {
+		v := append([]float64(nil), y...)
+		hook(job, v)
+		return v
+	}
+	// Hook jobs are loop jobs: plan entry k fires at job k+1. Job 0
+	// (taken inside NewLoop) passes through untouched.
+	if got := sample(0, []float64{9, 9}); got[0] != 9 || got[1] != 9 {
+		t.Fatalf("job 0 must be untouched, got %v", got)
+	}
+	if got := sample(1, []float64{1, 2}); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ok sample altered: %v", got)
+	}
+	// Drop with hold-last: the register holds the previous delivered
+	// sample [1, 2] even though the true sample moved on.
+	if got := sample(2, []float64{3, 4}); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("hold-last drop delivered %v, want [1 2]", got)
+	}
+	// Stuck freezes at the onset value and persists.
+	if got := sample(3, []float64{5, 6}); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("stuck onset delivered %v, want [5 6]", got)
+	}
+	if got := sample(4, []float64{7, 8}); got[0] != 5 || got[1] != 6 {
+		t.Fatalf("persisting stuck delivered %v, want frozen [5 6]", got)
+	}
+	// Noise adds the pre-drawn per-channel perturbation.
+	if got := sample(5, []float64{1, 1}); got[0] != 1.5 || got[1] != 0.5 {
+		t.Fatalf("noise delivered %v, want [1.5 0.5]", got)
+	}
+	// Past the schedule: untouched.
+	if got := sample(7, []float64{2, 2}); got[0] != 2 || got[1] != 2 {
+		t.Fatalf("out-of-schedule job altered: %v", got)
+	}
+
+	// Zero-substitute variant.
+	zp := &Plan{Sensor: []SensorFault{{Kind: SensorDrop}}, DropZero: true}
+	zh := zp.SensorHook()
+	y := []float64{3, -3}
+	zh(1, y)
+	if y[0] != 0 || y[1] != 0 {
+		t.Fatalf("zero-substitute drop delivered %v, want zeros", y)
+	}
+}
+
+// TestActuatorHook checks the job-index mapping of the latch-fault
+// hook.
+func TestActuatorHook(t *testing.T) {
+	pl := &Plan{ActHold: []bool{false, true, false}}
+	hook := pl.ActuatorHook()
+	want := map[int]bool{0: false, 1: false, 2: true, 3: false, 4: false, 99: false}
+	for job, w := range want {
+		if got := hook(job); got != w {
+			t.Errorf("hook(%d) = %v, want %v", job, got, w)
+		}
+	}
+}
+
+// TestPlanStuckPersistence verifies a drawn stuck fault spans StuckLen
+// jobs.
+func TestPlanStuckPersistence(t *testing.T) {
+	p := Profile{Stuck: 1, StuckLen: 4}
+	pl, err := p.Plan(rand.New(rand.NewSource(3)), uniform{lo: 0.01, hi: 0.1}, 0.16, 8, 1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		if pl.Sensor[k].Kind != SensorStuck {
+			t.Fatalf("job %d: kind %v, want stuck (Stuck=1 with StuckLen=4 must tile the sequence)", k, pl.Sensor[k].Kind)
+		}
+	}
+}
+
+// TestProfileValidate rejects out-of-range parameters.
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{Excursion: -0.1},
+		{Drop: 1.5},
+		{Drop: 0.6, Stuck: 0.5},
+		{Excursion: 0.1, ExcursionFactor: 0.9},
+		{JitterAmp: 1},
+		{NoiseAmp: -1},
+		{StuckLen: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d (%+v) passed validation", i, p)
+		}
+	}
+	if err := (Profile{}).Validate(); err != nil {
+		t.Errorf("zero profile must validate: %v", err)
+	}
+	if _, err := fullProfile().Plan(rand.New(rand.NewSource(1)), uniform{lo: 0.01, hi: 0.1}, 0.16, 0, 1, 0.02); err == nil {
+		t.Error("Plan with zero jobs must error")
+	}
+}

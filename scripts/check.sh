@@ -22,11 +22,14 @@ if go run ./cmd/adalint ./internal/lint/testdata/floatcompare >/dev/null 2>&1; t
     exit 1
 fi
 
-echo "== go test -race ./internal/jsr/ ./internal/sim/ (worker-invariance under the race detector)"
-go test -race ./internal/jsr/ ./internal/sim/
+echo "== go test -race ./internal/jsr/ ./internal/sim/ ./internal/guard/ ./internal/faults/ (worker-invariance under the race detector)"
+go test -race ./internal/jsr/ ./internal/sim/ ./internal/guard/ ./internal/faults/
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== faultsim smoke: one fault-injected sequence through the certified ladder"
+go run ./cmd/adactl faultsim -sequences 1 -jobs 20 -workers 1 -nodes 20000 -brute 3 >/dev/null
 
 echo "== benchmark smoke: JSR worker sweep"
 go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
