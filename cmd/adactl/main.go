@@ -15,16 +15,29 @@
 //
 // Pass -paper to table1/table2 for the paper's full 50 000-sequence
 // protocol (slower).
+//
+// Long-running commands (table1, table2, sweep, faultsim) are
+// interruptible: -timeout caps wall-clock time and SIGINT/SIGTERM stops
+// at the next boundary; either way completed rows are reported and the
+// process exits 5. With -checkpoint the per-row grid state is persisted
+// atomically after every finished row, and -resume restarts the grid
+// without recomputing finished rows.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"adaptivertc/internal/checkpoint"
 	"adaptivertc/internal/control"
 	"adaptivertc/internal/core"
 	"adaptivertc/internal/experiments"
@@ -43,17 +56,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "table1":
-		err = runTable1(args)
+		err = runTable1(ctx, args)
 	case "table2":
-		err = runTable2(args)
+		err = runTable2(ctx, args)
 	case "fig1":
 		err = runFig1()
 	case "sweep":
-		err = runSweep(args)
+		err = runSweep(ctx, args)
 	case "ablation":
 		err = runAblation(args)
 	case "rta":
@@ -75,7 +90,7 @@ func main() {
 	case "observer":
 		err = runObserver(args)
 	case "faultsim":
-		err = runFaultSim(args)
+		err = runFaultSim(ctx, args)
 	case "report":
 		err = runReport(args)
 	case "help", "-h", "--help":
@@ -87,8 +102,17 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adactl:", err)
+		if interrupted(err) {
+			os.Exit(5)
+		}
 		os.Exit(1)
 	}
+}
+
+// interrupted reports whether err stems from cancellation or a deadline
+// (jsr.ErrDeadline wraps the context cause, so it matches too).
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func usage() {
@@ -127,62 +151,198 @@ func experimentFlags(fs *flag.FlagSet) (*experiments.Options, *bool) {
 	return opt, paper
 }
 
-func runTable1(args []string) error {
+// resilienceFlags registers the interruption/resume knobs shared by the
+// long-running grid commands.
+func resilienceFlags(fs *flag.FlagSet) (timeout *time.Duration, ckptPath *string, resume *bool) {
+	timeout = fs.Duration("timeout", 0, "wall-clock budget; an interrupted run reports completed rows and exits 5 (0 = none)")
+	ckptPath = fs.String("checkpoint", "", "persist per-row grid state to this file after every completed row")
+	resume = fs.Bool("resume", false, "resume from the -checkpoint file, skipping completed rows")
+	return
+}
+
+// gridParams pins a grid checkpoint to the flags that shape its rows; a
+// resume with different parameters is refused rather than silently
+// mixing results.
+type gridParams struct {
+	Sequences int
+	Jobs      int
+	Seed      int64
+	BruteLen  int
+	Delta     float64
+	Model     string
+	Refine    int
+	N         int    // grid size
+	Extra     string // command-specific input (e.g. the sweep's -ns list)
+}
+
+func paramsFor(opt experiments.Options, n int, extra string) gridParams {
+	return gridParams{
+		Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed,
+		BruteLen: opt.BruteLen, Delta: opt.Delta, Model: opt.Model,
+		Refine: opt.Refine, N: n, Extra: extra,
+	}
+}
+
+// gridCkpt is the persisted state of a resumable experiment grid: the
+// row slice the experiment writes into plus the per-row done flags.
+type gridCkpt[T any] struct {
+	Params gridParams
+	Rows   []T
+	Done   []bool
+}
+
+const gridCkptVersion = 1
+
+// newGridState builds the (rows, resume-tracker) pair for a grid
+// command: fresh when resume is false, loaded and validated from the
+// checkpoint otherwise. The returned GridResume persists the shared
+// gridCkpt after every completed row; it is nil when no checkpoint was
+// requested (timeout/signal interruption still works, it just cannot
+// resume).
+func newGridState[T any](kind, path string, resume bool, params gridParams) (*gridCkpt[T], *experiments.GridResume, error) {
+	ck := &gridCkpt[T]{Params: params, Rows: make([]T, params.N), Done: make([]bool, params.N)}
+	if resume {
+		if path == "" {
+			return nil, nil, fmt.Errorf("-resume requires -checkpoint")
+		}
+		var loaded gridCkpt[T]
+		if err := checkpoint.Load(path, kind, gridCkptVersion, &loaded); err != nil {
+			return nil, nil, err
+		}
+		if loaded.Params != params {
+			return nil, nil, fmt.Errorf("checkpoint %s was taken with different parameters; rerun with matching flags or start fresh", path)
+		}
+		if len(loaded.Rows) != params.N || len(loaded.Done) != params.N {
+			return nil, nil, fmt.Errorf("checkpoint %s tracks %d rows, grid has %d", path, len(loaded.Rows), params.N)
+		}
+		ck = &loaded
+	}
+	if path == "" {
+		return ck, nil, nil
+	}
+	res := &experiments.GridResume{
+		Done: ck.Done,
+		Save: func() error { return checkpoint.Save(path, kind, gridCkptVersion, ck) },
+	}
+	// Materialize the file up front so a run interrupted before its first
+	// completed row still leaves a (zero-progress) checkpoint to resume.
+	if err := res.Save(); err != nil {
+		return nil, nil, err
+	}
+	return ck, res, nil
+}
+
+// finishGrid reports an interrupted grid run (completed-row count plus
+// the resume hint) or clears the checkpoint of a completed one.
+func finishGrid(err error, ckptPath string, done []bool) error {
+	if err == nil {
+		if ckptPath != "" {
+			if rerr := os.Remove(ckptPath); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				return fmt.Errorf("removing checkpoint: %w", rerr)
+			}
+		}
+		return nil
+	}
+	if interrupted(err) {
+		n := 0
+		for _, d := range done {
+			if d {
+				n++
+			}
+		}
+		fmt.Printf("\ninterrupted: %d/%d rows completed (rows above reflect finished work only)\n", n, len(done))
+		if ckptPath != "" {
+			fmt.Printf("resume with -resume -checkpoint %s\n", ckptPath)
+		}
+	}
+	return err
+}
+
+// writeFileAtomic writes a derived artifact (CSV, report) via temp-file
+// + rename so an interrupted run never leaves a truncated file, and
+// propagates close/sync errors.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	return checkpoint.WriteFileAtomic(path, write)
+}
+
+func runTable1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	opt, paper := experimentFlags(fs)
 	csvPath := fs.String("csv", "", "also write the rows as CSV to this file")
+	timeout, ckptPath, resume := resilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *paper {
 		*opt = experiments.PaperOptions()
 	}
-	start := time.Now()
-	rows, err := experiments.Table1(*opt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	full := opt.Defaults()
+	ck, res, err := newGridState[experiments.Table1Row]("adactl/table1", *ckptPath, *resume, paramsFor(full, len(full.Grid), ""))
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	rows, err := experiments.Table1Ctx(ctx, *opt, ck.Rows, res)
+	if err != nil && !interrupted(err) {
+		return err
+	}
 	fmt.Println("Table I — worst-case performance Jm, PI controller, unstable system, T = 10 ms")
-	fmt.Printf("(%d sequences × %d jobs per cell)\n\n", opt.Sequences, opt.Jobs)
+	fmt.Printf("(%d sequences × %d jobs per cell)\n\n", full.Sequences, full.Jobs)
 	fmt.Print(experiments.Table1String(rows))
 	fmt.Printf("\nelapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if err := finishGrid(err, *ckptPath, ck.Done); err != nil {
+		return err
+	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return experiments.Table1CSV(rows, f)
+		return writeFileAtomic(*csvPath, func(w io.Writer) error {
+			return experiments.Table1CSV(rows, w)
+		})
 	}
 	return nil
 }
 
-func runTable2(args []string) error {
+func runTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ExitOnError)
 	opt, paper := experimentFlags(fs)
 	csvPath := fs.String("csv", "", "also write the rows as CSV to this file")
+	timeout, ckptPath, resume := resilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *paper {
 		*opt = experiments.PaperOptions()
 	}
-	start := time.Now()
-	rows, err := experiments.Table2(*opt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	full := opt.Defaults()
+	ck, res, err := newGridState[experiments.Table2Row]("adactl/table2", *ckptPath, *resume, paramsFor(full, len(full.Grid), ""))
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	rows, err := experiments.Table2Ctx(ctx, *opt, ck.Rows, res)
+	if err != nil && !interrupted(err) {
+		return err
+	}
 	fmt.Println("Table II — stability and worst-case cost, PMSM, LQG, T = 50 µs")
-	fmt.Printf("(%d sequences × %d jobs per cell)\n\n", opt.Sequences, opt.Jobs)
+	fmt.Printf("(%d sequences × %d jobs per cell)\n\n", full.Sequences, full.Jobs)
 	fmt.Print(experiments.Table2String(rows))
 	fmt.Printf("\nelapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	if err := finishGrid(err, *ckptPath, ck.Done); err != nil {
+		return err
+	}
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		return experiments.Table2CSV(rows, f)
+		return writeFileAtomic(*csvPath, func(w io.Writer) error {
+			return experiments.Table2CSV(rows, w)
+		})
 	}
 	return nil
 }
@@ -198,10 +358,12 @@ func runFig1() error {
 	return nil
 }
 
-func runSweep(args []string) error {
+func runSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	opt, _ := experimentFlags(fs)
 	nsList := fs.String("ns", "1,2,4,5,8,10", "comma-separated oversampling factors")
+	csvPath := fs.String("csv", "", "also write the rows as CSV to this file")
+	timeout, ckptPath, resume := resilienceFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,13 +375,37 @@ func runSweep(args []string) error {
 		}
 		factors = append(factors, v)
 	}
-	rows, err := experiments.SweepNs(factors, *opt)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Pin the checkpoint to the normalized factor list, not the raw flag
+	// string, so "1, 2" and "1,2" resume each other.
+	norm := make([]string, len(factors))
+	for i, f := range factors {
+		norm[i] = strconv.Itoa(f)
+	}
+	ck, res, err := newGridState[experiments.SweepRow]("adactl/sweep", *ckptPath, *resume,
+		paramsFor(opt.Defaults(), len(factors), "ns="+strings.Join(norm, ",")))
 	if err != nil {
+		return err
+	}
+	rows, err := experiments.SweepNsCtx(ctx, factors, *opt, ck.Rows, res)
+	if err != nil && !interrupted(err) {
 		return err
 	}
 	fmt.Println("Design-space sweep — sensor granularity vs #H, stability and cost (PMSM, Rmax = 1.6·T)")
 	fmt.Println()
 	fmt.Print(experiments.SweepString(rows))
+	if err := finishGrid(err, *ckptPath, ck.Done); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		return writeFileAtomic(*csvPath, func(w io.Writer) error {
+			return experiments.SweepCSV(rows, w)
+		})
+	}
 	return nil
 }
 
@@ -548,9 +734,10 @@ func runObserver(args []string) error {
 // times escape the certified Rmax, sensors drop/stick/noise, actuators
 // miss latches and releases jitter, while the monitor escalates
 // Nominal → Clamp → SafeMode and recovers with hysteresis.
-func runFaultSim(args []string) error {
+func runFaultSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("faultsim", flag.ExitOnError)
 	scenario := fs.String("scenario", "pmsm", "pmsm | unstable | quickstart")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget; an interrupted run exits 5 (0 = none)")
 	rmaxFactor := fs.Float64("rmax-factor", 1.6, "Rmax as a multiple of T")
 	ns := fs.Int("ns", 5, "sensor oversampling factor")
 	sequences := fs.Int("sequences", 2000, "random fault-injected sequences")
@@ -595,6 +782,11 @@ func runFaultSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	start := time.Now()
 	ladder, err := guard.CertifyLadder(design, guard.CertifyOptions{
@@ -612,7 +804,7 @@ func runFaultSim(args []string) error {
 	x0 := make([]float64, design.Plant.StateDim())
 	x0[0] = 1
 	tm := design.Timing
-	metrics, err := sim.FaultMonteCarlo(design, x0,
+	metrics, err := sim.FaultMonteCarloCtx(ctx, design, x0,
 		sim.SporadicResponse{Rmin: tm.Rmin, T: tm.T, Rmax: tm.Rmax, OverrunProb: 0.3},
 		sim.ErrorCost(),
 		sim.FaultOptions{
@@ -654,12 +846,9 @@ func runReport(args []string) error {
 	if *paper {
 		*opt = experiments.PaperOptions()
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := experiments.Report(*opt, f); err != nil {
+	if err := writeFileAtomic(*out, func(w io.Writer) error {
+		return experiments.Report(*opt, w)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("report written to %s\n", *out)

@@ -10,74 +10,219 @@
 //
 // Usage:
 //
-//	jsrtool [-in matrices.json] [-delta 1e-3] [-depth 30] [-brute 6] [-raw] [-workers N]
+//	jsrtool [-in matrices.json] [-delta 1e-3] [-depth 30] [-brute 6] [-raw]
+//	        [-workers N] [-timeout 30s] [-checkpoint path [-resume]]
+//
+// Long-running searches are interruptible: -timeout caps wall-clock
+// time, and Ctrl-C (SIGINT) or SIGTERM stops the search at the next
+// level boundary. Either way the tool prints the valid best-so-far
+// bracket and exits 5. With -checkpoint the Gripenberg frontier is
+// snapshotted atomically at every level boundary, and -resume restarts
+// from the snapshot — the resumed run finishes with bounds bit-identical
+// to an uninterrupted one. A run that completes removes its checkpoint.
 //
 // Exit status: 0 when stability is certified (upper bound < 1), 3 when
 // instability is certified (lower bound ≥ 1), 4 when undecided at the
-// requested accuracy.
+// requested accuracy, 5 when interrupted (deadline or signal; the
+// printed bracket is valid but the search did not finish), 2 on errors.
 package main
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"adaptivertc/internal/checkpoint"
 	"adaptivertc/internal/jsr"
 	"adaptivertc/internal/mat"
 )
 
+// ckptKind/ckptVersion identify jsrtool's checkpoint format.
+const (
+	ckptKind    = "jsrtool/gripenberg"
+	ckptVersion = 1
+)
+
+// ckptPayload is what jsrtool persists: the Gripenberg search state
+// plus everything needed to refuse a resume against different inputs.
+// Depth (the -depth flag) is deliberately not pinned: resuming with a
+// larger -depth is the supported way to extend an exhausted search.
+type ckptPayload struct {
+	SetHash [sha256.Size]byte // content hash of the input matrices
+	Delta   float64
+	Brute   int
+	Raw     bool
+	State   jsr.GripenbergState
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	in := flag.String("in", "", "input file (default: stdin)")
 	delta := flag.Float64("delta", 1e-3, "Gripenberg target accuracy (shared default with adactl)")
 	depth := flag.Int("depth", 30, "maximum product length")
 	brute := flag.Int("brute", 6, "brute-force enumeration depth")
 	raw := flag.Bool("raw", false, "skip Lyapunov preconditioning")
 	workers := flag.Int("workers", 0, "JSR worker goroutines (0 = all cores); bounds are identical for every value")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget; on expiry print the best-so-far bracket and exit 5 (0 = none)")
+	ckptPath := flag.String("checkpoint", "", "snapshot the search state to this file at every level boundary")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
 	flag.Parse()
 
 	set, err := readSet(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jsrtool:", err)
-		os.Exit(2)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers, Deadline: *timeout}
+	hash := setHash(set, *raw)
+	if *resume {
+		if *ckptPath == "" {
+			fmt.Fprintln(os.Stderr, "jsrtool: -resume requires -checkpoint")
+			return 2
+		}
+		var p ckptPayload
+		if err := checkpoint.Load(*ckptPath, ckptKind, ckptVersion, &p); err != nil {
+			fmt.Fprintln(os.Stderr, "jsrtool:", err)
+			return 2
+		}
+		if p.SetHash != hash {
+			fmt.Fprintln(os.Stderr, "jsrtool: checkpoint was taken for a different matrix set (or -raw mode)")
+			return 2
+		}
+		//lint:ignore floatcompare exact-bits roundtrip check: the checkpoint stores the flag value verbatim
+		if p.Delta != *delta || p.Brute != *brute || p.Raw != *raw {
+			fmt.Fprintf(os.Stderr, "jsrtool: checkpoint parameters differ (delta=%g brute=%d raw=%v); rerun with matching flags\n",
+				p.Delta, p.Brute, p.Raw)
+			return 2
+		}
+		opt.Resume = &p.State
+	}
+	if *ckptPath != "" {
+		opt.Snapshot = func(st jsr.GripenbergState) error {
+			return checkpoint.Save(*ckptPath, ckptKind, ckptVersion, ckptPayload{
+				SetHash: hash, Delta: *delta, Brute: *brute, Raw: *raw, State: st,
+			})
+		}
 	}
 
 	var bounds jsr.Bounds
+	var serr error
 	if *raw {
-		bf, err := jsr.BruteForceBoundsOpt(set, *brute, jsr.BruteForceOptions{Workers: *workers})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jsrtool:", err)
-			os.Exit(2)
-		}
-		gp, gerr := jsr.Gripenberg(set, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers})
-		if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) {
-			fmt.Fprintln(os.Stderr, "jsrtool:", gerr)
-			os.Exit(2)
-		}
-		bounds = jsr.Bounds{Lower: max(bf.Lower, gp.Lower), Upper: min(bf.Upper, gp.Upper)}
+		bounds, serr = rawBounds(ctx, set, *brute, opt)
 	} else {
-		var gerr error
-		bounds, gerr = jsr.Estimate(set, *brute, jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers})
-		if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) {
-			fmt.Fprintln(os.Stderr, "jsrtool:", gerr)
-			os.Exit(2)
-		}
+		bounds, serr = jsr.EstimateCtx(ctx, set, *brute, opt)
+	}
+	interrupted := errors.Is(serr, jsr.ErrDeadline)
+	if serr != nil && !interrupted && !errors.Is(serr, jsr.ErrBudget) {
+		fmt.Fprintln(os.Stderr, "jsrtool:", serr)
+		return 2
 	}
 
 	fmt.Printf("matrices: %d  dimension: %d\n", len(set), set[0].Rows())
 	fmt.Printf("JSR in %s (gap %.3g)\n", bounds, bounds.Gap())
+	if interrupted {
+		msg := "deadline"
+		if errors.Is(serr, context.Canceled) {
+			msg = "signal"
+		}
+		fmt.Printf("interrupted (%s): bracket is valid best-so-far", msg)
+		if *ckptPath != "" {
+			fmt.Printf("; resume with -resume -checkpoint %s", *ckptPath)
+		}
+		fmt.Println()
+		return 5
+	}
 	switch {
 	case bounds.CertifiesStable():
 		fmt.Println("verdict: STABLE under arbitrary switching (UB < 1)")
 	case bounds.CertifiesUnstable():
 		fmt.Println("verdict: UNSTABLE (LB ≥ 1)")
-		os.Exit(3)
+		return 3
 	default:
 		fmt.Println("verdict: undecided at this accuracy (1 lies inside the bracket)")
-		os.Exit(4)
+		return 4
 	}
+	// The search ran to its verdict; a stale snapshot would only invite
+	// a confusing -resume later.
+	if *ckptPath != "" {
+		if err := os.Remove(*ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "jsrtool: removing checkpoint:", err)
+		}
+	}
+	return 0
+}
+
+// rawBounds reproduces Estimate's bracket merge without the Lyapunov
+// preconditioning, tolerating budget/deadline cuts from either phase.
+func rawBounds(ctx context.Context, set []*mat.Dense, brute int, opt jsr.GripenbergOptions) (jsr.Bounds, error) {
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+		opt.Deadline = 0
+	}
+	bf, bferr := jsr.BruteForceBoundsCtx(ctx, set, brute, jsr.BruteForceOptions{Workers: opt.Workers})
+	if bferr != nil && !errors.Is(bferr, jsr.ErrDeadline) {
+		return jsr.Bounds{}, bferr
+	}
+	gp, gerr := jsr.GripenbergCtx(ctx, set, opt)
+	if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) && !errors.Is(gerr, jsr.ErrDeadline) {
+		return jsr.Bounds{}, gerr
+	}
+	out := jsr.Bounds{
+		Lower:       math.Max(bf.Lower, gp.Lower),
+		Upper:       math.Min(bf.Upper, gp.Upper),
+		WitnessWord: bf.WitnessWord,
+	}
+	if gp.Lower > bf.Lower {
+		out.WitnessWord = gp.WitnessWord
+	}
+	return out, errors.Join(bferr, gerr)
+}
+
+// setHash pins a checkpoint to the exact analysis input: matrix count,
+// dimensions, raw float bits in order, and the preconditioning mode.
+func setHash(set []*mat.Dense, raw bool) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	if raw {
+		writeU64(1)
+	} else {
+		writeU64(0)
+	}
+	writeU64(uint64(len(set)))
+	for _, m := range set {
+		writeU64(uint64(m.Rows()))
+		writeU64(uint64(m.Cols()))
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				writeU64(math.Float64bits(m.At(i, j)))
+			}
+		}
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
 }
 
 func readSet(path string) ([]*mat.Dense, error) {
@@ -102,18 +247,4 @@ func readSet(path string) ([]*mat.Dense, error) {
 		set[i] = mat.FromRows(m)
 	}
 	return set, nil
-}
-
-func max(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

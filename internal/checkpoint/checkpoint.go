@@ -1,0 +1,154 @@
+// Package checkpoint persists resumable job state atomically.
+//
+// Long-running certification and experiment jobs (jsrtool Gripenberg
+// searches, adactl experiment grids) snapshot their progress through
+// this package so a crash, SIGINT, or wall-clock deadline loses at most
+// one snapshot interval of work. Two guarantees matter and both are
+// provided here rather than at each call site:
+//
+//   - Atomicity: a snapshot file is either the complete previous
+//     snapshot or the complete new one, never a torn mix. Writes go to
+//     a temporary file in the destination directory, are fsynced, and
+//     are published with os.Rename (atomic on POSIX filesystems).
+//
+//   - Self-validation: every file carries a magic string, a kind tag, a
+//     format version, and a SHA-256 checksum of the payload. Load
+//     refuses files from a different tool, a different format version,
+//     or with corrupted bytes, wrapping ErrCorrupt or ErrMismatch so
+//     callers can distinguish "start fresh" from "operator error".
+//
+// Payloads are encoded with encoding/gob: self-describing, stdlib-only,
+// and stable for the plain struct/slice/float64 state the jobs persist.
+// Gob encoding is not canonical across Go versions, but the checksum
+// covers the exact bytes written, so a file either round-trips exactly
+// or is rejected.
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// magic identifies checkpoint files written by this package.
+const magic = "ADARTCKP"
+
+// ErrCorrupt is wrapped by Load when the file is truncated, has a bad
+// magic string, or fails its checksum — the bytes on disk are not a
+// checkpoint this package wrote.
+var ErrCorrupt = errors.New("checkpoint: file corrupt")
+
+// ErrMismatch is wrapped by Load when the file is a valid checkpoint
+// but for a different kind or format version than the caller expects.
+var ErrMismatch = errors.New("checkpoint: kind or version mismatch")
+
+// header precedes the payload; it is gob-encoded right after the magic
+// bytes. Size and Sum pin the exact payload bytes.
+type header struct {
+	Kind    string
+	Version int
+	Size    int64
+	Sum     [sha256.Size]byte
+}
+
+// WriteFileAtomic writes a file via a temporary sibling + rename so
+// readers never observe a partial file, and propagates every error on
+// the write path — including Sync and Close, which is where full-disk
+// and NFS failures actually surface. On error the temporary file is
+// removed and the previous contents of path (if any) are untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Save atomically writes payload to path as a checkpoint of the given
+// kind and format version. The payload must be gob-encodable.
+func Save(path, kind string, version int, payload any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return fmt.Errorf("checkpoint: encode payload: %w", err)
+	}
+	h := header{Kind: kind, Version: version, Size: int64(body.Len()), Sum: sha256.Sum256(body.Bytes())}
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, magic); err != nil {
+			return fmt.Errorf("checkpoint: write magic: %w", err)
+		}
+		if err := gob.NewEncoder(w).Encode(h); err != nil {
+			return fmt.Errorf("checkpoint: write header: %w", err)
+		}
+		if _, err := w.Write(body.Bytes()); err != nil {
+			return fmt.Errorf("checkpoint: write payload: %w", err)
+		}
+		return nil
+	})
+}
+
+// Load reads a checkpoint written by Save into payload (a pointer),
+// verifying magic, kind, version, and checksum first. Errors wrap
+// ErrCorrupt for unreadable bytes and ErrMismatch for a readable
+// checkpoint of the wrong kind or version; plain os errors (e.g.
+// fs.ErrNotExist) pass through for the open itself.
+func Load(path, kind string, version int, payload any) error {
+	// Checkpoints are small (words and row summaries, not matrices), so
+	// read whole-file: it keeps the parse exact. bytes.Reader is an
+	// io.ByteReader, so the gob header decoder consumes precisely its
+	// own message bytes and the payload starts at the reader's cursor.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	br := bytes.NewReader(data)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return fmt.Errorf("%w: %s: reading magic: %v", ErrCorrupt, path, err)
+	}
+	if string(got) != magic {
+		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, got)
+	}
+	var h header
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return fmt.Errorf("%w: %s: reading header: %v", ErrCorrupt, path, err)
+	}
+	if h.Kind != kind || h.Version != version {
+		return fmt.Errorf("%w: %s holds %q v%d, want %q v%d", ErrMismatch, path, h.Kind, h.Version, kind, version)
+	}
+	if h.Size < 0 || h.Size != int64(br.Len()) {
+		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, br.Len(), h.Size)
+	}
+	body := data[len(data)-br.Len():]
+	if sha256.Sum256(body) != h.Sum {
+		return fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, path)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(payload); err != nil {
+		return fmt.Errorf("%w: %s: decoding payload: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type fakeState struct {
+	K        int
+	Depth    int
+	Lower    float64
+	Witness  []int
+	Frontier [][]int
+}
+
+func sampleState() fakeState {
+	return fakeState{
+		K:        2,
+		Depth:    3,
+		Lower:    0.8912345678901234,
+		Witness:  []int{0, 1, 0},
+		Frontier: [][]int{{0, 1, 0}, {1, 0, 1}, {1, 1, 0}},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	want := sampleState()
+	if err := Save(path, "test/state", 1, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var got fakeState
+	if err := Load(path, "test/state", 1, &got); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.K != want.K || got.Depth != want.Depth || got.Lower != want.Lower {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+	if len(got.Frontier) != len(want.Frontier) {
+		t.Fatalf("frontier length %d, want %d", len(got.Frontier), len(want.Frontier))
+	}
+	for i := range want.Frontier {
+		for j := range want.Frontier[i] {
+			if got.Frontier[i][j] != want.Frontier[i][j] {
+				t.Fatalf("frontier[%d][%d] = %d, want %d", i, j, got.Frontier[i][j], want.Frontier[i][j])
+			}
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, "test/state", 1, fakeState{K: 1}); err != nil {
+		t.Fatalf("first Save: %v", err)
+	}
+	if err := Save(path, "test/state", 1, sampleState()); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	var got fakeState
+	if err := Load(path, "test/state", 1, &got); err != nil {
+		t.Fatalf("Load after overwrite: %v", err)
+	}
+	if got.K != 2 {
+		t.Fatalf("got stale snapshot: %+v", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	err := Load(filepath.Join(t.TempDir(), "absent"), "test/state", 1, &fakeState{})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want fs.ErrNotExist, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrMismatch) {
+		t.Fatalf("missing file misreported as corrupt/mismatch: %v", err)
+	}
+}
+
+func TestLoadKindAndVersionMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := Save(path, "test/state", 1, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, "other/kind", 1, &fakeState{}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("kind mismatch: want ErrMismatch, got %v", err)
+	}
+	if err := Load(path, "test/state", 2, &fakeState{}); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("version mismatch: want ErrMismatch, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck")
+	if err := Save(path, "test/state", 1, sampleState()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b = append([]byte(nil), b...); b[0] ^= 0xff; return b }},
+		{"flipped payload bit", func(b []byte) []byte { b = append([]byte(nil), b...); b[len(b)-1] ^= 0x01; return b }},
+		{"truncated", func(b []byte) []byte { return append([]byte(nil), b[:len(b)-3]...) }},
+		{"trailing garbage", func(b []byte) []byte { return append(append([]byte(nil), b...), 0xde, 0xad) }},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		bad := filepath.Join(dir, "bad")
+		if err := os.WriteFile(bad, tc.mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Load(bad, "test/state", 1, &fakeState{}); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: want ErrCorrupt, got %v", tc.name, err)
+		}
+	}
+}
+
+func TestWriteFileAtomicPropagatesWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want sentinel error, got %v", err)
+	}
+	// Previous contents untouched, temp removed.
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("previous contents clobbered: %q, %v", got, err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file leaked: %d entries", len(entries))
+	}
+}

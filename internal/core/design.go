@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"adaptivertc/internal/control"
@@ -123,6 +124,14 @@ func (d *Design) OmegaSet() []*mat.Dense {
 // bracket is valid but looser than requested.
 func (d *Design) StabilityBounds(bruteLen int, opt jsr.GripenbergOptions) (jsr.Bounds, error) {
 	return jsr.Estimate(d.OmegaSet(), bruteLen, opt)
+}
+
+// StabilityBoundsCtx is StabilityBounds honoring a context and the
+// deadline/snapshot/resume options of jsr.EstimateCtx: cancellation or
+// an expired opt.Deadline returns the valid best-so-far bracket with an
+// error wrapping jsr.ErrDeadline.
+func (d *Design) StabilityBoundsCtx(ctx context.Context, bruteLen int, opt jsr.GripenbergOptions) (jsr.Bounds, error) {
+	return jsr.EstimateCtx(ctx, d.OmegaSet(), bruteLen, opt)
 }
 
 // Omega builds the lifted one-step matrix of Eq. 8 for a single mode:

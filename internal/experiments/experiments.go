@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -61,18 +62,43 @@ type Options struct {
 	Workers int
 }
 
+// GridResume tracks per-row completion of an experiment grid so an
+// interrupted run can resume without recomputing finished rows. Done[i]
+// marks row i complete; its length must equal the grid size. Save, when
+// non-nil, is invoked after each newly completed row — updates to Done
+// and Save calls are serialized under one lock, so the hook can safely
+// persist Done together with the caller's row slice (each row is fully
+// written before Done[i] flips).
+type GridResume struct {
+	Done []bool
+	Save func() error
+}
+
+// ctxInterrupted reports whether err carries nothing but a context
+// cancellation or deadline (including wrapped forms).
+func ctxInterrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // gridParallel evaluates fn(i) for every grid row i on at most
 // `workers` goroutines. Each fn owns row i exclusively (it writes only
-// rows[i]), so results are deterministic; the returned error is the one
-// from the lowest-indexed failing row.
-func gridParallel(n, workers int, fn func(i int) error) error {
+// rows[i]), so results are deterministic. Rows already marked done in
+// res are skipped; cancellation stops the feeder and in-flight rows at
+// their next poll. Real row failures are joined in index order and take
+// precedence over cancellation noise; a run cut purely by the context
+// returns the context's error.
+func gridParallel(ctx context.Context, n, workers int, res *GridResume, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n
 	}
+	if res != nil && len(res.Done) != n {
+		return fmt.Errorf("experiments: resume state tracks %d rows, grid has %d", len(res.Done), n)
+	}
 	errs := make([]error, n)
+	var mu sync.Mutex // serializes res.Done updates and res.Save calls
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -80,16 +106,56 @@ func gridParallel(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if cerr := ctx.Err(); cerr != nil {
+					errs[i] = cerr
+					continue
+				}
 				errs[i] = fn(i)
+				if errs[i] == nil && res != nil {
+					mu.Lock()
+					res.Done[i] = true
+					if res.Save != nil {
+						errs[i] = res.Save()
+					}
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		if res != nil && res.Done[i] {
+			continue
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	return errors.Join(errs...)
+
+	var fails []error
+	var ctxErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case ctxInterrupted(err):
+			if ctxErr == nil {
+				ctxErr = err
+			}
+		default:
+			fails = append(fails, err)
+		}
+	}
+	if len(fails) > 0 {
+		return errors.Join(fails...)
+	}
+	if ctxErr != nil {
+		return ctxErr
+	}
+	return ctx.Err()
 }
 
 // Defaults fills zero fields with fast-but-meaningful values.
@@ -214,16 +280,33 @@ func (t *piTuner) adaptiveTable(tm core.Timing) (map[int64]control.PIGains, erro
 	return table, nil
 }
 
-// Table1 regenerates Table I. Grid rows are independent and evaluated
-// in parallel; each goroutine owns exactly one row slot.
+// Table1 regenerates Table I with a background context; see Table1Ctx.
 func Table1(opt Options) ([]Table1Row, error) {
+	rows, err := Table1Ctx(context.Background(), opt, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Table1Ctx regenerates Table I. Grid rows are independent and
+// evaluated in parallel; each goroutine owns exactly one row slot.
+// rows, when non-nil and of grid length, is written in place (pass the
+// slice a resume checkpoint restored); otherwise a fresh slice is
+// allocated. res, when non-nil, skips rows already marked done and
+// persists progress after each row. On error (including cancellation)
+// the partially filled rows are returned alongside it: rows with
+// res.Done[i] set are valid.
+func Table1Ctx(ctx context.Context, opt Options, rows []Table1Row, res *GridResume) ([]Table1Row, error) {
 	opt = opt.Defaults()
 	plant := plants.Unstable()
 	x0 := []float64{1, 0}
 	tuner := newPITuner(plant)
 
-	rows := make([]Table1Row, len(opt.Grid))
-	err := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+	if len(rows) != len(opt.Grid) {
+		rows = make([]Table1Row, len(opt.Grid))
+	}
+	err := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table1T, cfg.Ns, table1T/10, cfg.RmaxFactor*table1T)
 		if err != nil {
@@ -269,7 +352,7 @@ func Table1(opt Options) ([]Table1Row, error) {
 			if err != nil {
 				return err
 			}
-			m, err := sim.WorstCase(d, x0, model, sim.ErrorCost(),
+			m, err := sim.WorstCaseCtx(ctx, d, x0, model, sim.ErrorCost(),
 				sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers}, opt.Refine)
 			if err != nil {
 				return err
@@ -279,10 +362,7 @@ func Table1(opt Options) ([]Table1Row, error) {
 		rows[ri] = row
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return rows, nil
+	return rows, err
 }
 
 // Table1String renders rows in the paper's layout.
@@ -330,8 +410,20 @@ func pmsmWeights() control.LQRWeights {
 
 func pmsmInitialState() []float64 { return []float64{1, 1, 20} }
 
-// Table2 regenerates Table II.
+// Table2 regenerates Table II with a background context; see Table2Ctx.
 func Table2(opt Options) ([]Table2Row, error) {
+	rows, err := Table2Ctx(context.Background(), opt, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Table2Ctx regenerates Table II; rows and res behave as in Table1Ctx.
+// A JSR search cut by the node budget marks the row JSRBudgetHit (the
+// bracket stays valid); a row cut by cancellation is not completed and
+// will be recomputed on resume.
+func Table2Ctx(ctx context.Context, opt Options, rows []Table2Row, res *GridResume) ([]Table2Row, error) {
 	opt = opt.Defaults()
 	plant := plants.PMSM(plants.DefaultPMSMParams())
 	w := pmsmWeights()
@@ -344,8 +436,10 @@ func Table2(opt Options) ([]Table2Row, error) {
 		return control.LQGFullInfo(plant, w, h)
 	}
 
-	rows := make([]Table2Row, len(opt.Grid))
-	gerr := gridParallel(len(opt.Grid), opt.Workers, func(ri int) error {
+	if len(rows) != len(opt.Grid) {
+		rows = make([]Table2Row, len(opt.Grid))
+	}
+	gerr := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
@@ -359,8 +453,11 @@ func Table2(opt Options) ([]Table2Row, error) {
 		if err != nil {
 			return err
 		}
-		bounds, jerr := adaptiveDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
+		bounds, jerr := adaptiveDesign.StabilityBoundsCtx(ctx, opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 		if jerr != nil {
+			if ctxInterrupted(jerr) {
+				return jerr
+			}
 			row.JSRBudgetHit = true
 		}
 		row.JSR = bounds
@@ -391,7 +488,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 			if err != nil {
 				return 0, false, err
 			}
-			m, err := sim.WorstCase(d, x0, model, cost, mc, opt.Refine)
+			m, err := sim.WorstCaseCtx(ctx, d, x0, model, cost, mc, opt.Refine)
 			if err != nil {
 				return 0, false, err
 			}
@@ -415,7 +512,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 		if err != nil {
 			return err
 		}
-		fixedTBounds, err := fixedTDesign.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
+		fixedTBounds, err := fixedTDesign.StabilityBoundsCtx(ctx, opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
 			return err
 		}
@@ -443,10 +540,7 @@ func Table2(opt Options) ([]Table2Row, error) {
 		rows[ri] = row
 		return nil
 	})
-	if gerr != nil {
-		return nil, gerr
-	}
-	return rows, nil
+	return rows, gerr
 }
 
 // Table2String renders rows in the paper's layout.
@@ -533,37 +627,53 @@ type SweepRow struct {
 	WorstCost float64
 }
 
-// SweepNs runs the granularity ablation on the PMSM at Rmax = 1.6·T.
+// SweepNs runs the granularity ablation with a background context; see
+// SweepNsCtx.
 func SweepNs(factors []int, opt Options) ([]SweepRow, error) {
+	rows, err := SweepNsCtx(context.Background(), factors, opt, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// SweepNsCtx runs the granularity ablation on the PMSM at Rmax = 1.6·T.
+// Rows run sequentially (in factors order — each row's JSR search is
+// itself parallel); rows and res behave as in Table1Ctx.
+func SweepNsCtx(ctx context.Context, factors []int, opt Options, rows []SweepRow, res *GridResume) ([]SweepRow, error) {
 	opt = opt.Defaults()
 	plant := plants.PMSM(plants.DefaultPMSMParams())
 	w := pmsmWeights()
 	cost := sim.QuadCost(w.Q, w.R)
 	x0 := pmsmInitialState()
-	out := make([]SweepRow, 0, len(factors))
-	for _, ns := range factors {
+	if len(rows) != len(factors) {
+		rows = make([]SweepRow, len(factors))
+	}
+	err := gridParallel(ctx, len(factors), 1, res, func(ri int) error {
+		ns := factors[ri]
 		tm, err := core.NewTiming(table2T, ns, table2T/10, 1.6*table2T)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d, err := core.NewDesign(plant, tm, func(h float64) (*control.StateSpace, error) {
 			return control.LQGFullInfo(plant, w, h)
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		bounds, err := d.StabilityBounds(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
+		bounds, err := d.StabilityBoundsCtx(ctx, opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
-			return nil, err
+			return err
 		}
-		m, err := sim.MonteCarlo(d, x0, sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}, cost,
+		m, err := sim.MonteCarloCtx(ctx, d, x0, sim.UniformResponse{Rmin: tm.Rmin, Rmax: tm.Rmax}, cost,
 			sim.MonteCarloOptions{Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed, Workers: opt.Workers})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, SweepRow{Ns: ns, NumModes: d.NumModes(), JSR: bounds, WorstCost: m.WorstCost})
-	}
-	return out, nil
+		rows[ri] = SweepRow{Ns: ns, NumModes: d.NumModes(), JSR: bounds, WorstCost: m.WorstCost}
+		return nil
+	})
+	return rows, err
 }
 
 // SweepString renders the sweep.

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// resumeOpts keeps the resume tests cheap: equivalence is exact (the
+// same seeds replay bit-identically), so tiny sweeps suffice.
+func resumeOpts() Options {
+	return Options{Sequences: 30, Jobs: 10, Seed: 3, BruteLen: 3, Delta: 0.05}
+}
+
+// TestTable1CtxCancelled: a cancelled context aborts before any row
+// completes and reports the cancellation.
+func TestTable1CtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make([]bool, len(PaperGrid))
+	res := &GridResume{Done: done}
+	_, err := Table1Ctx(ctx, resumeOpts(), nil, res)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, d := range done {
+		if d {
+			t.Fatalf("row %d marked done under a pre-cancelled context", i)
+		}
+	}
+}
+
+// TestTable1CtxResume: rows restored from a checkpoint must be reused
+// verbatim (their work skipped), freshly computed rows must match a
+// from-scratch run exactly, and progress must be persisted once per
+// newly completed row.
+func TestTable1CtxResume(t *testing.T) {
+	opt := resumeOpts()
+	ref, err := Table1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != len(PaperGrid) {
+		t.Fatalf("grid has %d rows, want %d", len(ref), len(PaperGrid))
+	}
+
+	// Simulate a checkpoint that completed the first half of the grid.
+	rows := make([]Table1Row, len(ref))
+	done := make([]bool, len(ref))
+	half := len(ref) / 2
+	for i := 0; i < half; i++ {
+		rows[i] = ref[i]
+		done[i] = true
+	}
+	var mu sync.Mutex
+	saves := 0
+	res := &GridResume{
+		Done: done,
+		Save: func() error {
+			mu.Lock()
+			saves++
+			mu.Unlock()
+			return nil
+		},
+	}
+	got, err := Table1Ctx(context.Background(), opt, rows, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("resumed rows diverge from a fresh run:\n got %+v\nwant %+v", got, ref)
+	}
+	if want := len(ref) - half; saves != want {
+		t.Fatalf("Save called %d times, want once per newly completed row (%d)", saves, want)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("row %d not marked done after completion", i)
+		}
+	}
+}
+
+// TestGridParallelValidatesResume: a done slice of the wrong length is
+// a caller bug (a checkpoint for a different grid) and must be refused.
+func TestGridParallelValidatesResume(t *testing.T) {
+	res := &GridResume{Done: make([]bool, 2)}
+	err := gridParallel(context.Background(), 3, 1, res, func(int) error { return nil })
+	if err == nil {
+		t.Fatal("mismatched Done length accepted")
+	}
+}
+
+// TestGridParallelRealErrorBeatsCancellation: when a row fails, sibling
+// rows drained by the induced cancellation must not mask the failure,
+// and failed rows must stay un-done.
+func TestGridParallelRealErrorBeatsCancellation(t *testing.T) {
+	sentinel := errors.New("row failure")
+	done := make([]bool, 8)
+	res := &GridResume{Done: done}
+	err := gridParallel(context.Background(), 8, 4, res, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the row failure", err)
+	}
+	if done[3] {
+		t.Fatal("failed row marked done")
+	}
+}
+
+// TestSweepNsCtxResume mirrors the table test on the sequential sweep
+// runner.
+func TestSweepNsCtxResume(t *testing.T) {
+	factors := []int{1, 2}
+	opt := resumeOpts()
+	ref, err := SweepNs(factors, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rows := make([]SweepRow, len(ref))
+	done := make([]bool, len(ref))
+	rows[0] = ref[0]
+	done[0] = true
+	saves := 0
+	res := &GridResume{Done: done, Save: func() error { saves++; return nil }}
+	got, err := SweepNsCtx(context.Background(), factors, opt, rows, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("resumed sweep diverges:\n got %+v\nwant %+v", got, ref)
+	}
+	if saves != 1 {
+		t.Fatalf("Save called %d times, want 1", saves)
+	}
+}

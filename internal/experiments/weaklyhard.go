@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -65,7 +66,7 @@ func WeaklyHard(k int, opt Options) ([]WeaklyHardRow, error) {
 	setF, _, _ = jsr.Precondition(setF)
 
 	rows := make([]WeaklyHardRow, k+1)
-	gerr := gridParallel(k+1, opt.Workers, func(m int) error {
+	gerr := gridParallel(context.Background(), k+1, opt.Workers, nil, func(m int) error {
 		g, err := jsr.WeaklyHardGraph(m, k)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package jsr
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -265,25 +266,73 @@ func cgripFrontierMax(fr []cgripNode) float64 {
 	return m
 }
 
+// cgripCutBounds is the valid constrained bracket at a level boundary
+// where the search stops early.
+func cgripCutBounds(lower, delta float64, witness []int, frontier []cgripNode) Bounds {
+	return Bounds{Lower: lower, Upper: math.Max(lower+delta, cgripFrontierMax(frontier)), WitnessWord: witness}
+}
+
+// expandCGripNode computes the out-degree children of one constrained
+// frontier node into out, in successor order.
+func expandCGripNode(set []*mat.Dense, g *Graph, nd cgripNode, exp float64, out []cgripChild) error {
+	for j, nxt := range g.Next[nd.at] {
+		p := mat.Mul(set[g.Nodes[nxt]], nd.prod)
+		c := cgripChild{
+			at:   nxt,
+			prod: p,
+			cert: math.Min(nd.cert, math.Pow(norm(p), exp)),
+		}
+		if closes(g, nxt, nd.start) {
+			rho, err := mat.SpectralRadius(p)
+			if err != nil {
+				return err
+			}
+			c.rho, c.cyc = rho, true
+		}
+		out[j] = c
+	}
+	return nil
+}
+
 // ConstrainedGripenberg runs the branch-and-bound bound refinement on a
-// switching graph: identical pruning logic to Gripenberg, with the walk
-// set restricted to the graph and lower bounds taken only from closable
-// walks (whose periodic repetition is admissible). Levels are expanded
-// in parallel with the same index-sharded, deterministically merged
-// scheme as Gripenberg, so the result is identical for every Workers
-// value. Combine with ConstrainedBounds via the caller; ErrBudget
-// signals a valid but looser-than-requested bracket, returned only
-// after the remaining node budget has been spent on a partial level.
+// switching graph with a background context; see
+// ConstrainedGripenbergCtx.
 func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (Bounds, error) {
+	return ConstrainedGripenbergCtx(context.Background(), set, g, opt)
+}
+
+// ConstrainedGripenbergCtx runs the branch-and-bound bound refinement
+// on a switching graph: identical pruning logic to Gripenberg, with the
+// walk set restricted to the graph and lower bounds taken only from
+// closable walks (whose periodic repetition is admissible). Levels are
+// expanded in parallel with the same index-sharded, deterministically
+// merged scheme as Gripenberg, so the result is identical for every
+// Workers value. Combine with ConstrainedBounds via the caller;
+// ErrBudget signals a valid but looser-than-requested bracket, returned
+// only after the remaining node budget has been spent on a partial
+// level. Cancellation and the Deadline option cut the search at a level
+// boundary with the last fully merged bracket and an error wrapping
+// ErrDeadline, like GripenbergCtx. Snapshot/Resume are not supported on
+// the constrained search (the frontier carries graph positions, not
+// just words); setting either is an error.
+func ConstrainedGripenbergCtx(ctx context.Context, set []*mat.Dense, g *Graph, opt GripenbergOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
 	if err := g.Validate(len(set)); err != nil {
 		return Bounds{}, err
 	}
+	if opt.Snapshot != nil || opt.Resume != nil {
+		return Bounds{}, fmt.Errorf("jsr: Snapshot/Resume are not supported by the constrained search")
+	}
 	opt, err := opt.withDefaults()
 	if err != nil {
 		return Bounds{}, err
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
 	}
 
 	lower := 0.0
@@ -308,6 +357,9 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 	}
 	depth := 1
 	for len(frontier) > 0 && depth < opt.MaxDepth {
+		if cerr := ctx.Err(); cerr != nil {
+			return cgripCutBounds(lower, opt.Delta, witness, frontier), deadlineErr(ctx, cerr)
+		}
 		kept := frontier[:0]
 		for _, nd := range frontier {
 			if nd.cert > lower+opt.Delta {
@@ -335,35 +387,32 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 			expand--
 		}
 		if expand == 0 {
-			return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, cgripFrontierMax(frontier)), WitnessWord: witness}, ErrBudget
+			return cgripCutBounds(lower, opt.Delta, witness, frontier), ErrBudget
 		}
 
 		depth++
 		exp := 1 / float64(depth)
 		children := make([]cgripChild, offs[expand])
-		err := parallelRanges(expand, opt.Workers, func(lo, hi int) error {
+		err := parallelRanges(ctx, expand, opt.Workers, func(ctx context.Context, lo, hi int) error {
 			for fi := lo; fi < hi; fi++ {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				nd := frontier[fi]
-				for j, nxt := range g.Next[nd.at] {
-					p := mat.Mul(set[g.Nodes[nxt]], nd.prod)
-					c := cgripChild{
-						at:   nxt,
-						prod: p,
-						cert: math.Min(nd.cert, math.Pow(norm(p), exp)),
-					}
-					if closes(g, nxt, nd.start) {
-						rho, err := mat.SpectralRadius(p)
-						if err != nil {
-							return err
-						}
-						c.rho, c.cyc = rho, true
-					}
-					children[offs[fi]+j] = c
+				if gerr := expandGuard(nd.word, func() error {
+					return expandCGripNode(set, g, nd, exp, children[offs[fi]:offs[fi+1]])
+				}); gerr != nil {
+					return gerr
 				}
 			}
 			return nil
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				// Mid-level cut: discard the partial level and report
+				// the bracket of the last fully merged one.
+				return cgripCutBounds(lower, opt.Delta, witness, frontier), deadlineErr(ctx, err)
+			}
 			return Bounds{}, err
 		}
 		nodes += offs[expand]
@@ -422,5 +471,5 @@ func ConstrainedGripenberg(set []*mat.Dense, g *Graph, opt GripenbergOptions) (B
 	if len(frontier) == 0 {
 		return Bounds{Lower: lower, Upper: lower + opt.Delta, WitnessWord: witness}, nil
 	}
-	return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, cgripFrontierMax(frontier)), WitnessWord: witness}, ErrBudget
+	return cgripCutBounds(lower, opt.Delta, witness, frontier), ErrBudget
 }

@@ -26,12 +26,22 @@
 // subtrees of the product tree are sharded across a worker pool, and
 // the merge is deterministic, so the returned Bounds (including the
 // WitnessWord) are bit-identical for every worker count.
+//
+// Certification searches are combinatorial, so long-running jobs are
+// first-class: every estimator has a context-aware variant (the
+// ctx-less names wrap context.Background()), a wall-clock Deadline
+// option degrades gracefully to a valid best-so-far bracket signalled
+// by ErrDeadline, worker panics are isolated into *PanicError values,
+// and Gripenberg searches can snapshot and resume their frontier at
+// level boundaries (GripenbergState) with bit-identical results.
 package jsr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"adaptivertc/internal/mat"
 )
@@ -71,6 +81,27 @@ var ErrEmptySet = errors.New("jsr: empty matrix set")
 // alongside ErrBudget are both valid and as tight as the budget could
 // make them.
 var ErrBudget = errors.New("jsr: node budget exhausted before reaching requested accuracy")
+
+// ErrDeadline is returned when the context is cancelled or the
+// wall-clock Deadline expires before the requested accuracy is
+// certified. The bounds returned alongside it are valid best-so-far:
+// the bracket reflects the last fully merged level, so it is safe to
+// act on, and — when a Snapshot hook was installed — to resume from.
+// Errors carrying ErrDeadline also wrap the context's cause, so both
+// errors.Is(err, ErrDeadline) and errors.Is(err, context.Canceled) (or
+// context.DeadlineExceeded) hold.
+var ErrDeadline = errors.New("jsr: deadline or cancellation before reaching requested accuracy")
+
+// deadlineErr composes ErrDeadline with the context's cause.
+func deadlineErr(ctx context.Context, cause error) error {
+	if cause == nil {
+		cause = ctx.Err()
+	}
+	if cause == nil {
+		return ErrDeadline
+	}
+	return fmt.Errorf("%w: %w", ErrDeadline, cause)
+}
 
 func validateSet(set []*mat.Dense) (int, error) {
 	if len(set) == 0 {
@@ -155,6 +186,60 @@ func (lb *levelBest) fold(rho float64, word []int, nv float64) {
 	}
 }
 
+// foldLevel folds one fully materialized breadth-first level into its
+// accumulator, in enumeration order.
+func foldLevel(lb *levelBest, level []*mat.Dense, words [][]int) error {
+	for pi, p := range level {
+		rho, err := mat.SpectralRadius(p)
+		if err != nil {
+			return err
+		}
+		lb.fold(rho, words[pi], norm(p))
+	}
+	return nil
+}
+
+// expandLevel materializes the next breadth-first level in
+// lexicographic word order.
+func expandLevel(set []*mat.Dense, level []*mat.Dense, words [][]int) ([]*mat.Dense, [][]int) {
+	next := make([]*mat.Dense, 0, len(level)*len(set))
+	nextWords := make([][]int, 0, len(level)*len(set))
+	for pi, p := range level {
+		for ai, a := range set {
+			next = append(next, mat.Mul(a, p))
+			w := make([]int, len(words[pi])+1)
+			copy(w, words[pi])
+			w[len(w)-1] = ai
+			nextWords = append(nextWords, w)
+		}
+	}
+	return next, nextWords
+}
+
+// bruteFinalize assembles the Eq. 12 sandwich from the accumulators of
+// levels 1..upTo. With upTo == 0 (a run cut before any level completed)
+// the bracket is the vacuous [0, +Inf).
+func bruteFinalize(acc []levelBest, upTo int) Bounds {
+	lower := 0.0
+	upper := math.Inf(1)
+	var witness []int
+	for l := 1; l <= upTo; l++ {
+		exp := 1 / float64(l)
+		if lb := math.Pow(acc[l].rho, exp); lb > lower {
+			lower = lb
+			witness = acc[l].word
+		}
+		if ub := math.Pow(acc[l].norm, exp); ub < upper {
+			upper = ub
+		}
+	}
+	if upper < lower {
+		// Round-off at the crossover; collapse to a consistent point.
+		upper = lower
+	}
+	return Bounds{Lower: lower, Upper: upper, WitnessWord: witness}
+}
+
 // BruteForceBounds evaluates every product of length 1..maxLen and
 // returns the Eq. 12 sandwich with default options. The work grows as
 // k^maxLen for k matrices; callers should keep k^maxLen below ~10⁶.
@@ -162,13 +247,23 @@ func BruteForceBounds(set []*mat.Dense, maxLen int) (Bounds, error) {
 	return BruteForceBoundsOpt(set, maxLen, BruteForceOptions{})
 }
 
-// BruteForceBoundsOpt is BruteForceBounds with explicit options. The
+// BruteForceBoundsOpt is BruteForceBounds with explicit options.
+func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (Bounds, error) {
+	return BruteForceBoundsCtx(context.Background(), set, maxLen, opt)
+}
+
+// BruteForceBoundsCtx is BruteForceBoundsOpt honoring a context. The
 // product tree is enumerated depth-first in chunks: a shallow
 // breadth-first pass materializes at most bruteChunkCap subtree roots,
 // and workers stream the deep levels holding one product per tree level
 // each, so resident memory is O(chunk + workers·maxLen·n²) rather than
 // the O(k^maxLen·n²) of a stored breadth-first sweep.
-func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (Bounds, error) {
+//
+// On cancellation the sandwich over the fully completed levels is
+// returned together with an error wrapping ErrDeadline — partial levels
+// never contribute, because a norm maximum over part of a level is not
+// a valid upper bound.
+func BruteForceBoundsCtx(ctx context.Context, set []*mat.Dense, maxLen int, opt BruteForceOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
@@ -199,29 +294,16 @@ func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (B
 		words[i] = []int{i}
 	}
 	for l := 1; ; l++ {
-		for pi, p := range level {
-			rho, err := mat.SpectralRadius(p)
-			if err != nil {
-				return Bounds{}, err
-			}
-			acc[l].fold(rho, words[pi], norm(p))
+		if err := ctx.Err(); err != nil {
+			return bruteFinalize(acc, l-1), deadlineErr(ctx, err)
+		}
+		if err := foldLevel(&acc[l], level, words); err != nil {
+			return Bounds{}, err
 		}
 		if l == splitDepth || l == maxLen {
 			break
 		}
-		next := make([]*mat.Dense, 0, len(level)*k)
-		nextWords := make([][]int, 0, len(level)*k)
-		for pi, p := range level {
-			for ai, a := range set {
-				next = append(next, mat.Mul(a, p))
-				w := make([]int, len(words[pi])+1)
-				copy(w, words[pi])
-				w[len(w)-1] = ai
-				nextWords = append(nextWords, w)
-			}
-		}
-		level = next
-		words = nextWords
+		level, words = expandLevel(set, level, words)
 	}
 
 	// Deep phase: one depth-first stream per chunk, merged in chunk
@@ -229,14 +311,20 @@ func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (B
 	// first one, exactly as a sequential sweep would pick it.
 	if splitDepth < maxLen {
 		parts := make([][]levelBest, len(level))
-		err := parallelRanges(len(level), workers, func(lo, hi int) error {
+		err := parallelRanges(ctx, len(level), workers, func(ctx context.Context, lo, hi int) error {
 			path := make([]int, maxLen)
 			for ci := lo; ci < hi; ci++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				part := make([]levelBest, maxLen+1)
 				copy(path, words[ci])
 				var dfs func(prod *mat.Dense, length int) error
 				dfs = func(prod *mat.Dense, length int) error {
 					for ai := 0; ai < k; ai++ {
+						if err := ctx.Err(); err != nil {
+							return err
+						}
 						p := mat.Mul(set[ai], prod)
 						path[length] = ai
 						rho, err := mat.SpectralRadius(p)
@@ -252,7 +340,9 @@ func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (B
 					}
 					return nil
 				}
-				if err := dfs(level[ci], splitDepth); err != nil {
+				if err := expandGuard(words[ci], func() error {
+					return dfs(level[ci], splitDepth)
+				}); err != nil {
 					return err
 				}
 				parts[ci] = part
@@ -260,33 +350,26 @@ func BruteForceBoundsOpt(set []*mat.Dense, maxLen int, opt BruteForceOptions) (B
 			return nil
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				// The deep phase is all-or-nothing: cut runs fall back
+				// to the completed shallow levels.
+				return bruteFinalize(acc, splitDepth), deadlineErr(ctx, err)
+			}
 			return Bounds{}, err
 		}
-		for _, part := range parts {
-			for l := splitDepth + 1; l <= maxLen; l++ {
-				acc[l].fold(part[l].rho, part[l].word, part[l].norm)
-			}
-		}
+		mergeDeepParts(acc, parts, splitDepth, maxLen)
 	}
+	return bruteFinalize(acc, maxLen), nil
+}
 
-	lower := 0.0
-	upper := math.Inf(1)
-	var witness []int
-	for l := 1; l <= maxLen; l++ {
-		exp := 1 / float64(l)
-		if lb := math.Pow(acc[l].rho, exp); lb > lower {
-			lower = lb
-			witness = acc[l].word
-		}
-		if ub := math.Pow(acc[l].norm, exp); ub < upper {
-			upper = ub
+// mergeDeepParts folds the per-chunk deep-phase accumulators into acc
+// in chunk order, preserving the sequential first-maximizer tie-break.
+func mergeDeepParts(acc []levelBest, parts [][]levelBest, splitDepth, maxLen int) {
+	for _, part := range parts {
+		for l := splitDepth + 1; l <= maxLen; l++ {
+			acc[l].fold(part[l].rho, part[l].word, part[l].norm)
 		}
 	}
-	if upper < lower {
-		// Round-off at the crossover; collapse to a consistent point.
-		upper = lower
-	}
-	return Bounds{Lower: lower, Upper: upper, WitnessWord: witness}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -301,6 +384,24 @@ type GripenbergOptions struct {
 	// Workers is the number of expansion goroutines; ≤ 0 selects
 	// GOMAXPROCS. The returned Bounds are bit-identical for every value.
 	Workers int
+	// Deadline caps the wall-clock time of the search; ≤ 0 means no
+	// cap. When it expires the best-so-far bracket is returned with an
+	// error wrapping ErrDeadline (see GripenbergCtx for the boundary
+	// semantics). In EstimateCtx one Deadline covers the whole
+	// brute-force + Gripenberg pipeline.
+	Deadline time.Duration
+	// Snapshot, when non-nil, is invoked at every level boundary
+	// (including the seed state) with the serializable search state; a
+	// returned error aborts the search. Wire it to a checkpoint writer
+	// to make long jobs crash-resumable.
+	Snapshot func(GripenbergState) error
+	// Resume, when non-nil, restarts the search from a snapshot instead
+	// of the singleton seed. The matrix set must be the one the
+	// snapshot was taken from (same content, same order); the resumed
+	// search then finishes with bounds bit-identical to an
+	// uninterrupted run. Supported by Gripenberg only; constrained
+	// searches reject it.
+	Resume *GripenbergState
 }
 
 func (o GripenbergOptions) withDefaults() (GripenbergOptions, error) {
@@ -319,6 +420,24 @@ func (o GripenbergOptions) withDefaults() (GripenbergOptions, error) {
 	}
 	o.Workers = resolveWorkers(o.Workers)
 	return o, nil
+}
+
+// GripenbergState is a serializable snapshot of a Gripenberg search at
+// a level boundary. It stores product words only: on resume the
+// products and branch certificates are replayed against the matrix set
+// with exactly the multiplication chain and min/pow fold the original
+// expansion used, so every recomputed float64 matches bit for bit and a
+// resumed search ends with the same Bounds as an uninterrupted one.
+// K pins the set cardinality; callers persisting snapshots across
+// processes should additionally record a content hash of the set (the
+// jsrtool checkpoint does).
+type GripenbergState struct {
+	K        int     // cardinality of the matrix set
+	Depth    int     // product length of every frontier word
+	Nodes    int     // node budget already spent
+	Lower    float64 // best certified lower bound so far
+	Witness  []int   // word attaining Lower
+	Frontier [][]int // words of the live branches, in frontier order
 }
 
 type gripNode struct {
@@ -357,17 +476,137 @@ func childWord(parent []int, label int) []int {
 	return w
 }
 
-// Gripenberg runs the branch-and-bound JSR algorithm. Each level of the
-// search tree is expanded level-synchronously across the worker pool:
-// the frontier is sharded by index, every child's spectral radius and
-// norm certificate is computed independently, and the merge raises the
-// lower bound with a lowest-index tie-break before pruning the children
-// against the final per-level bound — so the result is identical for
-// every worker count. On normal termination the true JSR lies in
-// [Lower, Upper] with Upper ≤ Lower + δ. If the node budget runs out
-// first, the remaining budget is spent on a partial level before valid
-// but looser bounds are returned together with ErrBudget.
+// cutBounds is the valid bracket at a level boundary where the search
+// stops early (budget, deadline, depth): the live certificates — and
+// the pruned branches, which by construction sit below lower+δ — cap
+// the JSR.
+func cutBounds(lower, delta float64, witness []int, frontier []gripNode) Bounds {
+	return Bounds{Lower: lower, Upper: math.Max(lower+delta, frontierMax(frontier)), WitnessWord: witness}
+}
+
+// seedFrontier builds the depth-1 frontier of singleton products and
+// the initial lower bound, lowest index winning ties.
+func seedFrontier(set []*mat.Dense) ([]gripNode, float64, []int, error) {
+	lower := 0.0
+	var witness []int
+	frontier := make([]gripNode, 0, len(set))
+	for i, a := range set {
+		rho, err := mat.SpectralRadius(a)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if rho > lower {
+			lower = rho
+			witness = []int{i}
+		}
+		frontier = append(frontier, gripNode{prod: a, word: []int{i}, cert: norm(a)})
+	}
+	return frontier, lower, witness, nil
+}
+
+// captureGripState deep-copies the loop-top state into a snapshot.
+func captureGripState(k, depth, nodes int, lower float64, witness []int, frontier []gripNode) GripenbergState {
+	words := make([][]int, len(frontier))
+	for i := range frontier {
+		words[i] = append([]int(nil), frontier[i].word...)
+	}
+	return GripenbergState{
+		K: k, Depth: depth, Nodes: nodes, Lower: lower,
+		Witness:  append([]int(nil), witness...),
+		Frontier: words,
+	}
+}
+
+// rebuildFrontier replays a snapshot's words against the set: each
+// node's product is the same left-multiplication chain and each
+// certificate the same incremental min/pow fold the original expansion
+// performed, so the rebuilt frontier is bit-identical to the one that
+// was snapshotted.
+func rebuildFrontier(set []*mat.Dense, st *GripenbergState) ([]gripNode, error) {
+	if st.K != len(set) {
+		return nil, fmt.Errorf("jsr: resume state is for %d matrices, set has %d", st.K, len(set))
+	}
+	if st.Depth < 1 {
+		return nil, fmt.Errorf("jsr: resume state has invalid depth %d", st.Depth)
+	}
+	frontier := make([]gripNode, len(st.Frontier))
+	for i, word := range st.Frontier {
+		if len(word) != st.Depth {
+			return nil, fmt.Errorf("jsr: resume frontier word %d has length %d, want depth %d", i, len(word), st.Depth)
+		}
+		for _, ai := range word {
+			if ai < 0 || ai >= len(set) {
+				return nil, fmt.Errorf("jsr: resume frontier word %d has index %d out of range [0,%d)", i, ai, len(set))
+			}
+		}
+		prod := set[word[0]]
+		cert := norm(prod)
+		for l, ai := range word[1:] {
+			prod = mat.Mul(set[ai], prod)
+			cert = math.Min(cert, math.Pow(norm(prod), 1/float64(l+2)))
+		}
+		frontier[i] = gripNode{prod: prod, word: append([]int(nil), word...), cert: cert}
+	}
+	return frontier, nil
+}
+
+// expandNode computes the k children of one frontier node into out
+// (length k), in matrix-index order.
+func expandNode(set []*mat.Dense, nd gripNode, exp float64, out []gripChild) error {
+	for ai, a := range set {
+		p := mat.Mul(a, nd.prod)
+		rho, err := mat.SpectralRadius(p)
+		if err != nil {
+			return err
+		}
+		out[ai] = gripChild{prod: p, rho: rho, cert: math.Min(nd.cert, math.Pow(norm(p), exp))}
+	}
+	return nil
+}
+
+// mergeSurvivors keeps the children whose certificates survive the
+// final per-level lower bound (at least as strong as the sequential
+// running prune, and worker-count independent), materializing their
+// words.
+func mergeSurvivors(frontier []gripNode, children []gripChild, k int, bound float64) []gripNode {
+	next := make([]gripNode, 0, len(children))
+	for ci := range children {
+		if c := &children[ci]; c.cert > bound {
+			next = append(next, gripNode{
+				prod: c.prod,
+				word: childWord(frontier[ci/k].word, ci%k),
+				cert: c.cert,
+			})
+		}
+	}
+	return next
+}
+
+// Gripenberg runs the branch-and-bound JSR algorithm with a background
+// context; see GripenbergCtx.
 func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
+	return GripenbergCtx(context.Background(), set, opt)
+}
+
+// GripenbergCtx runs the branch-and-bound JSR algorithm. Each level of
+// the search tree is expanded level-synchronously across the worker
+// pool: the frontier is sharded by index, every child's spectral radius
+// and norm certificate is computed independently, and the merge raises
+// the lower bound with a lowest-index tie-break before pruning the
+// children against the final per-level bound — so the result is
+// identical for every worker count. On normal termination the true JSR
+// lies in [Lower, Upper] with Upper ≤ Lower + δ. If the node budget
+// runs out first, the remaining budget is spent on a partial level
+// before valid but looser bounds are returned together with ErrBudget.
+//
+// Cancellation and the Deadline option degrade the same way: the search
+// stops at a level boundary (a partially expanded level is discarded,
+// keeping results worker-count independent), returns the bracket of the
+// last fully merged level, and signals it with an error wrapping
+// ErrDeadline. The Snapshot hook fires at every level boundary before
+// the cancellation check, so the last persisted snapshot always matches
+// the returned bounds and Resume continues bit-identically.
+func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 	if _, err := validateSet(set); err != nil {
 		return Bounds{}, err
 	}
@@ -375,27 +614,48 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 	if err != nil {
 		return Bounds{}, err
 	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
 	k := len(set)
 
-	lower := 0.0
-	var witness []int
-	nodes := 0
-	frontier := make([]gripNode, 0, k)
-	for i, a := range set {
-		rho, err := mat.SpectralRadius(a)
+	var (
+		lower    float64
+		witness  []int
+		nodes    int
+		frontier []gripNode
+		depth    int
+	)
+	if opt.Resume != nil {
+		frontier, err = rebuildFrontier(set, opt.Resume)
 		if err != nil {
 			return Bounds{}, err
 		}
-		if rho > lower {
-			lower = rho
-			witness = []int{i}
+		depth, nodes, lower = opt.Resume.Depth, opt.Resume.Nodes, opt.Resume.Lower
+		witness = append([]int(nil), opt.Resume.Witness...)
+	} else {
+		frontier, lower, witness, err = seedFrontier(set)
+		if err != nil {
+			return Bounds{}, err
 		}
-		frontier = append(frontier, gripNode{prod: a, word: []int{i}, cert: norm(a)})
-		nodes++
+		depth, nodes = 1, k
 	}
 
-	depth := 1
 	for len(frontier) > 0 && depth < opt.MaxDepth {
+		// The loop top is a level boundary: snapshot it first, so even
+		// a cut on this very iteration leaves a resumable state, then
+		// honor cancellation with the best-so-far bracket.
+		if opt.Snapshot != nil {
+			if serr := opt.Snapshot(captureGripState(k, depth, nodes, lower, witness, frontier)); serr != nil {
+				return Bounds{}, fmt.Errorf("jsr: snapshot: %w", serr)
+			}
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cutBounds(lower, opt.Delta, witness, frontier), deadlineErr(ctx, cerr)
+		}
+
 		// Prune against the current lower bound.
 		kept := frontier[:0]
 		for _, nd := range frontier {
@@ -416,31 +676,33 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 			expand = remaining / k
 		}
 		if expand == 0 {
-			return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, frontierMax(frontier)), WitnessWord: witness}, ErrBudget
+			return cutBounds(lower, opt.Delta, witness, frontier), ErrBudget
 		}
 
 		depth++
 		exp := 1 / float64(depth)
 		children := make([]gripChild, expand*k)
-		err := parallelRanges(expand, opt.Workers, func(lo, hi int) error {
+		err := parallelRanges(ctx, expand, opt.Workers, func(ctx context.Context, lo, hi int) error {
 			for fi := lo; fi < hi; fi++ {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				nd := frontier[fi]
-				for ai, a := range set {
-					p := mat.Mul(a, nd.prod)
-					rho, err := mat.SpectralRadius(p)
-					if err != nil {
-						return err
-					}
-					children[fi*k+ai] = gripChild{
-						prod: p,
-						rho:  rho,
-						cert: math.Min(nd.cert, math.Pow(norm(p), exp)),
-					}
+				if gerr := expandGuard(nd.word, func() error {
+					return expandNode(set, nd, exp, children[fi*k:(fi+1)*k])
+				}); gerr != nil {
+					return gerr
 				}
 			}
 			return nil
 		})
 		if err != nil {
+			if isCtxErr(err) {
+				// Mid-level cut: discard the partial level and report
+				// the bracket of the last fully merged one — exactly
+				// the state the Snapshot hook last persisted.
+				return cutBounds(lower, opt.Delta, witness, frontier), deadlineErr(ctx, err)
+			}
 			return Bounds{}, err
 		}
 		nodes += expand * k
@@ -459,18 +721,8 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 		}
 
 		// Merge pass 2: keep children that survive the final per-level
-		// lower bound (at least as strong as the sequential running
-		// prune, and worker-count independent).
-		next := make([]gripNode, 0, len(children))
-		for ci := range children {
-			if c := &children[ci]; c.cert > lower+opt.Delta {
-				next = append(next, gripNode{
-					prod: c.prod,
-					word: childWord(frontier[ci/k].word, ci%k),
-					cert: c.cert,
-				})
-			}
-		}
+		// lower bound.
+		next := mergeSurvivors(frontier, children, k, lower+opt.Delta)
 
 		if expand < len(frontier) {
 			// Budget exhausted mid-level: unexpanded nodes stay live, so
@@ -484,26 +736,48 @@ func Gripenberg(set []*mat.Dense, opt GripenbergOptions) (Bounds, error) {
 		return Bounds{Lower: lower, Upper: lower + opt.Delta, WitnessWord: witness}, nil
 	}
 	// Depth limit hit with live branches: their certificates cap the JSR.
-	return Bounds{Lower: lower, Upper: math.Max(lower+opt.Delta, frontierMax(frontier)), WitnessWord: witness}, ErrBudget
+	return cutBounds(lower, opt.Delta, witness, frontier), ErrBudget
 }
 
-// Estimate combines both algorithms with Lyapunov preconditioning: the
-// set is first transformed by a simultaneous similarity (JSR-invariant)
-// that tightens the norm certificates, then a shallow brute-force pass
-// provides a lower bound and norm sandwich and Gripenberg refines to
-// the requested accuracy; the intersection of the two brackets is
-// returned. The witness is replayed against the caller's (untransformed)
-// matrices and Lower is set to the rate it actually attains there, so
-// WitnessRate(set, out.WitnessWord) reproduces out.Lower. A non-nil
-// error (ErrBudget) indicates the bracket is looser than requested but
-// still valid.
+// Estimate combines both algorithms with a background context; see
+// EstimateCtx.
 func Estimate(set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, error) {
-	work, _, _ := Precondition(set)
-	bf, err := BruteForceBoundsOpt(work, bruteLen, BruteForceOptions{Workers: opt.Workers})
-	if err != nil {
-		return Bounds{}, err
+	return EstimateCtx(context.Background(), set, bruteLen, opt)
+}
+
+// EstimateCtx combines both algorithms with Lyapunov preconditioning:
+// the set is first transformed by a simultaneous similarity
+// (JSR-invariant) that tightens the norm certificates, then a shallow
+// brute-force pass provides a lower bound and norm sandwich and
+// Gripenberg refines to the requested accuracy; the intersection of the
+// two brackets is returned. The witness is replayed against the
+// caller's (untransformed) matrices and Lower is set to the rate it
+// actually attains there, so WitnessRate(set, out.WitnessWord)
+// reproduces out.Lower. A non-nil error satisfying errors.Is for
+// ErrBudget or ErrDeadline indicates the bracket is looser than
+// requested but still valid — this holds on the parallel worker paths
+// too, not just the sequential ones. One opt.Deadline covers the whole
+// pipeline; opt.Snapshot/opt.Resume apply to the Gripenberg phase
+// (whose state lives on the preconditioned set — resuming recomputes
+// the same deterministic preconditioner first).
+func EstimateCtx(ctx context.Context, set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, error) {
+	if opt.Deadline > 0 {
+		// One wall-clock budget for the pipeline; zero it so the
+		// Gripenberg phase does not restart the clock after brute force.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+		opt.Deadline = 0
 	}
-	gp, gerr := Gripenberg(work, opt)
+	work, _, _ := Precondition(set)
+	bf, bferr := BruteForceBoundsCtx(ctx, work, bruteLen, BruteForceOptions{Workers: opt.Workers})
+	if bferr != nil && !errors.Is(bferr, ErrDeadline) {
+		return Bounds{}, bferr
+	}
+	gp, gerr := GripenbergCtx(ctx, work, opt)
+	if gerr != nil && !errors.Is(gerr, ErrBudget) && !errors.Is(gerr, ErrDeadline) {
+		return Bounds{}, gerr
+	}
 	out := Bounds{
 		Lower:       math.Max(bf.Lower, gp.Lower),
 		Upper:       math.Min(bf.Upper, gp.Upper),
@@ -536,5 +810,5 @@ func Estimate(set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, er
 	if out.Upper < out.Lower {
 		out.Upper = out.Lower
 	}
-	return out, gerr
+	return out, errors.Join(bferr, gerr)
 }

@@ -1,7 +1,11 @@
 package jsr
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -18,7 +22,54 @@ import (
 //     index — the same "first strictly greater wins" rule the original
 //     sequential scans used;
 //   - errors are reported from the lowest-indexed failing range, so
-//     even failure modes do not depend on scheduling.
+//     even failure modes do not depend on scheduling. Cancellation
+//     errors induced by another range's failure never mask that
+//     failure.
+//
+// Resilience additions: every worker polls its context so deadlines and
+// cancellation cut a level promptly, and a panicking worker is isolated
+// — the panic is converted into a *PanicError (carrying the offending
+// product word when the expansion site knows it), the sibling workers
+// are drained via an internal cancel, and the caller sees an ordinary
+// error instead of a dead process.
+
+// PanicError is a worker panic converted into an error: one poisoned
+// matrix product must not kill a long-running certification job. Word,
+// when non-empty, is the product word whose expansion panicked.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Word  []int  // offending product word, when the expansion site knows it
+	Stack []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	if len(e.Word) > 0 {
+		return fmt.Sprintf("jsr: worker panic expanding word %v: %v", e.Word, e.Value)
+	}
+	return fmt.Sprintf("jsr: worker panic: %v", e.Value)
+}
+
+// expandGuard runs one node expansion, converting a panic into a
+// *PanicError carrying the node's product word. Already-converted
+// panics pass through unchanged.
+func expandGuard(word []int, expand func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Word: append([]int(nil), word...), Stack: debug.Stack()}
+		}
+	}()
+	return expand()
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline
+// (including wrapped forms).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // resolveWorkers maps the Workers option (≤ 0 means "use the default")
 // to an actual worker count.
@@ -29,11 +80,32 @@ func resolveWorkers(w int) int {
 	return w
 }
 
+// runRange invokes fn on one chunk with a panic backstop: expansion
+// sites wrap per-node work in expandGuard to attach the word, and this
+// outer recover catches anything that escapes between nodes.
+func runRange(ctx context.Context, lo, hi int, fn func(ctx context.Context, lo, hi int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, lo, hi)
+}
+
 // parallelRanges splits the index range [0, n) into at most `workers`
-// contiguous chunks and runs fn on each concurrently. fn(lo, hi) must
-// touch only state owned by indexes in [lo, hi). The returned error is
-// the one from the lowest-indexed failing chunk.
-func parallelRanges(n, workers int, fn func(lo, hi int) error) error {
+// contiguous chunks and runs fn on each concurrently. fn(ctx, lo, hi)
+// must touch only state owned by indexes in [lo, hi) and should poll
+// ctx between nodes. When any chunk fails (error or panic) the shared
+// context is cancelled so the remaining workers drain at their next
+// poll instead of finishing the level. The returned error is the one
+// from the lowest-indexed chunk that failed for a non-cancellation
+// reason; pure cancellation (deadline or caller cancel) is returned
+// only when no chunk failed on its own.
+func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -41,8 +113,10 @@ func parallelRanges(n, workers int, fn func(lo, hi int) error) error {
 		workers = n
 	}
 	if workers <= 1 {
-		return fn(0, n)
+		return runRange(ctx, 0, n, fn)
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	chunk := (n + workers - 1) / workers
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -58,14 +132,25 @@ func parallelRanges(n, workers int, fn func(lo, hi int) error) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = fn(lo, hi)
+			errs[w] = runRange(wctx, lo, hi, fn)
+			if errs[w] != nil {
+				cancel()
+			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if isCtxErr(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	return ctxErr
 }

@@ -31,6 +31,10 @@ func TestDroppedErr(t *testing.T) {
 	linttest.Run(t, "testdata/droppederr", lint.DroppedErr)
 }
 
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, "testdata/ctxloop", lint.CtxLoop)
+}
+
 // TestFullSuiteOnFixtures runs every registered check over every
 // fixture at once: checks must not fire outside their own fixture's
 // annotated lines (each fixture's wants only mention its own check, so
@@ -40,6 +44,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"testdata/unseededrand",
 		"testdata/matalias",
 		"testdata/nakedpanic",
+		"testdata/ctxloop",
 	} {
 		linttest.Run(t, dir, lint.Checks()...)
 	}

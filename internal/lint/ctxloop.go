@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop flags worker/DFS-style loops that run inside a function
+// accepting a context.Context but never consult the context along the
+// loop path. Such a loop keeps grinding after the caller's deadline
+// expired or a sibling worker failed — exactly the unbounded-latency
+// hazard the interruptible certification pipeline exists to prevent.
+//
+// A loop counts as "doing cancellable work" when its body (excluding
+// nested function literals) contains another loop or calls a
+// module-internal function that itself accepts a context — cheap scan
+// and merge loops are deliberately out of scope. A loop is exempt when
+// it, or an enclosing loop in the same function, references any
+// context-typed value: polling ctx.Err(), selecting on ctx.Done(), or
+// forwarding ctx into a callee all qualify. Heavy loops that genuinely
+// must not be interrupted belong in a context-free helper, which also
+// documents the contract.
+var CtxLoop = &Check{
+	Name: "ctxloop",
+	Doc:  "loop in a context-accepting function does cancellable work without ever consulting the context",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				obj := p.Info().Defs[fn.Name]
+				if fn.Body != nil && obj != nil && signatureHasCtx(obj.Type()) {
+					walkCtxScope(p, fn.Body, false)
+				}
+			case *ast.FuncLit:
+				if signatureHasCtx(p.TypeOf(fn)) {
+					walkCtxScope(p, fn.Body, false)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkCtxScope traverses one function body in which a context parameter
+// is in scope. consulted records whether an enclosing loop already
+// polls the context: an inner loop then inherits per-iteration
+// cancellation from its parent and is not flagged.
+func walkCtxScope(p *Pass, n ast.Node, consulted bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch node := c.(type) {
+		case *ast.FuncLit:
+			if c == n {
+				return true
+			}
+			// A nested literal with its own context parameter is
+			// analyzed as a scope of its own by runCtxLoop. One that
+			// merely captures ctx runs on its own schedule (typically a
+			// spawned worker), so enclosing consults do not cover it.
+			if !signatureHasCtx(p.TypeOf(node)) {
+				walkCtxScope(p, node.Body, false)
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if c == n {
+				return true
+			}
+			loopConsulted := consulted || referencesCtx(p, node)
+			if !loopConsulted && loopDoesCancellableWork(p, node) {
+				p.Reportf(node.Pos(), "loop does cancellable work but never consults the context; poll ctx.Err() (or select on ctx.Done()) in the loop, or move it into a context-free helper")
+				return false
+			}
+			walkCtxScope(p, node, loopConsulted)
+			return false
+		}
+		return true
+	})
+}
+
+// referencesCtx reports whether any identifier of context type occurs
+// in n — a poll, a select on Done, or forwarding ctx to a callee.
+func referencesCtx(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := p.Info().Uses[id]
+		if obj == nil {
+			obj = p.Info().Defs[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// loopDoesCancellableWork reports whether the loop body (excluding
+// nested function literals) contains another loop or a call into
+// module-internal context-accepting machinery — the signatures of
+// work worth interrupting.
+func loopDoesCancellableWork(p *Pass, loop ast.Node) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	}
+	if body == nil {
+		return false
+	}
+	work := false
+	ast.Inspect(body, func(c ast.Node) bool {
+		if work {
+			return false
+		}
+		switch node := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			work = true
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(p, node)
+			if fn != nil && p.IsModuleObject(fn) && signatureHasCtx(fn.Type()) {
+				work = true
+				return false
+			}
+		}
+		return true
+	})
+	return work
+}
+
+// signatureHasCtx reports whether t is a function signature with a
+// context.Context parameter.
+func signatureHasCtx(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -106,6 +106,7 @@ func Checks() []*Check {
 		MatAlias,
 		NakedPanic,
 		DroppedErr,
+		CtxLoop,
 	}
 }
 

@@ -1,0 +1,160 @@
+// Fixture for the ctxloop check: loops in context-accepting functions
+// that do cancellable work (nested loops, or calls into module-internal
+// context-aware machinery) must consult the context along the loop
+// path; cheap scan loops, consulting loops, and suppressed lines are
+// not flagged.
+package ctxloop
+
+import "context"
+
+// search is a stand-in for the JSR engine's context-aware machinery.
+func search(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// accumulate is cheap, context-free work.
+func accumulate(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// nestedLoopNoPoll grinds through a DFS-style double loop with the
+// caller's ctx in hand but never looks at it.
+func nestedLoopNoPoll(ctx context.Context, words [][]int) int {
+	total := 0
+	for _, w := range words { // want "never consults the context"
+		for _, v := range w {
+			total += v
+		}
+	}
+	return total
+}
+
+// droppedCtx forwards work to context-aware machinery but hands it a
+// fresh background context, detaching the loop from cancellation.
+func droppedCtx(ctx context.Context, vs []int) int {
+	total := 0
+	for _, v := range vs { // want "never consults the context"
+		total += search(context.Background(), v)
+	}
+	return total
+}
+
+// polledLoop consults ctx.Err each iteration — the canonical pattern.
+func polledLoop(ctx context.Context, words [][]int) int {
+	total := 0
+	for _, w := range words {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, v := range w {
+			total += v
+		}
+	}
+	return total
+}
+
+// forwardedCtx passes ctx into the callee, which polls it.
+func forwardedCtx(ctx context.Context, vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += search(ctx, v)
+	}
+	return total
+}
+
+// selectDone uses the select form of consulting the context.
+func selectDone(ctx context.Context, work chan int) int {
+	total := 0
+	for i := 0; i < 100; i++ {
+		select {
+		case v := <-work:
+			total += search(context.TODO(), v)
+		case <-ctx.Done():
+			return total
+		}
+	}
+	return total
+}
+
+// innerExempt: the outer loop polls, so the inner merge loop inherits
+// per-iteration cancellation and is not flagged.
+func innerExempt(ctx context.Context, words [][]int) int {
+	total := 0
+	for _, w := range words {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, v := range w {
+			total += search(context.TODO(), v)
+		}
+	}
+	return total
+}
+
+// cheapScan has no nested loop and no context-aware callee: scan and
+// merge loops are deliberately out of scope.
+func cheapScan(ctx context.Context, vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// capturedWorker spawns a literal that captures ctx: the worker's own
+// loop must consult it (the enclosing function consulting elsewhere
+// does not help a detached goroutine).
+func capturedWorker(ctx context.Context, words [][]int) {
+	done := make(chan int, 2)
+	go func() {
+		total := 0
+		for _, w := range words { // want "never consults the context"
+			for _, v := range w {
+				total += v
+			}
+		}
+		done <- total
+	}()
+	go func() {
+		total := 0
+		for _, w := range words {
+			if ctx.Err() != nil {
+				break
+			}
+			total += accumulate(w)
+		}
+		done <- total
+	}()
+	<-done
+	<-done
+}
+
+// suppressedLoop documents why it must run to completion.
+func suppressedLoop(ctx context.Context, words [][]int) int {
+	total := 0
+	//lint:ignore ctxloop finalization must drain every word to keep the merge deterministic
+	for _, w := range words {
+		for _, v := range w {
+			total += v
+		}
+	}
+	return total
+}
+
+// noCtx has no context parameter, so its loops are out of scope.
+func noCtx(words [][]int) int {
+	total := 0
+	for _, w := range words {
+		for _, v := range w {
+			total += v
+		}
+	}
+	return total
+}

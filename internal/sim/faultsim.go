@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -79,13 +80,22 @@ func EvaluateGuarded(d *core.Design, x0 []float64, plan *faults.Plan, contract g
 }
 
 // FaultMonteCarlo evaluates the guarded design over random
+// fault-injected sequences with a background context; see
+// FaultMonteCarloCtx.
+func FaultMonteCarlo(d *core.Design, x0 []float64, base ResponseModel, cost CostFunc, opt FaultOptions) (GuardMetrics, error) {
+	return FaultMonteCarloCtx(context.Background(), d, x0, base, cost, opt)
+}
+
+// FaultMonteCarloCtx evaluates the guarded design over random
 // fault-injected sequences. Sequence i draws its response times AND its
 // entire fault plan from the single RNG seeded Seed+i, and the final
 // reduction walks sequences in index order over per-sequence costs —
 // every float is added in the same order no matter how sequences were
 // distributed over workers — so results (costs, worst sequence and
 // every guard counter) are bit-identical for every worker count.
-func FaultMonteCarlo(d *core.Design, x0 []float64, base ResponseModel, cost CostFunc, opt FaultOptions) (GuardMetrics, error) {
+// Cancellation aborts the sweep with the context's error and no partial
+// metrics.
+func FaultMonteCarloCtx(ctx context.Context, d *core.Design, x0 []float64, base ResponseModel, cost CostFunc, opt FaultOptions) (GuardMetrics, error) {
 	if opt.Sequences <= 0 || opt.Jobs <= 0 {
 		return GuardMetrics{}, fmt.Errorf("sim: need positive Sequences and Jobs, got %d, %d", opt.Sequences, opt.Jobs)
 	}
@@ -118,6 +128,10 @@ func FaultMonteCarlo(d *core.Design, x0 []float64, base ResponseModel, cost Cost
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < opt.Sequences; i += workers {
+				if cerr := ctx.Err(); cerr != nil {
+					errs[w] = cerr
+					return
+				}
 				rng := newSeqRand(opt.Seed, i)
 				plan, err := opt.Profile.Plan(rng, base, d.Timing.Rmax, opt.Jobs, q, ts)
 				if err != nil {
@@ -135,10 +149,21 @@ func FaultMonteCarlo(d *core.Design, x0 []float64, base ResponseModel, cost Cost
 		}(w)
 	}
 	wg.Wait()
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return GuardMetrics{}, err
+		if err == nil {
+			continue
 		}
+		if ctxInterrupted(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return GuardMetrics{}, err
+	}
+	if ctxErr != nil {
+		return GuardMetrics{}, ctxErr
 	}
 
 	m := GuardMetrics{Metrics: Metrics{Sequences: opt.Sequences, WorstCost: math.Inf(-1)}}

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"adaptivertc/internal/core"
 )
@@ -55,16 +57,23 @@ func maxOf(s []float64) float64 {
 	return m
 }
 
-// CostDistribution evaluates the design over random sequences like
-// MonteCarlo but returns every per-sequence cost (index i is the cost
-// of the sequence generated from Seed+i), enabling percentile and
-// histogram analyses. Divergent sequences carry +Inf.
+// CostDistribution evaluates the design over random sequences with a
+// background context; see CostDistributionCtx.
 func CostDistribution(d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions) ([]float64, error) {
+	return CostDistributionCtx(context.Background(), d, x0, model, cost, opt)
+}
+
+// CostDistributionCtx evaluates the design over random sequences like
+// MonteCarloCtx but returns every per-sequence cost (index i is the
+// cost of the sequence generated from Seed+i), enabling percentile and
+// histogram analyses. Divergent sequences carry +Inf. Cancellation
+// aborts the sweep with the context's error and no partial slice.
+func CostDistributionCtx(ctx context.Context, d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions) ([]float64, error) {
 	if opt.Sequences <= 0 || opt.Jobs <= 0 {
 		return nil, fmt.Errorf("sim: need positive Sequences and Jobs, got %d, %d", opt.Sequences, opt.Jobs)
 	}
 	costs := make([]float64, opt.Sequences)
-	err := forEachSequence(opt, func(i int, seq []float64) error {
+	err := forEachSequence(ctx, opt, func(i int, seq []float64) error {
 		c, err := EvaluateSequence(d, x0, seq, cost)
 		if err != nil {
 			return err
@@ -154,8 +163,11 @@ func (tr *Trajectory) WriteCSV(w io.Writer) error {
 }
 
 // forEachSequence generates the deterministic per-index sequences and
-// invokes fn for each, in parallel, aborting on the first error.
-func forEachSequence(opt MonteCarloOptions, fn func(i int, seq []float64) error, model ResponseModel) error {
+// invokes fn for each, in parallel, aborting on the first error or on
+// cancellation. Errors are reported from the lowest-indexed failing
+// worker, real failures taking precedence over cancellation, so the
+// returned error does not depend on scheduling.
+func forEachSequence(ctx context.Context, opt MonteCarloOptions, fn func(i int, seq []float64) error, model ResponseModel) error {
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = defaultWorkers()
@@ -163,24 +175,38 @@ func forEachSequence(opt MonteCarloOptions, fn func(i int, seq []float64) error,
 	if workers > opt.Sequences {
 		workers = opt.Sequences
 	}
-	errs := make(chan error, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func(w int) {
+			defer wg.Done()
 			for i := w; i < opt.Sequences; i += workers {
+				if cerr := ctx.Err(); cerr != nil {
+					errs[w] = cerr
+					return
+				}
 				seq := model.Sequence(newSeqRand(opt.Seed, i), opt.Jobs)
 				if err := fn(i, seq); err != nil {
-					errs <- err
+					errs[w] = err
 					return
 				}
 			}
-			errs <- nil
 		}(w)
 	}
-	var first error
-	for w := 0; w < workers; w++ {
-		if err := <-errs; err != nil && first == nil {
-			first = err
+	wg.Wait()
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
 		}
+		if ctxInterrupted(err) {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return err
 	}
-	return first
+	return ctxErr
 }

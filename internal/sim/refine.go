@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -20,6 +21,15 @@ import (
 // worst typically push `Jw` a further few percent toward the true
 // supremum.
 func RefineWorst(d *core.Design, x0 []float64, responses []float64, cost CostFunc, maxPasses int) ([]float64, float64, error) {
+	return RefineWorstCtx(context.Background(), d, x0, responses, cost, maxPasses)
+}
+
+// RefineWorstCtx is RefineWorst honoring a context. Cancellation
+// returns the sequence and cost refined so far — coordinate ascent only
+// ever improves on its start, so the partial result is still a valid
+// (if less sharpened) worst-case estimate — together with the context's
+// error.
+func RefineWorstCtx(ctx context.Context, d *core.Design, x0 []float64, responses []float64, cost CostFunc, maxPasses int) ([]float64, float64, error) {
 	if len(responses) == 0 {
 		return nil, 0, fmt.Errorf("sim: empty sequence")
 	}
@@ -40,6 +50,9 @@ func RefineWorst(d *core.Design, x0 []float64, responses []float64, cost CostFun
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for k := range seq {
+			if cerr := ctx.Err(); cerr != nil {
+				return seq, best, cerr
+			}
 			orig := seq[k]
 			for _, h := range hs {
 				//lint:ignore floatcompare set-membership test: both values come verbatim from the same Intervals() grid
@@ -71,14 +84,20 @@ func RefineWorst(d *core.Design, x0 []float64, responses []float64, cost CostFun
 // refinePasses <= 0 it reduces to plain MonteCarlo (the paper's
 // sampling-only protocol).
 func WorstCase(d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions, refinePasses int) (Metrics, error) {
-	m, err := MonteCarlo(d, x0, model, cost, opt)
+	return WorstCaseCtx(context.Background(), d, x0, model, cost, opt, refinePasses)
+}
+
+// WorstCaseCtx is WorstCase honoring a context; cancellation during
+// either phase aborts with the context's error.
+func WorstCaseCtx(ctx context.Context, d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions, refinePasses int) (Metrics, error) {
+	m, err := MonteCarloCtx(ctx, d, x0, model, cost, opt)
 	if err != nil {
 		return Metrics{}, err
 	}
 	if refinePasses <= 0 || m.Unstable() || len(m.WorstSeq) == 0 {
 		return m, nil
 	}
-	seq, refined, err := RefineWorst(d, x0, m.WorstSeq, cost, refinePasses)
+	seq, refined, err := RefineWorstCtx(ctx, d, x0, m.WorstSeq, cost, refinePasses)
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -12,6 +12,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -212,10 +214,25 @@ type MonteCarloOptions struct {
 	Workers   int   // default: GOMAXPROCS
 }
 
-// MonteCarlo evaluates the design over random response-time sequences.
-// Results are independent of Workers: sequence i is generated from its
-// own rand.Rand seeded Seed+i, and max/mean reductions commute.
+// ctxInterrupted reports whether err carries nothing but a context
+// cancellation or deadline (including wrapped forms).
+func ctxInterrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// MonteCarlo evaluates the design over random response-time sequences
+// with a background context; see MonteCarloCtx.
 func MonteCarlo(d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions) (Metrics, error) {
+	return MonteCarloCtx(context.Background(), d, x0, model, cost, opt)
+}
+
+// MonteCarloCtx evaluates the design over random response-time
+// sequences. Results are independent of Workers: sequence i is
+// generated from its own rand.Rand seeded Seed+i, and max/mean
+// reductions commute. Cancellation aborts the sweep and returns the
+// context's error: a mean over a partial sample set would be biased, so
+// no partial Metrics are reported.
+func MonteCarloCtx(ctx context.Context, d *core.Design, x0 []float64, model ResponseModel, cost CostFunc, opt MonteCarloOptions) (Metrics, error) {
 	if opt.Sequences <= 0 || opt.Jobs <= 0 {
 		return Metrics{}, fmt.Errorf("sim: need positive Sequences and Jobs, got %d, %d", opt.Sequences, opt.Jobs)
 	}
@@ -244,6 +261,10 @@ func MonteCarlo(d *core.Design, x0 []float64, model ResponseModel, cost CostFunc
 			p := &parts[w]
 			p.worst = math.Inf(-1)
 			for i := w; i < opt.Sequences; i += workers {
+				if cerr := ctx.Err(); cerr != nil {
+					p.err = cerr
+					return
+				}
 				rng := rand.New(rand.NewSource(opt.Seed + int64(i)))
 				seq := model.Sequence(rng, opt.Jobs)
 				c, err := EvaluateSequence(d, x0, seq, cost)
@@ -270,12 +291,28 @@ func MonteCarlo(d *core.Design, x0 []float64, model ResponseModel, cost CostFunc
 	}
 	wg.Wait()
 
+	// Real failures take precedence over cancellation noise; both scans
+	// walk workers in index order so the reported error is deterministic.
+	var ctxErr error
+	for _, p := range parts {
+		if p.err == nil {
+			continue
+		}
+		if ctxInterrupted(p.err) {
+			if ctxErr == nil {
+				ctxErr = p.err
+			}
+			continue
+		}
+		return Metrics{}, p.err
+	}
+	if ctxErr != nil {
+		return Metrics{}, ctxErr
+	}
+
 	m := Metrics{Sequences: opt.Sequences, WorstCost: math.Inf(-1)}
 	total, count := 0.0, 0
 	for _, p := range parts {
-		if p.err != nil {
-			return Metrics{}, p.err
-		}
 		m.Divergent += p.divergent
 		total += p.sum
 		count += p.count

@@ -17,10 +17,12 @@ go run ./cmd/adalint ./...
 echo "== adalint self-test (fixtures must trip the linter)"
 # The testdata fixtures contain deliberate violations; adalint must
 # report them (exit non-zero) or the checks have gone soft.
-if go run ./cmd/adalint ./internal/lint/testdata/floatcompare >/dev/null 2>&1; then
-    echo "error: adalint exited 0 on a violation fixture" >&2
-    exit 1
-fi
+for fixture in floatcompare ctxloop; do
+    if go run ./cmd/adalint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
+        echo "error: adalint exited 0 on the $fixture violation fixture" >&2
+        exit 1
+    fi
+done
 
 echo "== go test -race ./internal/jsr/ ./internal/sim/ ./internal/guard/ ./internal/faults/ (worker-invariance under the race detector)"
 go test -race ./internal/jsr/ ./internal/sim/ ./internal/guard/ ./internal/faults/
@@ -30,6 +32,54 @@ go test -race ./...
 
 echo "== faultsim smoke: one fault-injected sequence through the certified ladder"
 go run ./cmd/adactl faultsim -sequences 1 -jobs 20 -workers 1 -nodes 20000 -brute 3 >/dev/null
+
+echo "== interruption smoke: jsrtool -timeout cuts with a valid bracket, -resume matches a fresh run"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/jsrtool" ./cmd/jsrtool
+cat > "$tmpdir/set.json" <<'EOF'
+[ [[0.55, 0.55], [0, 0.55]],
+  [[0.55, 0], [0.55, 0.55]] ]
+EOF
+# Reference: uninterrupted run, capturing the certified bracket line.
+"$tmpdir/jsrtool" -in "$tmpdir/set.json" -delta 1e-4 -depth 24 > "$tmpdir/full.out"
+grep '^JSR in' "$tmpdir/full.out" > "$tmpdir/full.bracket"
+# Interrupted run: must exit 5 and still print a valid best-so-far bracket.
+set +e
+"$tmpdir/jsrtool" -in "$tmpdir/set.json" -delta 1e-4 -depth 24 \
+    -timeout 1ns -checkpoint "$tmpdir/ck" > "$tmpdir/cut.out"
+cut_status=$?
+set -e
+if [ "$cut_status" -ne 5 ]; then
+    echo "error: interrupted jsrtool exited $cut_status, want 5" >&2
+    exit 1
+fi
+grep -q '^JSR in' "$tmpdir/cut.out" || {
+    echo "error: interrupted jsrtool printed no bracket" >&2
+    exit 1
+}
+grep -q 'interrupted (deadline)' "$tmpdir/cut.out" || {
+    echo "error: interrupted jsrtool did not report the deadline cut" >&2
+    exit 1
+}
+test -f "$tmpdir/ck" || {
+    echo "error: interrupted jsrtool left no checkpoint" >&2
+    exit 1
+}
+# Resumed run: must complete with a bracket bit-identical to the fresh run
+# and clean up its checkpoint.
+"$tmpdir/jsrtool" -in "$tmpdir/set.json" -delta 1e-4 -depth 24 \
+    -checkpoint "$tmpdir/ck" -resume > "$tmpdir/resumed.out"
+grep '^JSR in' "$tmpdir/resumed.out" > "$tmpdir/resumed.bracket"
+if ! cmp -s "$tmpdir/full.bracket" "$tmpdir/resumed.bracket"; then
+    echo "error: resumed bracket differs from a fresh run:" >&2
+    cat "$tmpdir/full.bracket" "$tmpdir/resumed.bracket" >&2
+    exit 1
+fi
+if [ -e "$tmpdir/ck" ]; then
+    echo "error: completed resume left its checkpoint behind" >&2
+    exit 1
+fi
 
 echo "== benchmark smoke: JSR worker sweep"
 go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
