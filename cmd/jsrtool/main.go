@@ -148,6 +148,14 @@ func run() int {
 		fmt.Println()
 		return 5
 	}
+	// The search ran to a verdict — stable, unstable, or undecided all
+	// count as completed; a stale snapshot would only invite a confusing
+	// -resume later.
+	if *ckptPath != "" {
+		if err := os.Remove(*ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "jsrtool: removing checkpoint:", err)
+		}
+	}
 	switch {
 	case bounds.CertifiesStable():
 		fmt.Println("verdict: STABLE under arbitrary switching (UB < 1)")
@@ -157,13 +165,6 @@ func run() int {
 	default:
 		fmt.Println("verdict: undecided at this accuracy (1 lies inside the bracket)")
 		return 4
-	}
-	// The search ran to its verdict; a stale snapshot would only invite
-	// a confusing -resume later.
-	if *ckptPath != "" {
-		if err := os.Remove(*ckptPath); err != nil && !errors.Is(err, os.ErrNotExist) {
-			fmt.Fprintln(os.Stderr, "jsrtool: removing checkpoint:", err)
-		}
 	}
 	return 0
 }

@@ -73,6 +73,13 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
+	// os.CreateTemp opens the file 0600; the artifacts written through
+	// here (CSV, reports, checkpoints) should carry the conventional
+	// 0644 a plain os.WriteFile would, so other users on a shared
+	// machine can read them.
+	if err = tmp.Chmod(0o644); err != nil {
+		return fmt.Errorf("checkpoint: chmod %s: %w", tmp.Name(), err)
+	}
 	if err = write(tmp); err != nil {
 		return err
 	}

@@ -132,6 +132,26 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestWriteFileAtomicWorldReadable: artifacts must not inherit
+// os.CreateTemp's 0600 — a report or CSV on a shared machine should be
+// readable like any os.WriteFile 0644 output.
+func TestWriteFileAtomicWorldReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "artifact")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("artifact mode = %o, want 644", perm)
+	}
+}
+
 func TestWriteFileAtomicPropagatesWriteError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out")
 	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {

@@ -32,7 +32,7 @@ func AblationPI(opt Options) ([]AblationPIRow, error) {
 	x0 := []float64{1, 0}
 	tuner := newPITuner(plant)
 	rows := make([]AblationPIRow, len(opt.Grid))
-	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int) error {
+	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int, publish func(func())) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table1T, cfg.Ns, table1T/10, cfg.RmaxFactor*table1T)
 		if err != nil {
@@ -79,7 +79,7 @@ func AblationPI(opt Options) ([]AblationPIRow, error) {
 		if row.RetunedPerH, err = eval(perH); err != nil {
 			return err
 		}
-		rows[ri] = row
+		publish(func() { rows[ri] = row })
 		return nil
 	})
 	if gerr != nil {
@@ -120,7 +120,7 @@ func AblationJSR(opt Options) ([]AblationJSRRow, error) {
 	plant := plants.PMSM(plants.DefaultPMSMParams())
 	w := pmsmWeights()
 	rows := make([]AblationJSRRow, len(opt.Grid))
-	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int) error {
+	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int, publish func(func())) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
@@ -158,7 +158,7 @@ func AblationJSR(opt Options) ([]AblationJSRRow, error) {
 		}
 		row.GripTime = time.Since(t0)
 
-		rows[ri] = row
+		publish(func() { rows[ri] = row })
 		return nil
 	})
 	if gerr != nil {
@@ -199,7 +199,7 @@ func AblationDelayLQR(opt Options) ([]AblationLQRRow, error) {
 	cost := sim.QuadCost(w.Q, w.R)
 	x0 := pmsmInitialState()
 	rows := make([]AblationLQRRow, len(opt.Grid))
-	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int) error {
+	gerr := gridParallel(context.Background(), len(opt.Grid), opt.Workers, nil, func(ri int, publish func(func())) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
@@ -233,7 +233,7 @@ func AblationDelayLQR(opt Options) ([]AblationLQRRow, error) {
 		}); err != nil {
 			return err
 		}
-		rows[ri] = row
+		publish(func() { rows[ri] = row })
 		return nil
 	})
 	if gerr != nil {

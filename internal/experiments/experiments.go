@@ -65,10 +65,11 @@ type Options struct {
 // GridResume tracks per-row completion of an experiment grid so an
 // interrupted run can resume without recomputing finished rows. Done[i]
 // marks row i complete; its length must equal the grid size. Save, when
-// non-nil, is invoked after each newly completed row — updates to Done
-// and Save calls are serialized under one lock, so the hook can safely
-// persist Done together with the caller's row slice (each row is fully
-// written before Done[i] flips).
+// non-nil, is invoked after each newly completed row — row publication
+// (the commit closure each grid fn registers), updates to Done, and
+// Save calls are all serialized under one lock, so the hook can safely
+// persist Done together with the caller's row slice: Save never
+// observes a half-written row.
 type GridResume struct {
 	Done []bool
 	Save func() error
@@ -81,13 +82,18 @@ func ctxInterrupted(err error) bool {
 }
 
 // gridParallel evaluates fn(i) for every grid row i on at most
-// `workers` goroutines. Each fn owns row i exclusively (it writes only
-// rows[i]), so results are deterministic. Rows already marked done in
-// res are skipped; cancellation stops the feeder and in-flight rows at
-// their next poll. Real row failures are joined in index order and take
-// precedence over cancellation noise; a run cut purely by the context
-// returns the context's error.
-func gridParallel(ctx context.Context, n, workers int, res *GridResume, fn func(i int) error) error {
+// `workers` goroutines. Each fn owns row i exclusively and registers
+// its result with publish (typically publish(func() { rows[i] = row }));
+// gridParallel runs that commit closure under the same mutex that
+// serializes res.Done updates and res.Save calls, so a Save hook that
+// snapshots the caller's row slice never races a concurrent row write.
+// Results are deterministic. Rows already marked done in res are
+// skipped; cancellation stops the feeder and in-flight rows at their
+// next poll. Real row failures are joined in index order and take
+// precedence over cancellation noise; a run cut short purely by the
+// context returns the context's error, while a run whose rows all
+// completed returns nil even if the context fired afterwards.
+func gridParallel(ctx context.Context, n, workers int, res *GridResume, fn func(i int, publish func(commit func())) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -98,7 +104,7 @@ func gridParallel(ctx context.Context, n, workers int, res *GridResume, fn func(
 		return fmt.Errorf("experiments: resume state tracks %d rows, grid has %d", len(res.Done), n)
 	}
 	errs := make([]error, n)
-	var mu sync.Mutex // serializes res.Done updates and res.Save calls
+	var mu sync.Mutex // serializes row commits, res.Done updates, and res.Save calls
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -110,18 +116,26 @@ func gridParallel(ctx context.Context, n, workers int, res *GridResume, fn func(
 					errs[i] = cerr
 					continue
 				}
-				errs[i] = fn(i)
-				if errs[i] == nil && res != nil {
+				var commit func()
+				err := fn(i, func(c func()) { commit = c })
+				if err == nil {
 					mu.Lock()
-					res.Done[i] = true
-					if res.Save != nil {
-						errs[i] = res.Save()
+					if commit != nil {
+						commit()
+					}
+					if res != nil {
+						res.Done[i] = true
+						if res.Save != nil {
+							err = res.Save()
+						}
 					}
 					mu.Unlock()
 				}
+				errs[i] = err
 			}
 		}()
 	}
+	cut := false // feeder stopped before dispatching every remaining row
 feed:
 	for i := 0; i < n; i++ {
 		if res != nil && res.Done[i] {
@@ -130,6 +144,7 @@ feed:
 		select {
 		case next <- i:
 		case <-ctx.Done():
+			cut = true
 			break feed
 		}
 	}
@@ -155,7 +170,10 @@ feed:
 	if ctxErr != nil {
 		return ctxErr
 	}
-	return ctx.Err()
+	if cut {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Defaults fills zero fields with fast-but-meaningful values.
@@ -306,7 +324,7 @@ func Table1Ctx(ctx context.Context, opt Options, rows []Table1Row, res *GridResu
 	if len(rows) != len(opt.Grid) {
 		rows = make([]Table1Row, len(opt.Grid))
 	}
-	err := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int) error {
+	err := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int, publish func(func())) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table1T, cfg.Ns, table1T/10, cfg.RmaxFactor*table1T)
 		if err != nil {
@@ -359,7 +377,7 @@ func Table1Ctx(ctx context.Context, opt Options, rows []Table1Row, res *GridResu
 			}
 			*strat.dst = m.WorstCost
 		}
-		rows[ri] = row
+		publish(func() { rows[ri] = row })
 		return nil
 	})
 	return rows, err
@@ -439,7 +457,7 @@ func Table2Ctx(ctx context.Context, opt Options, rows []Table2Row, res *GridResu
 	if len(rows) != len(opt.Grid) {
 		rows = make([]Table2Row, len(opt.Grid))
 	}
-	gerr := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int) error {
+	gerr := gridParallel(ctx, len(opt.Grid), opt.Workers, res, func(ri int, publish func(func())) error {
 		cfg := opt.Grid[ri]
 		tm, err := core.NewTiming(table2T, cfg.Ns, table2T/10, cfg.RmaxFactor*table2T)
 		if err != nil {
@@ -537,7 +555,7 @@ func Table2Ctx(ctx context.Context, opt Options, rows []Table2Row, res *GridResu
 		}
 		row.FixedPeriod = fp * costScale
 
-		rows[ri] = row
+		publish(func() { rows[ri] = row })
 		return nil
 	})
 	return rows, gerr
@@ -649,7 +667,7 @@ func SweepNsCtx(ctx context.Context, factors []int, opt Options, rows []SweepRow
 	if len(rows) != len(factors) {
 		rows = make([]SweepRow, len(factors))
 	}
-	err := gridParallel(ctx, len(factors), 1, res, func(ri int) error {
+	err := gridParallel(ctx, len(factors), 1, res, func(ri int, publish func(func())) error {
 		ns := factors[ri]
 		tm, err := core.NewTiming(table2T, ns, table2T/10, 1.6*table2T)
 		if err != nil {
@@ -670,7 +688,7 @@ func SweepNsCtx(ctx context.Context, factors []int, opt Options, rows []SweepRow
 		if err != nil {
 			return err
 		}
-		rows[ri] = SweepRow{Ns: ns, NumModes: d.NumModes(), JSR: bounds, WorstCost: m.WorstCost}
+		publish(func() { rows[ri] = SweepRow{Ns: ns, NumModes: d.NumModes(), JSR: bounds, WorstCost: m.WorstCost} })
 		return nil
 	})
 	return rows, err

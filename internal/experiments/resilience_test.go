@@ -86,7 +86,7 @@ func TestTable1CtxResume(t *testing.T) {
 // a caller bug (a checkpoint for a different grid) and must be refused.
 func TestGridParallelValidatesResume(t *testing.T) {
 	res := &GridResume{Done: make([]bool, 2)}
-	err := gridParallel(context.Background(), 3, 1, res, func(int) error { return nil })
+	err := gridParallel(context.Background(), 3, 1, res, func(int, func(func())) error { return nil })
 	if err == nil {
 		t.Fatal("mismatched Done length accepted")
 	}
@@ -99,7 +99,7 @@ func TestGridParallelRealErrorBeatsCancellation(t *testing.T) {
 	sentinel := errors.New("row failure")
 	done := make([]bool, 8)
 	res := &GridResume{Done: done}
-	err := gridParallel(context.Background(), 8, 4, res, func(i int) error {
+	err := gridParallel(context.Background(), 8, 4, res, func(i int, _ func(func())) error {
 		if i == 3 {
 			return sentinel
 		}
@@ -110,6 +110,91 @@ func TestGridParallelRealErrorBeatsCancellation(t *testing.T) {
 	}
 	if done[3] {
 		t.Fatal("failed row marked done")
+	}
+}
+
+// TestGridParallelSaveRowRace: the Save hook snapshots the caller's
+// whole row slice (as adactl's checkpoint does, gob-encoding rows with
+// slice fields) while other workers are still publishing rows. Row
+// publication must be serialized with Save under the same lock; under
+// -race this test fails if a row write escapes the critical section.
+func TestGridParallelSaveRowRace(t *testing.T) {
+	const n = 64
+	rows := make([]struct{ Vals []float64 }, n)
+	done := make([]bool, n)
+	res := &GridResume{
+		Done: done,
+		Save: func() error {
+			// Read every row, finished or not — exactly what a
+			// whole-checkpoint encoder does.
+			var sum float64
+			for i := range rows {
+				for _, v := range rows[i].Vals {
+					sum += v
+				}
+			}
+			_ = sum
+			return nil
+		},
+	}
+	err := gridParallel(context.Background(), n, 8, res, func(i int, publish func(func())) error {
+		row := struct{ Vals []float64 }{Vals: []float64{float64(i), float64(i * i)}}
+		publish(func() { rows[i] = row })
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if len(rows[i].Vals) != 2 {
+			t.Fatalf("row %d not published", i)
+		}
+	}
+}
+
+// TestGridParallelCompleteDespiteLateCancel: a context that fires only
+// after every row has been dispatched and completed must not turn a
+// fully successful run into an interruption.
+func TestGridParallelCompleteDespiteLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 4
+	done := make([]bool, n)
+	res := &GridResume{Done: done}
+	finished := 0
+	var mu sync.Mutex
+	err := gridParallel(ctx, n, 1, res, func(i int, _ func(func())) error {
+		mu.Lock()
+		finished++
+		if finished == n {
+			cancel() // fires after the last row's work, before return
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil for a fully completed grid", err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Fatalf("row %d not marked done", i)
+		}
+	}
+}
+
+// TestGridParallelResumeCompleteUnderDeadline: resuming a grid whose
+// rows are all already done must succeed even if the context is
+// already expired — there is no work left to interrupt.
+func TestGridParallelResumeCompleteUnderDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := []bool{true, true, true}
+	res := &GridResume{Done: done}
+	err := gridParallel(ctx, 3, 2, res, func(int, func(func())) error {
+		t.Error("fn called for a done row")
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("err = %v, want nil when every row was already done", err)
 	}
 }
 

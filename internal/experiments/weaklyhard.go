@@ -66,7 +66,7 @@ func WeaklyHard(k int, opt Options) ([]WeaklyHardRow, error) {
 	setF, _, _ = jsr.Precondition(setF)
 
 	rows := make([]WeaklyHardRow, k+1)
-	gerr := gridParallel(context.Background(), k+1, opt.Workers, nil, func(m int) error {
+	gerr := gridParallel(context.Background(), k+1, opt.Workers, nil, func(m int, publish func(func())) error {
 		g, err := jsr.WeaklyHardGraph(m, k)
 		if err != nil {
 			return err
@@ -79,7 +79,7 @@ func WeaklyHard(k int, opt Options) ([]WeaklyHardRow, error) {
 		if err != nil {
 			return err
 		}
-		rows[m] = WeaklyHardRow{M: m, K: k, Adaptive: ba, FixedT: bf}
+		publish(func() { rows[m] = WeaklyHardRow{M: m, K: k, Adaptive: ba, FixedT: bf} })
 		return nil
 	})
 	if gerr != nil {

@@ -80,6 +80,25 @@ if [ -e "$tmpdir/ck" ]; then
     echo "error: completed resume left its checkpoint behind" >&2
     exit 1
 fi
+# Non-stable verdicts are completed runs too: an UNSTABLE certification
+# must also remove its checkpoint (regression: cleanup used to be
+# reachable only from the STABLE branch).
+cat > "$tmpdir/unstable.json" <<'EOF'
+[ [[1.2, 0], [0, 1.2]] ]
+EOF
+set +e
+"$tmpdir/jsrtool" -in "$tmpdir/unstable.json" -delta 1e-3 -depth 8 \
+    -checkpoint "$tmpdir/ck-unstable" > "$tmpdir/unstable.out"
+unstable_status=$?
+set -e
+if [ "$unstable_status" -ne 3 ]; then
+    echo "error: unstable-set jsrtool exited $unstable_status, want 3" >&2
+    exit 1
+fi
+if [ -e "$tmpdir/ck-unstable" ]; then
+    echo "error: UNSTABLE verdict left its checkpoint behind" >&2
+    exit 1
+fi
 
 echo "== benchmark smoke: JSR worker sweep"
 go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
