@@ -37,16 +37,15 @@ import (
 	"syscall"
 	"time"
 
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/buildinfo"
 	"adaptivertc/internal/checkpoint"
-	"adaptivertc/internal/control"
 	"adaptivertc/internal/core"
 	"adaptivertc/internal/experiments"
 	"adaptivertc/internal/faults"
 	"adaptivertc/internal/guard"
+	"adaptivertc/internal/inputhash"
 	"adaptivertc/internal/jsr"
-	"adaptivertc/internal/lti"
-	"adaptivertc/internal/mat"
-	"adaptivertc/internal/plants"
 	"adaptivertc/internal/sched"
 	"adaptivertc/internal/sim"
 )
@@ -93,6 +92,8 @@ func main() {
 		err = runFaultSim(ctx, args)
 	case "report":
 		err = runReport(args)
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.Line("adactl"))
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -160,23 +161,11 @@ func resilienceFlags(fs *flag.FlagSet) (timeout *time.Duration, ckptPath *string
 	return
 }
 
-// gridParams pins a grid checkpoint to the flags that shape its rows; a
-// resume with different parameters is refused rather than silently
-// mixing results.
-type gridParams struct {
-	Sequences int
-	Jobs      int
-	Seed      int64
-	BruteLen  int
-	Delta     float64
-	Model     string
-	Refine    int
-	N         int    // grid size
-	Extra     string // command-specific input (e.g. the sweep's -ns list)
-}
-
-func paramsFor(opt experiments.Options, n int, extra string) gridParams {
-	return gridParams{
+// paramsFor pins a grid checkpoint to the flags that shape its rows
+// (see inputhash.GridParams); a resume with different parameters is
+// refused rather than silently mixing results.
+func paramsFor(opt experiments.Options, n int, extra string) inputhash.GridParams {
+	return inputhash.GridParams{
 		Sequences: opt.Sequences, Jobs: opt.Jobs, Seed: opt.Seed,
 		BruteLen: opt.BruteLen, Delta: opt.Delta, Model: opt.Model,
 		Refine: opt.Refine, N: n, Extra: extra,
@@ -186,7 +175,7 @@ func paramsFor(opt experiments.Options, n int, extra string) gridParams {
 // gridCkpt is the persisted state of a resumable experiment grid: the
 // row slice the experiment writes into plus the per-row done flags.
 type gridCkpt[T any] struct {
-	Params gridParams
+	Params inputhash.GridParams
 	Rows   []T
 	Done   []bool
 }
@@ -199,7 +188,7 @@ const gridCkptVersion = 1
 // gridCkpt after every completed row; it is nil when no checkpoint was
 // requested (timeout/signal interruption still works, it just cannot
 // resume).
-func newGridState[T any](kind, path string, resume bool, params gridParams) (*gridCkpt[T], *experiments.GridResume, error) {
+func newGridState[T any](kind, path string, resume bool, params inputhash.GridParams) (*gridCkpt[T], *experiments.GridResume, error) {
 	ck := &gridCkpt[T]{Params: params, Rows: make([]T, params.N), Done: make([]bool, params.N)}
 	if resume {
 		if path == "" {
@@ -463,41 +452,7 @@ func runExport(args []string) error {
 		return err
 	}
 
-	var (
-		plant *lti.System
-		T     float64
-		des   core.Designer
-	)
-	switch *scenario {
-	case "pmsm":
-		plant = plants.PMSM(plants.DefaultPMSMParams())
-		T = 50e-6
-		w := control.LQRWeights{Q: mat.Diag(1, 1, 5), R: mat.Scale(0.01, mat.Eye(2))}
-		des = func(h float64) (*control.StateSpace, error) { return control.LQGFullInfo(plant, w, h) }
-	case "unstable":
-		plant = plants.Unstable()
-		T = 0.010
-		nominal, err := control.TunePI(plant, T, control.PITuneOptions{})
-		if err != nil {
-			return err
-		}
-		des = func(h float64) (*control.StateSpace, error) {
-			return control.PIGains{KP: nominal.KP, KI: nominal.KI, H: h}.Controller(), nil
-		}
-	case "quickstart":
-		plant = plants.DoubleIntegratorFullState()
-		T = 0.020
-		w := control.LQRWeights{Q: mat.Eye(2), R: mat.Diag(0.1)}
-		des = func(h float64) (*control.StateSpace, error) { return control.LQGFullInfo(plant, w, h) }
-	default:
-		return fmt.Errorf("unknown scenario %q", *scenario)
-	}
-
-	tm, err := core.NewTiming(T, *ns, T/10, *rmaxFactor*T)
-	if err != nil {
-		return err
-	}
-	design, err := core.NewDesign(plant, tm, des)
+	design, err := api.BuildScenario(*scenario, *rmaxFactor, *ns)
 	if err != nil {
 		return err
 	}
@@ -578,43 +533,10 @@ func runCertify(args []string) error {
 	return nil
 }
 
-// buildScenario constructs the named demo design (shared by export and
-// certify).
+// buildScenario constructs the named demo design (shared by export,
+// certify, faultsim, and the certification service).
 func buildScenario(scenario string, rmaxFactor float64, ns int) (*core.Design, error) {
-	var (
-		plant *lti.System
-		T     float64
-		des   core.Designer
-	)
-	switch scenario {
-	case "pmsm":
-		plant = plants.PMSM(plants.DefaultPMSMParams())
-		T = 50e-6
-		w := control.LQRWeights{Q: mat.Diag(1, 1, 5), R: mat.Scale(0.01, mat.Eye(2))}
-		des = func(h float64) (*control.StateSpace, error) { return control.LQGFullInfo(plant, w, h) }
-	case "unstable":
-		plant = plants.Unstable()
-		T = 0.010
-		nominal, err := control.TunePI(plant, T, control.PITuneOptions{})
-		if err != nil {
-			return nil, err
-		}
-		des = func(h float64) (*control.StateSpace, error) {
-			return control.PIGains{KP: nominal.KP, KI: nominal.KI, H: h}.Controller(), nil
-		}
-	case "quickstart":
-		plant = plants.DoubleIntegratorFullState()
-		T = 0.020
-		w := control.LQRWeights{Q: mat.Eye(2), R: mat.Diag(0.1)}
-		des = func(h float64) (*control.StateSpace, error) { return control.LQGFullInfo(plant, w, h) }
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", scenario)
-	}
-	tm, err := core.NewTiming(T, ns, T/10, rmaxFactor*T)
-	if err != nil {
-		return nil, err
-	}
-	return core.NewDesign(plant, tm, des)
+	return api.BuildScenario(scenario, rmaxFactor, ns)
 }
 
 // runBurst compares independent and bursty overrun patterns with the

@@ -11,7 +11,7 @@
 // Usage:
 //
 //	jsrtool [-in matrices.json] [-delta 1e-3] [-depth 30] [-brute 6] [-raw]
-//	        [-workers N] [-timeout 30s] [-checkpoint path [-resume]]
+//	        [-workers N] [-timeout 30s] [-checkpoint path [-resume]] [-version]
 //
 // Long-running searches are interruptible: -timeout caps wall-clock
 // time, and Ctrl-C (SIGINT) or SIGTERM stops the search at the next
@@ -29,19 +29,18 @@ package main
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"adaptivertc/internal/buildinfo"
 	"adaptivertc/internal/checkpoint"
+	"adaptivertc/internal/inputhash"
 	"adaptivertc/internal/jsr"
 	"adaptivertc/internal/mat"
 )
@@ -57,7 +56,7 @@ const (
 // Depth (the -depth flag) is deliberately not pinned: resuming with a
 // larger -depth is the supported way to extend an exhausted search.
 type ckptPayload struct {
-	SetHash [sha256.Size]byte // content hash of the input matrices
+	SetHash inputhash.Sum // content hash of the input matrices
 	Delta   float64
 	Brute   int
 	Raw     bool
@@ -78,7 +77,13 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget; on expiry print the best-so-far bracket and exit 5 (0 = none)")
 	ckptPath := flag.String("checkpoint", "", "snapshot the search state to this file at every level boundary")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh")
+	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("jsrtool"))
+		return 0
+	}
 
 	set, err := readSet(*in)
 	if err != nil {
@@ -90,7 +95,7 @@ func run() int {
 	defer stop()
 
 	opt := jsr.GripenbergOptions{Delta: *delta, MaxDepth: *depth, Workers: *workers, Deadline: *timeout}
-	hash := setHash(set, *raw)
+	hash := inputhash.SetHash(set, *raw)
 	if *resume {
 		if *ckptPath == "" {
 			fmt.Fprintln(os.Stderr, "jsrtool: -resume requires -checkpoint")
@@ -124,7 +129,7 @@ func run() int {
 	var bounds jsr.Bounds
 	var serr error
 	if *raw {
-		bounds, serr = rawBounds(ctx, set, *brute, opt)
+		bounds, serr = jsr.EstimateRawCtx(ctx, set, *brute, opt)
 	} else {
 		bounds, serr = jsr.EstimateCtx(ctx, set, *brute, opt)
 	}
@@ -167,63 +172,6 @@ func run() int {
 		return 4
 	}
 	return 0
-}
-
-// rawBounds reproduces Estimate's bracket merge without the Lyapunov
-// preconditioning, tolerating budget/deadline cuts from either phase.
-func rawBounds(ctx context.Context, set []*mat.Dense, brute int, opt jsr.GripenbergOptions) (jsr.Bounds, error) {
-	if opt.Deadline > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
-		defer cancel()
-		opt.Deadline = 0
-	}
-	bf, bferr := jsr.BruteForceBoundsCtx(ctx, set, brute, jsr.BruteForceOptions{Workers: opt.Workers})
-	if bferr != nil && !errors.Is(bferr, jsr.ErrDeadline) {
-		return jsr.Bounds{}, bferr
-	}
-	gp, gerr := jsr.GripenbergCtx(ctx, set, opt)
-	if gerr != nil && !errors.Is(gerr, jsr.ErrBudget) && !errors.Is(gerr, jsr.ErrDeadline) {
-		return jsr.Bounds{}, gerr
-	}
-	out := jsr.Bounds{
-		Lower:       math.Max(bf.Lower, gp.Lower),
-		Upper:       math.Min(bf.Upper, gp.Upper),
-		WitnessWord: bf.WitnessWord,
-	}
-	if gp.Lower > bf.Lower {
-		out.WitnessWord = gp.WitnessWord
-	}
-	return out, errors.Join(bferr, gerr)
-}
-
-// setHash pins a checkpoint to the exact analysis input: matrix count,
-// dimensions, raw float bits in order, and the preconditioning mode.
-func setHash(set []*mat.Dense, raw bool) [sha256.Size]byte {
-	h := sha256.New()
-	var buf [8]byte
-	writeU64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	if raw {
-		writeU64(1)
-	} else {
-		writeU64(0)
-	}
-	writeU64(uint64(len(set)))
-	for _, m := range set {
-		writeU64(uint64(m.Rows()))
-		writeU64(uint64(m.Cols()))
-		for i := 0; i < m.Rows(); i++ {
-			for j := 0; j < m.Cols(); j++ {
-				writeU64(math.Float64bits(m.At(i, j)))
-			}
-		}
-	}
-	var sum [sha256.Size]byte
-	copy(sum[:], h.Sum(nil))
-	return sum
 }
 
 func readSet(path string) ([]*mat.Dense, error) {

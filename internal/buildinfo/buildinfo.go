@@ -1,0 +1,68 @@
+// Package buildinfo surfaces the build metadata Go embeds in every
+// binary (module version, VCS revision, toolchain) in one canonical
+// line. The CLIs print it behind -version, the certification service
+// reports it from /healthz and stamps it into response headers, and
+// the experiment report records it in its header — so a verdict or a
+// table can always be traced back to the exact build that produced it.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Version returns the best available version string for the running
+// binary: the module version when built from a tagged module, else
+// "devel" decorated with the VCS revision and dirty flag when the
+// build embedded VCS metadata, else plain "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// Pseudo-versions (v0.0.0-<time>-<rev>[+dirty]) already carry
+		// the revision; only decorate versions that don't.
+		if !strings.Contains(v, rev) {
+			v += "+" + rev + dirty
+		}
+	}
+	return v
+}
+
+// Line renders the one-line -version output for the named tool, e.g.
+//
+//	adaserved devel+1a2b3c4d5e6f (go1.24.0 linux/amd64)
+func Line(tool string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", tool, Version(), goVersion(), runtime.GOOS, runtime.GOARCH)
+}
+
+func goVersion() string {
+	// runtime.Version already looks like "go1.24.0"; guard against
+	// exotic toolchains that embed spaces (gccgo).
+	v := runtime.Version()
+	if i := strings.IndexByte(v, ' '); i >= 0 {
+		v = v[:i]
+	}
+	return v
+}

@@ -1,0 +1,322 @@
+// Package certcache is a content-addressed store for certification
+// results. The JSR-based stability test is a pure function of its
+// canonicalized request (matrix set + budgets), so its verdicts are
+// perfectly memoizable: the cache maps inputhash keys to the canonical
+// response bytes the service returned for them.
+//
+// Three layers compose:
+//
+//   - An in-memory LRU front bounds resident memory and serves repeat
+//     requests without touching the disk.
+//
+//   - An optional on-disk store (one file per key, written through
+//     internal/checkpoint's atomic temp+rename+checksum writer)
+//     survives restarts. A corrupt or mismatching entry is evicted and
+//     recomputed — checkpoint.ErrCorrupt is a cache miss, never a
+//     request failure.
+//
+//   - Singleflight deduplication: N concurrent requests for the same
+//     key perform exactly one computation; the followers block on the
+//     leader's flight and receive the same bytes (and its error, if
+//     the computation fails — errors are not cached).
+//
+// The stored value is opaque bytes. Storing the encoded response (as
+// the service does) rather than a decoded struct is what makes the
+// byte-identical-responses guarantee trivial: a hit literally replays
+// the leader's bytes.
+package certcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"adaptivertc/internal/checkpoint"
+	"adaptivertc/internal/inputhash"
+)
+
+// Key addresses one cached certification result.
+type Key = inputhash.Sum
+
+// entryKind/entryVersion identify the on-disk entry format.
+const (
+	entryKind    = "adaserved/cert"
+	entryVersion = 1
+)
+
+// entry is the persisted payload: the key is stored alongside the body
+// so a renamed or copied file cannot serve bytes for the wrong request.
+type entry struct {
+	Key  Key
+	Body []byte
+}
+
+// Outcome classifies how a GetOrCompute call was served.
+type Outcome int
+
+const (
+	// Miss: this call ran the computation.
+	Miss Outcome = iota
+	// HitMemory: served from the in-memory LRU.
+	HitMemory
+	// HitDisk: served from the persistent store (and promoted to memory).
+	HitDisk
+	// Shared: attached to a concurrent in-flight computation for the
+	// same key and received its result.
+	Shared
+)
+
+// String returns the X-Cache header rendering of the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case HitMemory:
+		return "hit"
+	case HitDisk:
+		return "hit-disk"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a snapshot of the cache counters. All counters are
+// monotonic over the life of the Cache.
+type Stats struct {
+	Hits       int64 // memory hits
+	DiskHits   int64 // disk hits (promoted to memory)
+	Misses     int64 // computations actually run
+	Shared     int64 // calls served by someone else's in-flight computation
+	Corrupt    int64 // on-disk entries evicted as corrupt/mismatching
+	WriteErrs  int64 // best-effort persistence failures
+	Entries    int   // current in-memory entries
+	BytesInMem int64 // current in-memory body bytes
+}
+
+// Options configures a Cache. The zero value is a memory-only cache
+// with the default capacity.
+type Options struct {
+	// Capacity is the maximum number of in-memory entries; ≤ 0 selects
+	// 1024. Eviction is least-recently-used.
+	Capacity int
+	// Dir, when non-empty, persists every computed entry to this
+	// directory (created if absent) and consults it on memory misses.
+	Dir string
+}
+
+// Cache is a concurrency-safe content-addressed certificate store.
+type Cache struct {
+	capacity int
+	dir      string
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *memEntry
+	index    map[Key]*list.Element
+	inflight map[Key]*flight
+	stats    Stats
+}
+
+type memEntry struct {
+	key  Key
+	body []byte
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// New creates a cache, creating Options.Dir if requested.
+func New(opt Options) (*Cache, error) {
+	if opt.Capacity <= 0 {
+		opt.Capacity = 1024
+	}
+	if opt.Dir != "" {
+		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("certcache: creating %s: %w", opt.Dir, err)
+		}
+	}
+	return &Cache{
+		capacity: opt.Capacity,
+		dir:      opt.Dir,
+		lru:      list.New(),
+		index:    make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Get returns the cached bytes for key without ever computing: memory
+// first, then the persistent store (promoting a disk hit to memory).
+// It does not join an in-flight computation — callers that must not
+// block (the async enqueue fast path) use Get; everyone else uses
+// GetOrCompute.
+func (c *Cache) Get(key Key) ([]byte, Outcome, bool) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		body := el.Value.(*memEntry).body
+		c.stats.Hits++
+		c.mu.Unlock()
+		return body, HitMemory, true
+	}
+	c.mu.Unlock()
+	body, err := c.loadDisk(key)
+	if err != nil || body == nil {
+		return nil, Miss, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.insertLocked(key, body)
+	c.mu.Unlock()
+	return body, HitDisk, true
+}
+
+// GetOrCompute returns the cached bytes for key, running compute at
+// most once across all concurrent callers when the key is absent.
+// The returned Outcome says how the call was served. Compute errors
+// propagate to every caller of the flight and are not cached; ctx
+// cancellation releases a waiting follower without affecting the
+// leader's computation.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		body := el.Value.(*memEntry).body
+		c.stats.Hits++
+		c.mu.Unlock()
+		return body, HitMemory, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.body, Shared, fl.err
+		case <-ctx.Done():
+			return nil, Shared, ctx.Err()
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	outcome := Miss
+	body, err := c.loadDisk(key)
+	if body != nil {
+		outcome = HitDisk
+	} else if err == nil {
+		body, err = compute(ctx)
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	switch {
+	case err != nil:
+		// Not cached: a failed computation (bad request reached the
+		// engine, deadline, panic isolation) must not poison the key.
+	case outcome == HitDisk:
+		c.stats.DiskHits++
+		c.insertLocked(key, body)
+	default:
+		c.stats.Misses++
+		c.insertLocked(key, body)
+		if werr := c.persist(key, body); werr != nil {
+			c.stats.WriteErrs++
+		}
+	}
+	c.mu.Unlock()
+
+	fl.body, fl.err = body, err
+	close(fl.done)
+	return body, outcome, err
+}
+
+// insertLocked adds an entry at the LRU front, evicting from the back
+// past capacity. Caller holds c.mu.
+func (c *Cache) insertLocked(key Key, body []byte) {
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.lru.PushFront(&memEntry{key: key, body: body})
+	c.stats.BytesInMem += int64(len(body))
+	for c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		ev := back.Value.(*memEntry)
+		c.lru.Remove(back)
+		delete(c.index, ev.key)
+		c.stats.BytesInMem -= int64(len(ev.body))
+	}
+}
+
+// EntryPath returns the on-disk location for key (sharded by the
+// leading byte so a long-lived cache directory stays listable), or ""
+// for a memory-only cache. Exposed for operations and tests; the file
+// format is internal/checkpoint's.
+func (c *Cache) EntryPath(key Key) string {
+	if c.dir == "" {
+		return ""
+	}
+	return c.path(key)
+}
+
+func (c *Cache) path(key Key) string {
+	hex := key.String()
+	return filepath.Join(c.dir, hex[:2], hex+".cert")
+}
+
+// loadDisk reads and verifies the persisted entry for key. A missing
+// file returns (nil, nil). A corrupt, mismatching, or misfiled entry
+// is removed and reported as a miss — recompute, never fail. Other
+// errors (permission, IO) propagate.
+func (c *Cache) loadDisk(key Key) ([]byte, error) {
+	if c.dir == "" {
+		return nil, nil
+	}
+	var e entry
+	err := checkpoint.Load(c.path(key), entryKind, entryVersion, &e)
+	switch {
+	case err == nil && e.Key == key:
+		return e.Body, nil
+	case errors.Is(err, os.ErrNotExist):
+		return nil, nil
+	case err == nil || errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrMismatch):
+		// err == nil here means the checksum passed but the embedded
+		// key disagrees with the file name: same treatment.
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.mu.Unlock()
+		os.Remove(c.path(key))
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("certcache: reading %s: %w", c.path(key), err)
+	}
+}
+
+// persist writes the entry for key. Best-effort: the caller records
+// failures in Stats.WriteErrs and serves the computed bytes anyway.
+func (c *Cache) persist(key Key, body []byte) error {
+	if c.dir == "" {
+		return nil
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	return checkpoint.Save(p, entryKind, entryVersion, entry{Key: key, Body: body})
+}

@@ -1,0 +1,307 @@
+package certcache
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func keyOf(s string) Key { return sha256.Sum256([]byte(s)) }
+
+// inflightLen reads the in-flight count under the cache lock (the
+// tests poll it to sequence leader/follower goroutines).
+func (c *Cache) inflightLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}
+
+func mustNew(t *testing.T, opt Options) *Cache {
+	t.Helper()
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The central concurrency contract: N concurrent identical requests
+// run exactly one computation and all receive the same bytes. Run
+// under -race this also exercises the flight happens-before edge.
+func TestSingleflightOneComputation(t *testing.T) {
+	c := mustNew(t, Options{})
+	key := keyOf("dedup")
+	const n = 32
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+				calls.Add(1)
+				<-release // hold the flight open until all followers have queued
+				return []byte("certified"), nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// Let the leader win and the followers pile onto the flight, then
+	// release. The leader holds the flight open, so every other
+	// goroutine must eventually register as Shared.
+	for c.Stats().Shared < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != n-1 {
+		t.Fatalf("stats = %+v, want Misses=1 Shared=%d", st, n-1)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, bodies[0]) {
+			t.Fatalf("goroutine %d got %q, goroutine 0 got %q — bodies must be byte-identical", i, b, bodies[0])
+		}
+	}
+
+	// A later call is a pure memory hit.
+	body, outcome, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+		t.Fatal("compute must not run on a hit")
+		return nil, nil
+	})
+	if err != nil || outcome != HitMemory || string(body) != "certified" {
+		t.Fatalf("hit: body=%q outcome=%v err=%v", body, outcome, err)
+	}
+}
+
+// Errors propagate to every waiter and are not cached.
+func TestComputeErrorNotCached(t *testing.T) {
+	c := mustNew(t, Options{})
+	key := keyOf("fails-once")
+	boom := errors.New("boom")
+	var calls atomic.Int64
+
+	if _, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	body, outcome, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return []byte("ok"), nil
+	})
+	if err != nil || outcome != Miss || string(body) != "ok" {
+		t.Fatalf("retry: body=%q outcome=%v err=%v", body, outcome, err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error must not be cached)", calls.Load())
+	}
+}
+
+// A waiting follower can abandon the flight via its own context
+// without disturbing the leader.
+func TestFollowerContextCancel(t *testing.T) {
+	c := mustNew(t, Options{})
+	key := keyOf("slow")
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
+			<-release
+			return []byte("eventually"), nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	for c.inflightLen() == 0 {
+		runtime.Gosched()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.GetOrCompute(ctx, key, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+	<-leaderDone
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := mustNew(t, Options{Capacity: 2})
+	compute := func(s string) func(context.Context) ([]byte, error) {
+		return func(context.Context) ([]byte, error) { return []byte(s), nil }
+	}
+	ctx := context.Background()
+	c.GetOrCompute(ctx, keyOf("a"), compute("a"))
+	c.GetOrCompute(ctx, keyOf("b"), compute("b"))
+	c.GetOrCompute(ctx, keyOf("a"), compute("a"))  // touch a: b is now LRU
+	c.GetOrCompute(ctx, keyOf("cc"), compute("c")) // evicts b
+
+	if st := c.Stats(); st.Entries != 2 || st.BytesInMem != 2 {
+		t.Fatalf("stats = %+v, want 2 entries / 2 bytes", st)
+	}
+	if _, outcome, _ := c.GetOrCompute(ctx, keyOf("a"), compute("a")); outcome != HitMemory {
+		t.Fatalf("a evicted, want retained (outcome %v)", outcome)
+	}
+	if _, outcome, _ := c.GetOrCompute(ctx, keyOf("b"), compute("b")); outcome != Miss {
+		t.Fatalf("b retained, want evicted (outcome %v)", outcome)
+	}
+}
+
+// Disk persistence: a second cache over the same directory serves the
+// first cache's entry without recomputing.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := keyOf("persist")
+	ctx := context.Background()
+
+	c1 := mustNew(t, Options{Dir: dir})
+	if _, outcome, err := c1.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+		return []byte("stored"), nil
+	}); err != nil || outcome != Miss {
+		t.Fatalf("first: outcome=%v err=%v", outcome, err)
+	}
+
+	c2 := mustNew(t, Options{Dir: dir})
+	body, outcome, err := c2.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+		t.Fatal("compute must not run: entry is on disk")
+		return nil, nil
+	})
+	if err != nil || outcome != HitDisk || string(body) != "stored" {
+		t.Fatalf("restart: body=%q outcome=%v err=%v", body, outcome, err)
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want DiskHits=1 Misses=0", st)
+	}
+	// Promoted: a third call is a memory hit.
+	if _, outcome, _ := c2.GetOrCompute(ctx, key, nil); outcome != HitMemory {
+		t.Fatalf("promotion failed: outcome %v", outcome)
+	}
+}
+
+// A corrupted disk entry is evicted and recomputed — never an error.
+func TestCorruptDiskEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	key := keyOf("corrupt-me")
+	ctx := context.Background()
+
+	c1 := mustNew(t, Options{Dir: dir})
+	if _, _, err := c1.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+		return []byte("original"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := c1.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // flip a byte inside the gob payload
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mustNew(t, Options{Dir: dir})
+	var calls atomic.Int64
+	body, outcome, err := c2.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return []byte("recomputed"), nil
+	})
+	if err != nil || outcome != Miss || string(body) != "recomputed" || calls.Load() != 1 {
+		t.Fatalf("corrupt path: body=%q outcome=%v err=%v calls=%d", body, outcome, err, calls.Load())
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+	// The rewritten entry must be good again on a fresh cache.
+	c3 := mustNew(t, Options{Dir: dir})
+	body, outcome, err = c3.GetOrCompute(ctx, key, nil)
+	if err != nil || outcome != HitDisk || string(body) != "recomputed" {
+		t.Fatalf("after repair: body=%q outcome=%v err=%v", body, outcome, err)
+	}
+}
+
+// A checksum-valid file whose embedded key disagrees with its name
+// (e.g. a copied file) is treated exactly like corruption.
+func TestMisfiledEntryRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c := mustNew(t, Options{Dir: dir})
+	if _, _, err := c.GetOrCompute(ctx, keyOf("a"), func(context.Context) ([]byte, error) {
+		return []byte("a-body"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy a's file into b's slot.
+	bKey := keyOf("b")
+	src, err := os.ReadFile(c.path(keyOf("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path(bKey)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(bKey), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mustNew(t, Options{Dir: dir})
+	body, outcome, err := c2.GetOrCompute(ctx, bKey, func(context.Context) ([]byte, error) {
+		return []byte("b-body"), nil
+	})
+	if err != nil || outcome != Miss || string(body) != "b-body" {
+		t.Fatalf("misfiled: body=%q outcome=%v err=%v", body, outcome, err)
+	}
+	if st := c2.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+}
+
+// Hammering many goroutines over a small key space under -race.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := mustNew(t, Options{Capacity: 4, Dir: t.TempDir()})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%8)
+				body, _, err := c.GetOrCompute(ctx, keyOf(k), func(context.Context) ([]byte, error) {
+					return []byte(k), nil
+				})
+				if err != nil {
+					t.Errorf("%s: %v", k, err)
+					return
+				}
+				if string(body) != k {
+					t.Errorf("key %s got body %q", k, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -739,6 +739,39 @@ func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions)
 	return cutBounds(lower, opt.Delta, witness, frontier), ErrBudget
 }
 
+// EstimateRawCtx reproduces EstimateCtx's bracket merge without the
+// Lyapunov preconditioning — the -raw mode of jsrtool and the
+// certification service. Budget or deadline cuts from either phase are
+// tolerated: the returned bracket is valid best-so-far and the error
+// joins whatever the phases reported, exactly as EstimateCtx does.
+// Witness replay is unnecessary here because both phases already ran on
+// the caller's matrices.
+func EstimateRawCtx(ctx context.Context, set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, error) {
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+		opt.Deadline = 0
+	}
+	bf, bferr := BruteForceBoundsCtx(ctx, set, bruteLen, BruteForceOptions{Workers: opt.Workers})
+	if bferr != nil && !errors.Is(bferr, ErrDeadline) {
+		return Bounds{}, bferr
+	}
+	gp, gerr := GripenbergCtx(ctx, set, opt)
+	if gerr != nil && !errors.Is(gerr, ErrBudget) && !errors.Is(gerr, ErrDeadline) {
+		return Bounds{}, gerr
+	}
+	out := Bounds{
+		Lower:       math.Max(bf.Lower, gp.Lower),
+		Upper:       math.Min(bf.Upper, gp.Upper),
+		WitnessWord: bf.WitnessWord,
+	}
+	if gp.Lower > bf.Lower {
+		out.WitnessWord = gp.WitnessWord
+	}
+	return out, errors.Join(bferr, gerr)
+}
+
 // Estimate combines both algorithms with a background context; see
 // EstimateCtx.
 func Estimate(set []*mat.Dense, bruteLen int, opt GripenbergOptions) (Bounds, error) {

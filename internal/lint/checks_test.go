@@ -35,6 +35,10 @@ func TestCtxLoop(t *testing.T) {
 	linttest.Run(t, "testdata/ctxloop", lint.CtxLoop)
 }
 
+func TestHTTPServer(t *testing.T) {
+	linttest.Run(t, "testdata/httpserver", lint.HTTPServer)
+}
+
 // TestFullSuiteOnFixtures runs every registered check over every
 // fixture at once: checks must not fire outside their own fixture's
 // annotated lines (each fixture's wants only mention its own check, so
@@ -45,6 +49,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"testdata/matalias",
 		"testdata/nakedpanic",
 		"testdata/ctxloop",
+		"testdata/httpserver",
 	} {
 		linttest.Run(t, dir, lint.Checks()...)
 	}

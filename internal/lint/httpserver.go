@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HTTPServer guards the adaserved certification service (and any other
+// HTTP surface this module grows) against two latency hazards:
+//
+//  1. an http.Server composite literal that sets no ReadHeaderTimeout
+//     — without it a slow-loris client can hold connections open
+//     indefinitely and starve the accept loop;
+//
+//  2. a handler (a function taking http.ResponseWriter and
+//     *http.Request) whose loop does cancellable work — nested loops,
+//     or calls into module-internal context-accepting machinery — but
+//     never consults the request's context. The client may be long
+//     gone while the loop still grinds; r.Context() is cancelled on
+//     disconnect and must gate such loops. This extends ctxloop, which
+//     cannot see handlers because their context arrives inside
+//     *http.Request rather than as a parameter.
+var HTTPServer = &Check{
+	Name: "httpserver",
+	Doc:  "http.Server without ReadHeaderTimeout, or handler loop doing cancellable work without consulting r.Context()",
+	Run:  runHTTPServer,
+}
+
+func runHTTPServer(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				if isHTTPServerType(p.TypeOf(node)) && !setsField(node, "ReadHeaderTimeout") {
+					p.Reportf(node.Pos(), "http.Server without ReadHeaderTimeout: a slow-loris client can hold connections open indefinitely; set ReadHeaderTimeout")
+				}
+			case *ast.FuncDecl:
+				if node.Body != nil {
+					if obj := p.Info().Defs[node.Name]; obj != nil && isHandlerSignature(obj.Type()) {
+						walkHandlerScope(p, node.Body, false)
+					}
+				}
+			case *ast.FuncLit:
+				if isHandlerSignature(p.TypeOf(node)) {
+					walkHandlerScope(p, node.Body, false)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkHandlerScope mirrors ctxloop's walkCtxScope for handler bodies:
+// a loop is exempt when it, or an enclosing loop, consults the request
+// context — either through a context-typed value (ctx := r.Context()
+// kept in a variable) or by calling r.Context() directly.
+func walkHandlerScope(p *Pass, n ast.Node, consulted bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch node := c.(type) {
+		case *ast.FuncLit:
+			if c == n {
+				return true
+			}
+			// A nested handler literal is analyzed as its own scope by
+			// runHTTPServer; a literal with its own context parameter
+			// belongs to ctxloop. Anything else (typically a spawned
+			// goroutine) runs detached from the enclosing consults.
+			if !isHandlerSignature(p.TypeOf(node)) && !signatureHasCtx(p.TypeOf(node)) {
+				walkHandlerScope(p, node.Body, false)
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if c == n {
+				return true
+			}
+			loopConsulted := consulted || referencesCtx(p, node) || callsRequestContext(p, node)
+			if !loopConsulted && loopDoesCancellableWork(p, node) {
+				p.Reportf(node.Pos(), "handler loop does cancellable work but never consults the request context; gate it on r.Context() (poll Err or select on Done), or move it into a context-free helper")
+				return false
+			}
+			walkHandlerScope(p, node, loopConsulted)
+			return false
+		}
+		return true
+	})
+}
+
+// callsRequestContext reports whether n contains a (*http.Request).Context
+// call — consulting the request context without ever binding it to a
+// context-typed identifier, which referencesCtx cannot see.
+func callsRequestContext(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			return true
+		}
+		if isHTTPRequestPtr(p.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// setsField reports whether a composite literal assigns the named
+// field. A positional literal (no keys) necessarily covers every
+// field, so it counts as setting it.
+func setsField(cl *ast.CompositeLit, name string) bool {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return true // positional literal: all fields present
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerSignature reports whether t is a function taking both an
+// http.ResponseWriter and a *http.Request — the shape of every
+// net/http handler, including mux method values and middleware.
+func isHandlerSignature(t types.Type) bool {
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	hasW, hasR := false, false
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		pt := params.At(i).Type()
+		if isNetHTTPNamed(pt, "ResponseWriter") {
+			hasW = true
+		}
+		if isHTTPRequestPtr(pt) {
+			hasR = true
+		}
+	}
+	return hasW && hasR
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNetHTTPNamed(ptr.Elem(), "Request")
+}
+
+// isHTTPServerType reports whether t is net/http.Server.
+func isHTTPServerType(t types.Type) bool {
+	return isNetHTTPNamed(t, "Server")
+}
+
+// isNetHTTPNamed reports whether t is the named net/http type with the
+// given name.
+func isNetHTTPNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}

@@ -107,6 +107,7 @@ func Checks() []*Check {
 		NakedPanic,
 		DroppedErr,
 		CtxLoop,
+		HTTPServer,
 	}
 }
 

@@ -1,0 +1,141 @@
+// Fixture for the httpserver check: http.Server literals must set
+// ReadHeaderTimeout, and handler loops doing cancellable work must
+// consult the request context (r.Context() directly or via a bound
+// ctx variable); cheap loops, consulting loops, non-handlers, and
+// suppressed lines are not flagged.
+package httpserver
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// certify is a stand-in for the module's context-aware JSR machinery.
+func certify(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// noHeaderTimeout leaves the header read unbounded.
+func noHeaderTimeout(h http.Handler) *http.Server {
+	return &http.Server{ // want "ReadHeaderTimeout"
+		Addr:    ":8080",
+		Handler: h,
+	}
+}
+
+// withHeaderTimeout bounds the header read.
+func withHeaderTimeout(h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              ":8080",
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+// grindingHandler batch-certifies in a loop without ever noticing the
+// client hung up.
+func grindingHandler(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	for i := 0; i < 1000; i++ { // want "never consults the request context"
+		total += certify(context.Background(), i)
+	}
+	_ = total
+}
+
+// nestedLoopHandler has a DFS-style double loop, also unguarded.
+func nestedLoopHandler(w http.ResponseWriter, r *http.Request, words [][]int) {
+	total := 0
+	for _, ws := range words { // want "never consults the request context"
+		for _, v := range ws {
+			total += v
+		}
+	}
+	_ = total
+}
+
+// directConsult calls r.Context() in the loop path.
+func directConsult(w http.ResponseWriter, r *http.Request) {
+	total := 0
+	for i := 0; i < 1000; i++ {
+		if r.Context().Err() != nil {
+			return
+		}
+		total += certify(context.Background(), i)
+	}
+	_ = total
+}
+
+// boundConsult binds the request context to a variable first; the loop
+// references the context-typed value.
+func boundConsult(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	total := 0
+	for i := 0; i < 1000; i++ {
+		total += certify(ctx, i)
+	}
+	_ = total
+}
+
+// outerConsult polls in the outer loop; the inner loop inherits
+// per-iteration cancellation.
+func outerConsult(w http.ResponseWriter, r *http.Request, words [][]int) {
+	total := 0
+	for _, ws := range words {
+		if r.Context().Err() != nil {
+			return
+		}
+		for _, v := range ws {
+			total += v
+		}
+	}
+	_ = total
+}
+
+// cheapScanHandler has no nested loop and no context-aware callee.
+func cheapScanHandler(w http.ResponseWriter, r *http.Request, vs []int) {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	_ = total
+}
+
+// handlerLiteral: function literals with the handler shape are in
+// scope too.
+func handlerLiteral() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		total := 0
+		for i := 0; i < 100; i++ { // want "never consults the request context"
+			total += certify(context.Background(), i)
+		}
+		_ = total
+	}
+}
+
+// suppressedHandler documents why its loop must run to completion.
+func suppressedHandler(w http.ResponseWriter, r *http.Request, words [][]int) {
+	total := 0
+	//lint:ignore httpserver the response is already committed; aborting mid-merge would corrupt it
+	for _, ws := range words {
+		for _, v := range ws {
+			total += v
+		}
+	}
+	_ = total
+}
+
+// notAHandler takes neither a ResponseWriter nor a Request: out of
+// scope for httpserver (and for ctxloop, having no context parameter).
+func notAHandler(words [][]int) int {
+	total := 0
+	for _, ws := range words {
+		for _, v := range ws {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/checkpoint"
+	"adaptivertc/internal/jsr"
+)
+
+// jobCkptKind/jobCkptVersion identify the per-job checkpoint format.
+const (
+	jobCkptKind    = "adaserved/job"
+	jobCkptVersion = 1
+)
+
+// jobCkpt is the persisted job: the full request (so a restarted
+// process can rebuild the job from the file alone) plus the latest
+// Gripenberg frontier when the search has started. Resuming from the
+// frontier finishes with bounds bit-identical to an uninterrupted run.
+type jobCkpt struct {
+	ID       string
+	Key      certcache.Key
+	Req      api.CertifyRequest
+	HasState bool
+	State    jsr.GripenbergState
+}
+
+// job is one queued certification. The id is a prefix of the request's
+// content key, so identical requests share a job.
+type job struct {
+	id     string
+	key    certcache.Key
+	req    api.CertifyRequest
+	resume *jsr.GripenbergState // set by Recover; read only by the worker
+
+	mu     sync.Mutex
+	state  string
+	body   []byte
+	errMsg string
+}
+
+// jobID derives the public job identifier from the content key.
+func jobID(key certcache.Key) string { return key.String()[:16] }
+
+func (j *job) setState(st string) {
+	j.mu.Lock()
+	j.state = st
+	j.mu.Unlock()
+}
+
+func (j *job) finish(body []byte) {
+	j.mu.Lock()
+	j.state = api.JobDone
+	j.body = body
+	j.mu.Unlock()
+}
+
+func (j *job) fail(err error) {
+	j.mu.Lock()
+	j.state = api.JobFailed
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+func (j *job) status() api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return api.JobStatus{ID: j.id, State: j.state, Error: j.errMsg}
+}
+
+func (j *job) resultBody() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.body
+}
+
+// jobStore indexes jobs by id.
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*job)}
+}
+
+func (st *jobStore) get(id string) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.jobs[id]
+}
+
+// getOrCreate returns the existing job for id, or registers a new
+// queued one. The boolean reports whether the job already existed.
+func (st *jobStore) getOrCreate(id string, req api.CertifyRequest, key certcache.Key) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j, ok := st.jobs[id]; ok {
+		return j, true
+	}
+	j := &job{id: id, key: key, req: req, state: api.JobQueued}
+	st.jobs[id] = j
+	return j, false
+}
+
+func (st *jobStore) remove(id string) {
+	st.mu.Lock()
+	delete(st.jobs, id)
+	st.mu.Unlock()
+}
+
+// counts tallies jobs by state.
+func (st *jobStore) counts() (queued, running, done, failed int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, j := range st.jobs {
+		switch j.status().State {
+		case api.JobQueued:
+			queued++
+		case api.JobRunning:
+			running++
+		case api.JobDone:
+			done++
+		case api.JobFailed:
+			failed++
+		}
+	}
+	return
+}
+
+// enqueue registers a job for the request and pushes it on the queue.
+// Identical requests (same content key) share a job; a previously
+// failed job is retried. A full queue is an error — the handler maps
+// it to 503 rather than blocking intake.
+func (s *Server) enqueue(req api.CertifyRequest, key certcache.Key) (*job, error) {
+	id := jobID(key)
+	j, existed := s.jobs.getOrCreate(id, req, key)
+	if existed {
+		st := j.status()
+		if st.State != api.JobFailed {
+			return j, nil
+		}
+		// Retry a failed job: reset and fall through to re-queue.
+		j.mu.Lock()
+		j.state = api.JobQueued
+		j.errMsg = ""
+		j.mu.Unlock()
+	}
+	if err := s.writeJobCkpt(j, nil); err != nil {
+		// Persistence is best-effort at enqueue time: the job still
+		// runs, it just won't survive a restart before its first
+		// frontier snapshot.
+		s.metrics.ckptErrs.Add(1)
+	}
+	select {
+	case s.queue <- j:
+		return j, nil
+	default:
+		if !existed {
+			s.jobs.remove(id)
+			s.removeJobCkpt(id)
+		} else {
+			j.fail(errors.New("job queue full"))
+		}
+		return nil, fmt.Errorf("job queue full (capacity %d)", s.cfg.QueueSize)
+	}
+}
+
+// runJob executes one job through the certificate cache. Shutdown
+// (baseCtx cancelled) puts the job back to queued and leaves its
+// checkpoint on disk for Recover; every other failure is final.
+func (s *Server) runJob(j *job) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	j.setState(api.JobRunning)
+
+	opt := j.req.GripenbergOptions(0)
+	opt.Resume = j.resume
+	if path := s.jobCkptPath(j.id); path != "" {
+		req := j.req
+		opt.Snapshot = func(st jsr.GripenbergState) error {
+			return checkpoint.Save(path, jobCkptKind, jobCkptVersion, jobCkpt{
+				ID: j.id, Key: j.key, Req: req, HasState: true, State: st,
+			})
+		}
+	}
+	body, _, err := s.cache.GetOrCompute(s.baseCtx, j.key, func(ctx context.Context) ([]byte, error) {
+		return s.certify(ctx, j.req, opt)
+	})
+	switch {
+	case err == nil:
+		j.finish(body)
+		s.removeJobCkpt(j.id)
+	case s.baseCtx.Err() != nil:
+		// Forced shutdown: the frontier checkpoint (if any) is the
+		// job's future. Recover in the next process re-enqueues it.
+		j.setState(api.JobQueued)
+	default:
+		j.fail(err)
+		s.removeJobCkpt(j.id)
+	}
+}
+
+// jobCkptPath returns the checkpoint file for a job id, or "" when
+// persistence is disabled.
+func (s *Server) jobCkptPath(id string) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	return filepath.Join(s.cfg.StateDir, "jobs", id+".job")
+}
+
+func (s *Server) writeJobCkpt(j *job, state *jsr.GripenbergState) error {
+	path := s.jobCkptPath(j.id)
+	if path == "" {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	ck := jobCkpt{ID: j.id, Key: j.key, Req: j.req}
+	if state != nil {
+		ck.HasState, ck.State = true, *state
+	}
+	return checkpoint.Save(path, jobCkptKind, jobCkptVersion, ck)
+}
+
+func (s *Server) removeJobCkpt(id string) {
+	if path := s.jobCkptPath(id); path != "" {
+		os.Remove(path)
+	}
+}
+
+// Recover scans the state directory for job checkpoints left by a
+// previous process and re-enqueues them — with their Gripenberg
+// frontier when one was snapshotted, so the resumed search finishes
+// bit-identical to an uninterrupted one. Corrupt checkpoint files are
+// deleted (the request itself lives inside the file; nothing can be
+// salvaged from a bad one). Returns the number of jobs re-enqueued.
+// Call before Start.
+func (s *Server) Recover() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, nil
+	}
+	dir := filepath.Join(s.cfg.StateDir, "jobs")
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("server: scanning job checkpoints: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		var ck jobCkpt
+		if err := checkpoint.Load(path, jobCkptKind, jobCkptVersion, &ck); err != nil {
+			os.Remove(path)
+			continue
+		}
+		j, existed := s.jobs.getOrCreate(ck.ID, ck.Req, ck.Key)
+		if existed {
+			continue
+		}
+		if ck.HasState {
+			st := ck.State
+			j.resume = &st
+		}
+		select {
+		case s.queue <- j:
+			n++
+		default:
+			s.jobs.remove(ck.ID)
+			return n, fmt.Errorf("server: job queue full while recovering %s (capacity %d)", ck.ID, s.cfg.QueueSize)
+		}
+	}
+	return n, nil
+}

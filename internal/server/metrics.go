@@ -1,0 +1,146 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"adaptivertc/internal/certcache"
+)
+
+// metrics accumulates the service counters and the request latency
+// histogram, and renders them in the Prometheus text exposition
+// format (version 0.0.4) — hand-rolled, because the whole service is
+// stdlib-only by design.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[reqLabel]int64
+	// latency histogram over all routes: cumulative bucket counts in
+	// the Prometheus "le" convention, plus sum and count.
+	buckets []float64
+	counts  []int64
+	sum     float64
+	count   int64
+
+	ckptErrs atomic.Int64 // job-checkpoint write failures (best-effort persistence)
+}
+
+type reqLabel struct {
+	route string
+	code  int
+}
+
+// latencyBuckets spans sub-millisecond cache hits to multi-minute
+// Gripenberg searches.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[reqLabel]int64),
+		buckets:  latencyBuckets,
+		counts:   make([]int64, len(latencyBuckets)),
+	}
+}
+
+// observe records one served request.
+func (m *metrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqLabel{route, code}]++
+	for i, le := range m.buckets {
+		if seconds <= le {
+			m.counts[i]++
+		}
+	}
+	m.sum += seconds
+	m.count++
+}
+
+// gauges carries the point-in-time values sampled outside metrics.
+type gauges struct {
+	cache       certcache.Stats
+	queueDepth  int
+	queueCap    int
+	workers     int
+	workersBusy int
+	jobsQueued  int
+	jobsRunning int
+	jobsDone    int
+	jobsFailed  int
+}
+
+// render writes the full exposition. Families are emitted in a fixed
+// order and labels sorted, so scrapes are deterministic.
+func (m *metrics) render(w io.Writer, g gauges) {
+	m.mu.Lock()
+	labels := make([]reqLabel, 0, len(m.requests))
+	for l := range m.requests {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].route != labels[j].route {
+			return labels[i].route < labels[j].route
+		}
+		return labels[i].code < labels[j].code
+	})
+
+	fmt.Fprintln(w, "# HELP adaserved_requests_total Requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE adaserved_requests_total counter")
+	for _, l := range labels {
+		fmt.Fprintf(w, "adaserved_requests_total{route=%q,code=\"%d\"} %d\n", l.route, l.code, m.requests[l])
+	}
+
+	fmt.Fprintln(w, "# HELP adaserved_request_duration_seconds Request latency.")
+	fmt.Fprintln(w, "# TYPE adaserved_request_duration_seconds histogram")
+	for i, le := range m.buckets {
+		fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{le=\"%g\"} %d\n", le, m.counts[i])
+	}
+	fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(w, "adaserved_request_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(w, "adaserved_request_duration_seconds_count %d\n", m.count)
+	m.mu.Unlock()
+
+	c := g.cache
+	fmt.Fprintln(w, "# HELP adaserved_cache_hits_total Certificate cache hits, by layer.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_hits_total counter")
+	fmt.Fprintf(w, "adaserved_cache_hits_total{layer=\"memory\"} %d\n", c.Hits)
+	fmt.Fprintf(w, "adaserved_cache_hits_total{layer=\"disk\"} %d\n", c.DiskHits)
+	fmt.Fprintln(w, "# HELP adaserved_cache_misses_total Certifications actually computed.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_misses_total counter")
+	fmt.Fprintf(w, "adaserved_cache_misses_total %d\n", c.Misses)
+	fmt.Fprintln(w, "# HELP adaserved_cache_shared_total Requests served by joining an in-flight computation.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_shared_total counter")
+	fmt.Fprintf(w, "adaserved_cache_shared_total %d\n", c.Shared)
+	fmt.Fprintln(w, "# HELP adaserved_cache_corrupt_evictions_total Corrupt or mismatching disk entries evicted.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_corrupt_evictions_total counter")
+	fmt.Fprintf(w, "adaserved_cache_corrupt_evictions_total %d\n", c.Corrupt)
+	fmt.Fprintln(w, "# HELP adaserved_cache_entries In-memory cache entries.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_entries gauge")
+	fmt.Fprintf(w, "adaserved_cache_entries %d\n", c.Entries)
+
+	fmt.Fprintln(w, "# HELP adaserved_queue_depth Jobs waiting on the bounded queue.")
+	fmt.Fprintln(w, "# TYPE adaserved_queue_depth gauge")
+	fmt.Fprintf(w, "adaserved_queue_depth %d\n", g.queueDepth)
+	fmt.Fprintln(w, "# HELP adaserved_queue_capacity Bounded queue capacity.")
+	fmt.Fprintln(w, "# TYPE adaserved_queue_capacity gauge")
+	fmt.Fprintf(w, "adaserved_queue_capacity %d\n", g.queueCap)
+	fmt.Fprintln(w, "# HELP adaserved_workers Job workers configured.")
+	fmt.Fprintln(w, "# TYPE adaserved_workers gauge")
+	fmt.Fprintf(w, "adaserved_workers %d\n", g.workers)
+	fmt.Fprintln(w, "# HELP adaserved_workers_busy Job workers currently certifying.")
+	fmt.Fprintln(w, "# TYPE adaserved_workers_busy gauge")
+	fmt.Fprintf(w, "adaserved_workers_busy %d\n", g.workersBusy)
+
+	fmt.Fprintln(w, "# HELP adaserved_jobs Jobs known to this process, by state.")
+	fmt.Fprintln(w, "# TYPE adaserved_jobs gauge")
+	fmt.Fprintf(w, "adaserved_jobs{state=\"queued\"} %d\n", g.jobsQueued)
+	fmt.Fprintf(w, "adaserved_jobs{state=\"running\"} %d\n", g.jobsRunning)
+	fmt.Fprintf(w, "adaserved_jobs{state=\"done\"} %d\n", g.jobsDone)
+	fmt.Fprintf(w, "adaserved_jobs{state=\"failed\"} %d\n", g.jobsFailed)
+
+	fmt.Fprintln(w, "# HELP adaserved_job_checkpoint_errors_total Best-effort job checkpoint writes that failed.")
+	fmt.Fprintln(w, "# TYPE adaserved_job_checkpoint_errors_total counter")
+	fmt.Fprintf(w, "adaserved_job_checkpoint_errors_total %d\n", m.ckptErrs.Load())
+}

@@ -1,0 +1,370 @@
+// Package server implements adaserved, the HTTP certification
+// service: POST a matrix set (or a named scenario) to /v1/certify and
+// receive the certified JSR bracket and stability verdict that a local
+// jsrtool run would print — byte-identical, because both sides call
+// the same engine with the same pinned defaults and the response is
+// encoded canonically.
+//
+// Requests below the synchronous work threshold are certified in the
+// handler under the caller's context; larger requests are enqueued on
+// a bounded job queue and answered with a job reference to poll at
+// /v1/jobs/{id}. Either path funnels through the content-addressed
+// certificate cache (internal/certcache), so N concurrent identical
+// requests cost one computation and repeats are served from memory or
+// disk. Queued work survives restarts: every job checkpoint carries
+// the request plus the latest Gripenberg frontier snapshot, and
+// Recover re-enqueues them for a bit-identical finish.
+//
+// Observability is stdlib-only: /healthz reports liveness plus build
+// version, /metrics speaks the Prometheus text exposition format
+// (request counts, latency histogram, cache and queue gauges).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/buildinfo"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/jsr"
+	"adaptivertc/internal/mat"
+)
+
+// Config configures a Server. Cache is required; everything else has
+// serviceable defaults.
+type Config struct {
+	// Workers is the number of job-queue workers; ≤ 0 selects
+	// GOMAXPROCS. Certified bounds are bit-identical for every value.
+	Workers int
+	// QueueSize bounds the asynchronous job queue; ≤ 0 selects 64.
+	// A full queue answers 503, never blocks the handler.
+	QueueSize int
+	// Timeout is the per-job wall-clock budget; ≤ 0 selects 5 minutes.
+	Timeout time.Duration
+	// Cache is the content-addressed certificate store (required).
+	Cache *certcache.Cache
+	// StateDir, when non-empty, persists per-job checkpoints (request +
+	// Gripenberg frontier) so queued and in-flight jobs survive a
+	// restart; Recover re-enqueues them.
+	StateDir string
+	// MaxSyncWork is the largest brute-force enumeration (k^brute) a
+	// request may demand and still be certified synchronously in the
+	// handler; 0 selects 4096, negative forces every request through
+	// the job queue.
+	MaxSyncWork int
+}
+
+// defaults for Config zero values.
+const (
+	defaultQueueSize   = 64
+	defaultTimeout     = 5 * time.Minute
+	defaultMaxSyncWork = 4096
+	maxSyncDim         = 32 // sync requests must also stay small-dimensional
+)
+
+// Server is the certification service. Create with New, install
+// Handler in an http.Server, call Start to launch the workers, and
+// Shutdown to drain them.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *certcache.Cache
+	jobs    *jobStore
+	queue   chan *job
+	metrics *metrics
+	started time.Time
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	quit    chan struct{}
+	quitOne sync.Once
+	wg      sync.WaitGroup
+	busy    atomic.Int64
+}
+
+// New builds a Server from cfg. Workers are not running until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, errors.New("server: Config.Cache is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = defaultQueueSize
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	if cfg.MaxSyncWork == 0 {
+		cfg.MaxSyncWork = defaultMaxSyncWork
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   cfg.Cache,
+		jobs:    newJobStore(),
+		queue:   make(chan *job, cfg.QueueSize),
+		metrics: newMetrics(),
+		started: time.Now(),
+		baseCtx: ctx,
+		cancel:  cancel,
+		quit:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/certify", s.instrument("/v1/certify", s.handleCertify))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the job-queue workers. Call Recover first to
+// re-enqueue checkpointed jobs from a previous process.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains the service: intake should already be stopped (via
+// http.Server.Shutdown); workers finish the queued jobs, and when ctx
+// expires before they do, in-flight Gripenberg searches are cancelled
+// at the next level boundary — their frontier checkpoints stay on disk
+// for Recover. Always returns with all workers stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.quitOne.Do(func() { close(s.quit) })
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel() // interrupt at the next level boundary; checkpoints persist
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			// Drain what is already queued, then stop. A forced
+			// Shutdown cancels baseCtx, which aborts these runs at the
+			// next level boundary with their checkpoints intact.
+			for {
+				select {
+				case j := <-s.queue:
+					s.runJob(j)
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// certify runs one certification under ctx and returns the canonical
+// response bytes. It is the single compute function behind the cache:
+// the sync handler and the job workers both land here, so their bytes
+// can never differ.
+func (s *Server) certify(ctx context.Context, req api.CertifyRequest, opt jsr.GripenbergOptions) ([]byte, error) {
+	set, err := req.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
+	defer cancel()
+
+	var bounds jsr.Bounds
+	var serr error
+	if req.Raw {
+		bounds, serr = jsr.EstimateRawCtx(ctx, set, req.Brute, opt)
+	} else {
+		bounds, serr = jsr.EstimateCtx(ctx, set, req.Brute, opt)
+	}
+	exhausted := errors.Is(serr, jsr.ErrBudget)
+	if serr != nil && !exhausted {
+		// ErrDeadline (timeout, client disconnect, shutdown) and engine
+		// errors are failures: the bracket may be valid best-so-far but
+		// a certification service must not cache an unfinished search.
+		return nil, serr
+	}
+	return api.EncodeCanonical(api.ResponseFor(set, bounds, exhausted))
+}
+
+// syncable reports whether a request is small enough to certify in
+// the handler: bounded brute-force enumeration, small dimension, and
+// the default node budget.
+func (s *Server) syncable(req *api.CertifyRequest, set []*mat.Dense) bool {
+	if s.cfg.MaxSyncWork < 0 {
+		return false
+	}
+	work := 1
+	for i := 0; i < req.Brute; i++ {
+		work *= len(set)
+		if work > s.cfg.MaxSyncWork {
+			return false
+		}
+	}
+	return len(set) > 0 && set[0].Rows() <= maxSyncDim && req.MaxNodes <= api.DefaultMaxNodes
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	req, err := api.DecodeRequest(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Resolve once here for the sync/async decision; certify resolves
+	// again inside the compute function so cached flights stay pure
+	// functions of the request.
+	set, err := req.Resolve()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := req.Key()
+
+	if !s.syncable(&req, set) {
+		if body, outcome, ok := s.cache.Get(key); ok {
+			s.writeBody(w, outcome, body)
+			return
+		}
+		j, err := s.enqueue(req, key)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		s.writeJSON(w, http.StatusAccepted, api.JobRef{JobID: j.id, StatusURL: "/v1/jobs/" + j.id})
+		return
+	}
+
+	body, outcome, err := s.cache.GetOrCompute(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		return s.certify(ctx, req, req.GripenbergOptions(0))
+	})
+	if err != nil {
+		if errors.Is(err, jsr.ErrDeadline) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeError(w, http.StatusGatewayTimeout, "certification deadline exceeded")
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.writeBody(w, outcome, body)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	st := j.status()
+	if st.State == api.JobDone && st.Result == nil {
+		// Body bytes are canonical JSON of a CertifyResponse.
+		var res api.CertifyResponse
+		if err := json.Unmarshal(j.resultBody(), &res); err == nil {
+			st.Result = &res
+		}
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	q, run, done, failed := s.jobs.counts()
+	s.writeJSON(w, http.StatusOK, api.Health{
+		Status:        "ok",
+		Version:       buildinfo.Version(),
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		JobsQueued:    q,
+		JobsRunning:   run,
+		JobsDone:      done,
+		JobsFailed:    failed,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.render(w, s.snapshot())
+}
+
+// snapshot gathers the gauge values that live outside the metrics
+// struct (cache, queue, jobs, workers).
+func (s *Server) snapshot() gauges {
+	q, run, done, failed := s.jobs.counts()
+	return gauges{
+		cache:       s.cache.Stats(),
+		queueDepth:  len(s.queue),
+		queueCap:    s.cfg.QueueSize,
+		workers:     s.cfg.Workers,
+		workersBusy: int(s.busy.Load()),
+		jobsQueued:  q, jobsRunning: run, jobsDone: done, jobsFailed: failed,
+	}
+}
+
+func (s *Server) writeBody(w http.ResponseWriter, outcome certcache.Outcome, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome.String())
+	w.Write(body)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := api.EncodeCanonical(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, api.ErrorResponse{Error: msg})
+}
+
+// instrument wraps a handler with request counting (by route pattern
+// and status code) and latency observation.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(route, sw.code, time.Since(start).Seconds())
+	}
+}
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/checkpoint"
+	"adaptivertc/internal/jsr"
+)
+
+// paperReqJSON is the running example set: two 2×2 matrices with
+// JSR ≈ 0.8596 — certifiably stable in well under a second.
+const paperReqJSON = `{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]]}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		c, err := certcache.New(certcache.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postCertify(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/certify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// The tentpole contract: N concurrent identical POSTs run exactly one
+// JSR computation (asserted via cache metrics) and every client
+// receives byte-identical bodies.
+func TestConcurrentIdenticalPOSTs(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	const n = 16
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/certify", "application/json", strings.NewReader(paperReqJSON))
+			if err != nil {
+				t.Errorf("POST %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			bodies[i], codes[i] = buf.Bytes(), resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range bodies {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("POST %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("POST %d body differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Fatalf("cache ran %d computations for %d identical requests, want exactly 1 (stats %+v)", st.Misses, n, st)
+	}
+	var res api.CertifyResponse
+	if err := json.Unmarshal(bodies[0], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != api.VerdictStable {
+		t.Fatalf("verdict %q, want stable (bracket %s)", res.Verdict, res.Bracket)
+	}
+}
+
+func TestSyncCacheHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp1, body1 := postCertify(t, ts, paperReqJSON)
+	if resp1.StatusCode != http.StatusOK || resp1.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("first POST: status %d X-Cache %q", resp1.StatusCode, resp1.Header.Get("X-Cache"))
+	}
+	resp2, body2 := postCertify(t, ts, paperReqJSON)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("second POST: X-Cache %q, want hit", resp2.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached body differs from computed body")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := map[string]string{
+		"unknown field":   `{"version":1,"matrices":[[[0.5]]],"detla":1}`,
+		"no source":       `{"version":1}`,
+		"bad version":     `{"version":9,"matrices":[[[0.5]]]}`,
+		"non-square":      `{"version":1,"matrices":[[[1,2]]]}`,
+		"scenario + mats": `{"version":1,"matrices":[[[0.5]]],"scenario":{"name":"pmsm"}}`,
+	}
+	for name, body := range cases {
+		resp, out := postCertify(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s, want 400", name, resp.StatusCode, out)
+		}
+		var e api.ErrorResponse
+		if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not an ErrorResponse", name, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeefdeadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// pollJob polls until the job leaves queued/running or the deadline hits.
+func pollJob(t *testing.T, ts *httptest.Server, id string) api.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st api.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == api.JobDone || st.State == api.JobFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Async path: with sync serving disabled the POST returns a job
+// reference; the finished job carries the same result a sync POST
+// would, and a repeat POST is a cache hit serving the job's bytes.
+func TestAsyncJobFlow(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, MaxSyncWork: -1})
+	resp, body := postCertify(t, ts, paperReqJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d body %s, want 202", resp.StatusCode, body)
+	}
+	var ref api.JobRef
+	if err := json.Unmarshal(body, &ref); err != nil {
+		t.Fatal(err)
+	}
+	if ref.JobID == "" || ref.StatusURL != "/v1/jobs/"+ref.JobID {
+		t.Fatalf("bad job ref %+v", ref)
+	}
+	st := pollJob(t, ts, ref.JobID)
+	if st.State != api.JobDone || st.Result == nil {
+		t.Fatalf("job finished %+v, want done with result", st)
+	}
+	if st.Result.Verdict != api.VerdictStable {
+		t.Fatalf("verdict %q, want stable", st.Result.Verdict)
+	}
+	// Same request again: served straight from the cache, as bytes.
+	resp2, body2 := postCertify(t, ts, paperReqJSON)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") == "" {
+		t.Fatalf("repeat POST: status %d X-Cache %q", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+	reenc, err := api.EncodeCanonical(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body2, reenc) {
+		t.Fatalf("cached body and job result differ:\n%s\nvs\n%s", body2, reenc)
+	}
+	// Duplicate async submission reuses the same job id.
+	resp3, body3 := postCertify(t, ts, `{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]],"max_nodes":3000000}`)
+	if resp3.StatusCode != http.StatusAccepted {
+		t.Fatalf("async variant: status %d body %s", resp3.StatusCode, body3)
+	}
+}
+
+// Certified bytes are identical at every worker count.
+func TestWorkerCountByteIdentity(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 4} {
+		_, ts := newTestServer(t, Config{Workers: workers, MaxSyncWork: -1})
+		resp, body := postCertify(t, ts, paperReqJSON)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("workers=%d: status %d", workers, resp.StatusCode)
+		}
+		var jr api.JobRef
+		json.Unmarshal(body, &jr)
+		if st := pollJob(t, ts, jr.JobID); st.State != api.JobDone {
+			t.Fatalf("workers=%d: job %+v", workers, st)
+		}
+		_, got := postCertify(t, ts, paperReqJSON) // raw cached bytes
+		if ref == nil {
+			ref = got
+		} else if !bytes.Equal(got, ref) {
+			t.Fatalf("workers=%d body differs:\n%s\nvs\n%s", workers, got, ref)
+		}
+	}
+}
+
+// A corrupted persistent cache entry is evicted and recomputed to the
+// same bytes by a fresh server over the same directory.
+func TestCorruptDiskEntryRecomputedByServer(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (Config, *certcache.Cache) {
+		c, err := certcache.New(certcache.Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Workers: 1, Cache: c}, c
+	}
+	cfg1, c1 := mk()
+	_, ts1 := newTestServer(t, cfg1)
+	_, body1 := postCertify(t, ts1, paperReqJSON)
+	if st := c1.Stats(); st.Misses != 1 {
+		t.Fatalf("first server stats %+v", st)
+	}
+
+	// Corrupt the single persisted entry.
+	req, err := api.DecodeRequest(strings.NewReader(paperReqJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Normalize()
+	if err := flipLastByte(c1.EntryPath(req.Key())); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2, c2 := mk()
+	_, ts2 := newTestServer(t, cfg2)
+	resp2, body2 := postCertify(t, ts2, paperReqJSON)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("recompute status %d", resp2.StatusCode)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("recomputed body differs from original")
+	}
+	if st := c2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
+		t.Fatalf("second server stats %+v, want Corrupt=1 Misses=1", st)
+	}
+}
+
+// Checkpoint/resume: a job interrupted mid-search (checkpoint file
+// holding a real Gripenberg frontier) is recovered by a new server and
+// finishes with bytes bit-identical to an uninterrupted run.
+func TestJobCheckpointResume(t *testing.T) {
+	stateDir := t.TempDir()
+	req, err := api.DecodeRequest(strings.NewReader(
+		`{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]],"delta":1e-6,"depth":25,"brute":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference run. At delta 1e-6 this search exhausts
+	// the default node budget — a valid "exhausted" bracket, which is
+	// exactly what the server would serve and cache.
+	refBounds, err := jsr.EstimateCtx(context.Background(), set, req.Brute, req.GripenbergOptions(0))
+	exhausted := errors.Is(err, jsr.ErrBudget)
+	if err != nil && !exhausted {
+		t.Fatal(err)
+	}
+	want, err := api.EncodeCanonical(api.ResponseFor(set, refBounds, exhausted))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Partial run: capture the frontier a few levels in, then cancel —
+	// exactly what a forced shutdown leaves on disk.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var captured *jsr.GripenbergState
+	opt := req.GripenbergOptions(0)
+	opt.Snapshot = func(st jsr.GripenbergState) error {
+		if captured == nil && st.Depth >= req.Brute+2 {
+			c := st
+			captured = &c
+			cancel()
+		}
+		return nil
+	}
+	if _, err := jsr.EstimateCtx(ctx, set, req.Brute, opt); err == nil {
+		t.Fatal("partial run completed before the capture point; deepen the search")
+	}
+	if captured == nil {
+		t.Fatal("no frontier captured — search finished too fast for this fixture")
+	}
+
+	key := req.Key()
+	id := jobID(key)
+	ckptPath := stateDir + "/jobs/" + id + ".job"
+	if err := writeCkptFile(ckptPath, jobCkpt{ID: id, Key: key, Req: req, HasState: true, State: *captured}); err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 1, Cache: cache, StateDir: stateDir, MaxSyncWork: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Recover()
+	if err != nil || n != 1 {
+		t.Fatalf("Recover = (%d, %v), want (1, nil)", n, err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	st := pollJob(t, ts, id)
+	if st.State != api.JobDone {
+		t.Fatalf("recovered job: %+v", st)
+	}
+	got := s.jobs.get(id).resultBody()
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	if _, err := readCkptProbe(ckptPath); err == nil {
+		t.Fatal("completed job left its checkpoint behind")
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	postCertify(t, ts, paperReqJSON)
+	postCertify(t, ts, paperReqJSON)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h api.Health
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" || h.Workers != 3 {
+		t.Fatalf("health %+v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		`adaserved_requests_total{route="/v1/certify",code="200"} 2`,
+		"adaserved_cache_misses_total 1",
+		`adaserved_cache_hits_total{layer="memory"} 1`,
+		"adaserved_request_duration_seconds_count",
+		"adaserved_queue_depth 0",
+		"adaserved_workers 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// Graceful drain: jobs already queued complete during Shutdown.
+func TestShutdownDrainsQueue(t *testing.T) {
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Workers: 1, Cache: cache, MaxSyncWork: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, body := postCertify(t, ts, paperReqJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ref api.JobRef
+	json.Unmarshal(body, &ref)
+
+	// Workers start only now: the job is certainly still queued.
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if st := s.jobs.get(ref.JobID).status(); st.State != api.JobDone {
+		t.Fatalf("queued job not drained: %+v", st)
+	}
+}
+
+// --- small test helpers ---
+
+// writeCkptFile persists a jobCkpt exactly as a running server would.
+func writeCkptFile(path string, ck jobCkpt) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return checkpoint.Save(path, jobCkptKind, jobCkptVersion, ck)
+}
+
+// flipLastByte corrupts a checkpoint file in place.
+func flipLastByte(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	raw[len(raw)-1] ^= 0xFF
+	return os.WriteFile(path, raw, 0o644)
+}
+
+func readCkptProbe(path string) (jobCkpt, error) {
+	var ck jobCkpt
+	err := checkpoint.Load(path, jobCkptKind, jobCkptVersion, &ck)
+	return ck, err
+}

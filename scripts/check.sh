@@ -17,7 +17,7 @@ go run ./cmd/adalint ./...
 echo "== adalint self-test (fixtures must trip the linter)"
 # The testdata fixtures contain deliberate violations; adalint must
 # report them (exit non-zero) or the checks have gone soft.
-for fixture in floatcompare ctxloop; do
+for fixture in floatcompare ctxloop httpserver; do
     if go run ./cmd/adalint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
         echo "error: adalint exited 0 on the $fixture violation fixture" >&2
         exit 1
@@ -99,6 +99,94 @@ if [ -e "$tmpdir/ck-unstable" ]; then
     echo "error: UNSTABLE verdict left its checkpoint behind" >&2
     exit 1
 fi
+
+echo "== service smoke: adaserved certifies the paper example, matches jsrtool, caches, and shuts down cleanly"
+go build -o "$tmpdir/adaserved" ./cmd/adaserved
+cat > "$tmpdir/req.json" <<'EOF'
+{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]]}
+EOF
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/servecache" \
+    > "$tmpdir/served.out" 2>&1 &
+served_pid=$!
+# Wait for the listen line and extract the chosen port.
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/served.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: adaserved never reported its listen address:" >&2
+    cat "$tmpdir/served.out" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+# First POST: computed fresh.
+curl -sS -D "$tmpdir/h1" -o "$tmpdir/r1.json" \
+    -X POST --data @"$tmpdir/req.json" "$base/v1/certify"
+grep -qi '^X-Cache: miss' "$tmpdir/h1" || {
+    echo "error: first certify was not a cache miss:" >&2
+    cat "$tmpdir/h1" "$tmpdir/r1.json" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+# The served verdict and bracket must match a fresh jsrtool run on the
+# same matrices with the same (default) budgets.
+"$tmpdir/jsrtool" -in "$tmpdir/set.json" > "$tmpdir/tool.out"
+tool_bracket="$(sed -n 's/^JSR in \(\[[^]]*\]\).*/\1/p' "$tmpdir/tool.out")"
+served_bracket="$(sed -n 's/.*"bracket":"\([^"]*\)".*/\1/p' "$tmpdir/r1.json")"
+if [ -z "$tool_bracket" ] || [ "$tool_bracket" != "$served_bracket" ]; then
+    echo "error: served bracket '$served_bracket' != jsrtool bracket '$tool_bracket'" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q '"verdict":"stable"' "$tmpdir/r1.json" || {
+    echo "error: service verdict is not stable:" >&2
+    cat "$tmpdir/r1.json" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+# Second POST: served from the cache, byte-identical body.
+curl -sS -D "$tmpdir/h2" -o "$tmpdir/r2.json" \
+    -X POST --data @"$tmpdir/req.json" "$base/v1/certify"
+grep -qi '^X-Cache: hit' "$tmpdir/h2" || {
+    echo "error: second certify was not a cache hit:" >&2
+    cat "$tmpdir/h2" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+cmp -s "$tmpdir/r1.json" "$tmpdir/r2.json" || {
+    echo "error: cached response is not byte-identical to the computed one" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+# Liveness and metrics surfaces.
+curl -sS "$base/healthz" | grep -q '"status":"ok"' || {
+    echo "error: /healthz not ok" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+curl -sS "$base/metrics" | grep -q '^adaserved_cache_misses_total 1$' || {
+    echo "error: /metrics does not report exactly one computation" >&2
+    kill "$served_pid" 2>/dev/null || true
+    exit 1
+}
+# SIGTERM: graceful drain and clean exit.
+kill -TERM "$served_pid"
+set +e
+wait "$served_pid"
+served_status=$?
+set -e
+if [ "$served_status" -ne 0 ]; then
+    echo "error: adaserved exited $served_status on SIGTERM, want 0:" >&2
+    cat "$tmpdir/served.out" >&2
+    exit 1
+fi
+grep -q '^bye$' "$tmpdir/served.out" || {
+    echo "error: adaserved did not report a graceful shutdown" >&2
+    exit 1
+}
 
 echo "== benchmark smoke: JSR worker sweep"
 go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
