@@ -75,7 +75,7 @@ func main() {
 	case "export":
 		err = runExport(args)
 	case "certify":
-		err = runCertify(args)
+		err = runCertify(ctx, args)
 	case "burst":
 		err = runBurst(args)
 	case "weaklyhard":
@@ -85,7 +85,7 @@ func main() {
 	case "jitter":
 		err = runJitter(args)
 	case "quantize":
-		err = runQuantize(args)
+		err = runQuantize(ctx, args)
 	case "observer":
 		err = runObserver(args)
 	case "faultsim":
@@ -506,7 +506,7 @@ func runRTA() error {
 
 // runCertify prints the stability certificate (JSR bracket, verdict,
 // worst overrun pattern, deployment coverage) for a built-in scenario.
-func runCertify(args []string) error {
+func runCertify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("certify", flag.ExitOnError)
 	scenario := fs.String("scenario", "pmsm", "pmsm | unstable | quickstart")
 	rmaxFactor := fs.Float64("rmax-factor", 1.6, "Rmax as a multiple of T")
@@ -521,7 +521,7 @@ func runCertify(args []string) error {
 	if err != nil {
 		return err
 	}
-	cert, err := design.Certify(6, jsr.GripenbergOptions{Delta: *delta, MaxDepth: 30, Workers: *workers})
+	cert, err := design.CertifyCtx(ctx, 6, jsr.GripenbergOptions{Delta: *delta, MaxDepth: 30, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -616,14 +616,14 @@ func runJitter(args []string) error {
 }
 
 // runQuantize sweeps fixed-point table widths.
-func runQuantize(args []string) error {
+func runQuantize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
 	delta := fs.Float64("delta", 1e-3, "Gripenberg target accuracy (shared default with jsrtool)")
 	workers := fs.Int("workers", 0, "JSR worker goroutines (0 = all cores); bounds are identical for every value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rows, err := experiments.QuantizeSweep([]int{4, 6, 8, 10, 12, 16, 24},
+	rows, err := experiments.QuantizeSweepCtx(ctx, []int{4, 6, 8, 10, 12, 16, 24},
 		experiments.Options{BruteLen: 5, Delta: *delta, Workers: *workers})
 	if err != nil {
 		return err
@@ -711,7 +711,7 @@ func runFaultSim(ctx context.Context, args []string) error {
 	}
 
 	start := time.Now()
-	ladder, err := guard.CertifyLadder(design, guard.CertifyOptions{
+	ladder, err := guard.CertifyLadderCtx(ctx, design, guard.CertifyOptions{
 		BruteLen:   *brute,
 		Grip:       jsr.GripenbergOptions{Delta: *delta, MaxDepth: 30, MaxNodes: *nodes, Workers: *workers},
 		ExtraSteps: *extra,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -26,9 +27,18 @@ type Certificate struct {
 	WorstPattern []float64
 }
 
-// Certify runs the stability analysis and packages the result.
+// Certify runs the stability analysis with a background context; see
+// CertifyCtx for the interruptible form.
 func (d *Design) Certify(bruteLen int, opt jsr.GripenbergOptions) (Certificate, error) {
-	bounds, err := d.StabilityBounds(bruteLen, opt)
+	return d.CertifyCtx(context.Background(), bruteLen, opt)
+}
+
+// CertifyCtx runs the stability analysis and packages the result. The
+// context bounds the underlying JSR search: on expiry the error wraps
+// jsr.ErrDeadline and no certificate is issued (a certificate must
+// never encode a bracket the analysis was cut away from tightening).
+func (d *Design) CertifyCtx(ctx context.Context, bruteLen int, opt jsr.GripenbergOptions) (Certificate, error) {
+	bounds, err := d.StabilityBoundsCtx(ctx, bruteLen, opt)
 	if err != nil && !errors.Is(err, jsr.ErrBudget) {
 		return Certificate{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,8 +24,16 @@ type QuantizeRow struct {
 }
 
 // QuantizeSweep certifies the PMSM design (Rmax = 1.6·T, Ts = T/5)
-// across fixed-point widths.
+// across fixed-point widths with a background context; see
+// QuantizeSweepCtx for the interruptible form.
 func QuantizeSweep(bits []int, opt Options) ([]QuantizeRow, error) {
+	return QuantizeSweepCtx(context.Background(), bits, opt)
+}
+
+// QuantizeSweepCtx certifies the PMSM design across fixed-point widths.
+// The context bounds each width's JSR search; on expiry the partial
+// sweep is discarded and the error wraps jsr.ErrDeadline.
+func QuantizeSweepCtx(ctx context.Context, bits []int, opt Options) ([]QuantizeRow, error) {
 	opt = opt.Defaults()
 	plant := plants.PMSM(plants.DefaultPMSMParams())
 	w := pmsmWeights()
@@ -44,7 +53,7 @@ func QuantizeSweep(bits []int, opt Options) ([]QuantizeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cert, err := q.Certify(opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
+		cert, err := q.CertifyCtx(ctx, opt.BruteLen, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 25, Workers: opt.Workers})
 		if err != nil {
 			return nil, err
 		}

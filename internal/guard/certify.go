@@ -5,6 +5,7 @@
 package guard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -172,11 +173,20 @@ func TierMatrixSet(d *core.Design, t Tier, opt CertifyOptions) ([]*mat.Dense, er
 	return nil, fmt.Errorf("guard: unknown tier %d", int(t))
 }
 
-// CertifyLadder brackets the JSR of every tier's switched set. A
+// CertifyLadder brackets the JSR of every tier's switched set with a
+// background context; see CertifyLadderCtx for the interruptible form.
+func CertifyLadder(d *core.Design, opt CertifyOptions) (LadderCert, error) {
+	return CertifyLadderCtx(context.Background(), d, opt)
+}
+
+// CertifyLadderCtx brackets the JSR of every tier's switched set. A
 // jsr.ErrBudget from the estimator is absorbed into the tier's
 // BudgetHit flag (the bracket stays valid, just looser); any other
-// error aborts.
-func CertifyLadder(d *core.Design, opt CertifyOptions) (LadderCert, error) {
+// error aborts. The context bounds each tier's JSR search — on expiry
+// the error wraps jsr.ErrDeadline and no ladder certificate is issued,
+// since a partially-certified ladder must not be mistaken for a
+// certified one.
+func CertifyLadderCtx(ctx context.Context, d *core.Design, opt CertifyOptions) (LadderCert, error) {
 	opt = opt.withDefaults()
 	lc := LadderCert{ExtraSteps: opt.ExtraSteps, Fallback: opt.Fallback}
 	for t := Nominal; t < NumTiers; t++ {
@@ -184,7 +194,7 @@ func CertifyLadder(d *core.Design, opt CertifyOptions) (LadderCert, error) {
 		if err != nil {
 			return LadderCert{}, err
 		}
-		bounds, err := jsr.Estimate(set, opt.BruteLen, opt.Grip)
+		bounds, err := jsr.EstimateCtx(ctx, set, opt.BruteLen, opt.Grip)
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
 			return LadderCert{}, fmt.Errorf("guard: certifying tier %s: %w", t, err)
 		}

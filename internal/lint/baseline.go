@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Baseline is the set of accepted findings: debt that is
+// acknowledged but not yet paid down. Entries match on file, check,
+// and message — deliberately not on line or column, so unrelated edits
+// above a finding do not un-accept it. Count bounds how many identical
+// findings an entry absorbs; the same pattern appearing an extra time
+// is a new finding, not covered debt.
+//
+// The baseline is accounting in both directions: findings it matches
+// are filtered from the report, and entries that match nothing are
+// reported as stale (check "baseline") so a fixed finding cannot leave
+// a hole for a future regression to hide in.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// BaselineEntry accepts up to Count findings with this file, check,
+// and message. File is module-root-relative with forward slashes, so
+// baselines are portable across checkouts.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count,omitempty"` // 0 means 1
+}
+
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Check + "\x00" + e.Message }
+
+// position anchors a stale-entry finding at the entry's file (line 0:
+// the original line is unknown by design).
+func (e BaselineEntry) position(moduleDir string) token.Position {
+	return token.Position{Filename: filepath.Join(moduleDir, filepath.FromSlash(e.File))}
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+func NewBaseline(findings []Finding, moduleDir string) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	var order []string
+	for _, f := range findings {
+		e := BaselineEntry{File: relSlash(f.Pos.Filename, moduleDir), Check: f.Check, Message: f.Message}
+		k := e.key()
+		if cur, ok := counts[k]; ok {
+			cur.Count++
+			continue
+		}
+		e.Count = 1
+		counts[k] = &e
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	b := &Baseline{}
+	for _, k := range order {
+		b.Entries = append(b.Entries, *counts[k])
+	}
+	return b
+}
+
+// Write renders the baseline as stable, diff-friendly JSON.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits findings into kept (not in the baseline) and counts
+// the baselined remainder, returning also the entries that matched
+// fewer findings than they accept — the stale debt.
+func (b *Baseline) Filter(findings []Finding, moduleDir string) (kept []Finding, baselined int, stale []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[e.key()] += n
+	}
+	for _, f := range findings {
+		k := BaselineEntry{File: relSlash(f.Pos.Filename, moduleDir), Check: f.Check, Message: f.Message}.key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			baselined++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Entries {
+		if remaining[e.key()] > 0 {
+			stale = append(stale, e)
+			remaining[e.key()] = 0 // report an over-counted entry once
+		}
+	}
+	return kept, baselined, stale
+}
+
+// relSlash renders path relative to moduleDir with forward slashes;
+// paths outside the module stay absolute (still slash-normalized).
+func relSlash(path, moduleDir string) string {
+	if rel, err := filepath.Rel(moduleDir, path); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+func hasDotDotPrefix(rel string) bool {
+	return len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -39,6 +39,26 @@ func TestHTTPServer(t *testing.T) {
 	linttest.Run(t, "testdata/httpserver", lint.HTTPServer)
 }
 
+func TestErrCompare(t *testing.T) {
+	linttest.Run(t, "testdata/errcompare", lint.ErrCompare)
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata/maporder", lint.MapOrder)
+}
+
+func TestCtxPropagate(t *testing.T) {
+	linttest.Run(t, "testdata/ctxpropagate", lint.CtxPropagate)
+}
+
+func TestLockCopy(t *testing.T) {
+	linttest.Run(t, "testdata/lockcopy", lint.LockCopy)
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, "testdata/goroleak", lint.GoroLeak)
+}
+
 // TestFullSuiteOnFixtures runs every registered check over every
 // fixture at once: checks must not fire outside their own fixture's
 // annotated lines (each fixture's wants only mention its own check, so
@@ -50,6 +70,11 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"testdata/nakedpanic",
 		"testdata/ctxloop",
 		"testdata/httpserver",
+		"testdata/errcompare",
+		"testdata/maporder",
+		"testdata/ctxpropagate",
+		"testdata/lockcopy",
+		"testdata/goroleak",
 	} {
 		linttest.Run(t, dir, lint.Checks()...)
 	}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagate flags call sites that hold a context.Context but invoke
+// the context-free sibling of an API that has a Ctx variant — calling
+// jsr.Gripenberg where jsr.GripenbergCtx exists, or d.StabilityBounds
+// where d.StabilityBoundsCtx exists. The non-Ctx forms run on
+// context.Background internally, so the call is a deadline and
+// interruption hole: the caller's wall-clock budget, Ctrl-C, and
+// client disconnects all stop propagating exactly at that frame.
+//
+// The sibling convention is the repo-wide one: F and FCtx in the same
+// package (or method set), where FCtx's signature accepts a
+// context.Context. Only module-internal callees are considered —
+// stdlib pairs have different idioms. Function literals that capture
+// an enclosing ctx are in scope too: the context is in hand either
+// way.
+var CtxPropagate = &Check{
+	Name: "ctxpropagate",
+	Doc:  "context is in scope but the context-free sibling of a Ctx API is called; use the Ctx variant",
+	Run:  runCtxPropagate,
+}
+
+func runCtxPropagate(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				obj := p.Info().Defs[fn.Name]
+				if fn.Body != nil && obj != nil && signatureHasCtx(obj.Type()) {
+					checkCtxCalls(p, fn.Body)
+					return false
+				}
+			case *ast.FuncLit:
+				if signatureHasCtx(p.TypeOf(fn)) {
+					checkCtxCalls(p, fn.Body)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxCalls walks a body in which a context is in scope and flags
+// every call whose callee has a Ctx sibling. Nested function literals
+// are included: whether they capture the enclosing ctx or declare
+// their own, a context is in hand at every call they make.
+func checkCtxCalls(p *Pass, body ast.Node) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || !p.IsModuleObject(fn) || signatureHasCtx(fn.Type()) {
+			return true
+		}
+		if sibling := ctxSibling(fn); sibling != nil {
+			p.Reportf(call.Pos(), "%s is called with a context in scope but ignores it; call %s so deadlines, Ctrl-C, and disconnects propagate", fn.Name(), sibling.Name())
+		}
+		return true
+	})
+}
+
+// ctxSibling returns the FCtx counterpart of fn — a function of the
+// same package scope, or a method of the same receiver type, named
+// fn.Name()+"Ctx" whose signature accepts a context. Returns nil when
+// no such sibling exists.
+func ctxSibling(fn *types.Func) *types.Func {
+	want := fn.Name() + "Ctx"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		named := namedRecv(recv.Type())
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == want && signatureHasCtx(m.Type()) {
+				return m
+			}
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if s, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && signatureHasCtx(s.Type()) {
+		return s
+	}
+	return nil
+}
+
+// namedRecv unwraps a receiver type to its named base.
+func namedRecv(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCompare flags sentinel errors compared with == or != (or matched
+// in a switch on an error value) instead of errors.Is. The engine
+// composes errors through fmt.Errorf("%w") and errors.Join — a
+// jsr.ErrBudget wrapped together with a checkpoint write failure no
+// longer satisfies err == jsr.ErrBudget, so an identity comparison
+// silently stops recognizing the sentinel and the caller misclassifies
+// a loose-but-valid bracket as a hard failure (or vice versa).
+//
+// A sentinel is any package-level variable of error type, in this
+// module or elsewhere (io.EOF composes exactly the same way).
+// Comparisons against nil are the idiomatic success test and are not
+// flagged.
+var ErrCompare = &Check{
+	Name: "errcompare",
+	Doc:  "sentinel error compared with == / != or switched on; use errors.Is (wrapping and errors.Join break identity)",
+	Run:  runErrCompare,
+}
+
+func runErrCompare(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{node.X, node.Y} {
+					if name, ok := sentinelError(p, side); ok {
+						p.Reportf(node.Pos(), "sentinel error %s compared with %s; use errors.Is (wrapping and errors.Join break ==)", name, node.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if node.Tag == nil || !isErrorType(p.TypeOf(node.Tag)) {
+					return true
+				}
+				for _, stmt := range node.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelError(p, e); ok {
+							p.Reportf(e.Pos(), "switch on an error matches sentinel %s by identity; use an errors.Is chain (switch { case errors.Is(err, %s): ... })", name, name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinelError reports whether e resolves to a package-level variable
+// of error type — the shape of every sentinel (jsr.ErrBudget, io.EOF).
+// Locals, fields, and nil do not qualify.
+func sentinelError(p *Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return "", false
+	}
+	v, ok := p.Info().Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !implementsError(v.Type()) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// implementsError reports whether t satisfies the error interface —
+// plain error-typed sentinels and concrete singleton error values
+// alike.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return iface != nil && types.Implements(t, iface)
+}

@@ -108,7 +108,27 @@ func Checks() []*Check {
 		DroppedErr,
 		CtxLoop,
 		HTTPServer,
+		ErrCompare,
+		MapOrder,
+		CtxPropagate,
+		LockCopy,
+		GoroLeak,
+		UnusedIgnore,
 	}
+}
+
+// UnusedIgnore is the suppression-accounting pseudo-check: its
+// findings are produced by RunChecks itself, which alone knows which
+// directives matched a finding. A //lint:ignore that suppresses
+// nothing is dead weight at best — and at worst a directive that
+// silently stopped guarding the line it was written for (the code
+// moved, the check was renamed, the finding was fixed). Accounting
+// findings cannot themselves be suppressed; remove the directive or
+// baseline the finding.
+var UnusedIgnore = &Check{
+	Name: "unusedignore",
+	Doc:  "//lint:ignore directive that suppresses nothing, or names an unregistered check",
+	Run:  func(*Pass) {}, // implemented inside RunChecks
 }
 
 // CheckByName returns the named check, or nil.
@@ -123,6 +143,7 @@ func CheckByName(name string) *Check {
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
+	pos    token.Position
 	file   string
 	line   int
 	check  string
@@ -157,6 +178,7 @@ func directives(pkg *Package) ([]ignoreDirective, []Finding) {
 					continue
 				}
 				dirs = append(dirs, ignoreDirective{
+					pos:    pos,
 					file:   pos.Filename,
 					line:   pos.Line,
 					check:  fields[0],
@@ -169,32 +191,66 @@ func directives(pkg *Package) ([]ignoreDirective, []Finding) {
 }
 
 // suppressed reports whether finding f is covered by a directive on the
-// same line or the line immediately above.
-func suppressed(f Finding, dirs []ignoreDirective) bool {
-	for _, d := range dirs {
+// same line or the line immediately above, marking every covering
+// directive as used in the accounting array.
+func suppressed(f Finding, dirs []ignoreDirective, used []bool) bool {
+	hit := false
+	for i, d := range dirs {
 		if d.file != f.Pos.Filename || d.check != f.Check {
 			continue
 		}
 		if d.line == f.Pos.Line || d.line == f.Pos.Line-1 {
-			return true
+			used[i] = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // RunChecks runs the given checks over a loaded package and returns the
-// unsuppressed findings, sorted by position.
+// unsuppressed findings, sorted by position. When the run set includes
+// UnusedIgnore, suppression accounting runs too: a directive naming an
+// unregistered check is always reported, and a directive for a check
+// that ran without producing a finding on its line is reported as
+// unused. Accounting findings bypass suppression — a directive must
+// never be able to vouch for itself.
 func RunChecks(pkg *Package, checks []*Check) []Finding {
 	var raw []Finding
+	accounting := false
+	ran := map[string]bool{}
 	for _, c := range checks {
+		if c.Name == UnusedIgnore.Name {
+			accounting = true
+			continue
+		}
+		ran[c.Name] = true
 		pass := &Pass{Check: c, Pkg: pkg, findings: &raw}
 		c.Run(pass)
 	}
 	dirs, bad := directives(pkg)
 	out := append([]Finding(nil), bad...)
+	used := make([]bool, len(dirs))
 	for _, f := range raw {
-		if !suppressed(f, dirs) {
+		if !suppressed(f, dirs, used) {
 			out = append(out, f)
+		}
+	}
+	if accounting {
+		for i, d := range dirs {
+			switch {
+			case CheckByName(d.check) == nil:
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Check:   UnusedIgnore.Name,
+					Message: fmt.Sprintf("//lint:ignore names unregistered check %q (typo?); it can never suppress anything", d.check),
+				})
+			case ran[d.check] && !used[i]:
+				out = append(out, Finding{
+					Pos:     d.pos,
+					Check:   UnusedIgnore.Name,
+					Message: fmt.Sprintf("//lint:ignore %s suppresses nothing: %s reported no finding on this or the next line; remove the stale directive", d.check, d.check),
+				})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

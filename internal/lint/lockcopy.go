@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags sync primitives copied by value: assignment from an
+// existing value, range over a slice/array/map of lock-bearing
+// elements, and lock-bearing arguments passed by value. A copied
+// Mutex forks the lock state — both copies unlock independently and
+// the critical section silently stops excluding anybody, which in this
+// repo means torn checkpoint writes and racy metrics instead of a
+// compile error.
+//
+// A type is lock-bearing when it is (or transitively contains, through
+// struct fields and array elements) sync.Mutex, RWMutex, WaitGroup,
+// Once, Cond, Pool, or Map. Fresh composite literals are not flagged
+// on assignment — initializing a zero value is the one legitimate
+// value-copy.
+var LockCopy = &Check{
+	Name: "lockcopy",
+	Doc:  "sync.Mutex/RWMutex (or a struct containing one) copied by value via assignment, range, or call argument",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					if !isValueRead(rhs) {
+						continue
+					}
+					if t := p.TypeOf(rhs); t != nil && containsLock(t, nil) {
+						p.Reportf(node.Pos(), "assignment copies %s, which contains a sync primitive; copy a pointer instead (both copies unlock independently)", typeString(t))
+					}
+				}
+			case *ast.RangeStmt:
+				if node.Value == nil {
+					return true
+				}
+				// The := form defines the value ident (recorded in
+				// Defs); the = form re-assigns an existing expression
+				// (recorded in Types). Resolve whichever applies.
+				t := p.TypeOf(node.Value)
+				if id, ok := node.Value.(*ast.Ident); ok && t == nil {
+					if obj := p.Info().Defs[id]; obj != nil {
+						t = obj.Type()
+					}
+				}
+				if t != nil && containsLock(t, nil) {
+					p.Reportf(node.Value.Pos(), "range copies each %s element by value, forking its sync primitive; range over indices or use pointers", typeString(t))
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(p, node)
+				for _, arg := range node.Args {
+					if !isValueRead(arg) {
+						continue
+					}
+					t := p.TypeOf(arg)
+					if t == nil || !containsLock(t, nil) {
+						continue
+					}
+					callee := "the callee"
+					if fn != nil {
+						callee = fn.Name()
+					}
+					p.Reportf(arg.Pos(), "argument passes %s to %s by value, copying its sync primitive; pass a pointer", typeString(t), callee)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isValueRead reports whether e reads an existing value — the only
+// copies that fork lock state. Fresh composite literals, conversions
+// of literals, and address-of expressions are exempt.
+func isValueRead(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	default:
+		// Composite literals initialize a fresh zero value; &x shares
+		// rather than copies; a call's returned copy is the callee's
+		// signature problem, not this call site's.
+		return false
+	}
+}
+
+// containsLock reports whether t is or transitively contains one of
+// the sync package's non-copyable primitives. seen guards recursive
+// types.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

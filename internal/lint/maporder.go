@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags map iteration whose body feeds an order-sensitive
+// sink: appending to a slice declared outside the loop, writing to an
+// io.Writer / strings.Builder / hash / encoder, or formatting output.
+// Go randomizes map iteration order per run, so such a loop breaks
+// exactly the guarantees this repo stakes its certificates on:
+// bit-identical parallel merges, bit-identical checkpoint resume, and
+// byte-stable CSV/report/metrics emission.
+//
+// The canonical fix — collect the keys, sort them, then range over the
+// sorted slice — is recognized: an append target that is passed to a
+// sort.* or slices.Sort* call anywhere in the same function is exempt,
+// so the collect-and-sort idiom is not flagged.
+var MapOrder = &Check{
+	Name: "maporder",
+	Doc:  "map iteration feeds an order-sensitive sink (slice append, writer, hash, encoder) without sorting",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapOrderFunc(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapOrderFunc analyzes one function body. Nested function
+// literals are visited by runMapOrder as functions of their own; their
+// statements are excluded here so sinks and sorts are attributed to
+// the right scope.
+func checkMapOrderFunc(p *Pass, body *ast.BlockStmt) {
+	sorted := sortedObjects(p, body)
+	inspectSameFunc(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := p.TypeOf(rng.X); t == nil || !isMapType(t) {
+			return true
+		}
+		reportMapOrderSinks(p, rng, sorted)
+		return true
+	})
+}
+
+// reportMapOrderSinks reports every order-sensitive sink in the body of
+// a range-over-map statement.
+func reportMapOrderSinks(p *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	inspectSameFunc(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(node.Lhs) {
+					continue
+				}
+				obj := assignTargetObject(p, node.Lhs[i])
+				if obj == nil || sorted[obj] {
+					continue
+				}
+				if declaredWithin(obj, rng.Body) {
+					continue // loop-local scratch: order cannot escape the iteration
+				}
+				p.Reportf(node.Pos(), "map iteration appends to %s in random order; sort the keys first (or sort %s before use) — unsorted emission breaks bit-identical merge and resume", obj.Name(), obj.Name())
+			}
+		case *ast.CallExpr:
+			name, ok := orderSensitiveSink(p, node)
+			if !ok {
+				return true
+			}
+			// A writer/hash/encoder created inside the loop body is
+			// per-iteration scratch; only sinks that outlive an
+			// iteration observe map order. The subject is the method
+			// receiver, or the writer argument of the fmt.F*/Append*
+			// forms.
+			var subject ast.Expr
+			if sel, isSel := ast.Unparen(node.Fun).(*ast.SelectorExpr); isSel {
+				subject = sel.X
+			}
+			if fn := calleeFunc(p, node); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				subject = nil
+				if strings.HasPrefix(fn.Name(), "F") || strings.HasPrefix(fn.Name(), "Append") {
+					if len(node.Args) > 0 {
+						subject = node.Args[0]
+					}
+				}
+			}
+			if subject != nil {
+				e := ast.Unparen(subject)
+				if u, isAddr := e.(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+					e = u.X
+				}
+				if obj := assignTargetObject(p, e); obj != nil && declaredWithin(obj, rng.Body) {
+					return true
+				}
+			}
+			p.Reportf(node.Pos(), "map iteration calls %s in random order; iterate sorted keys so output, hashes, and encodings are byte-stable", name)
+		}
+		return true
+	})
+}
+
+// sortedObjects collects every object that is handed to a sorting
+// function anywhere in the function body — sort.Strings(keys),
+// sort.Slice(rows, ...), slices.Sort(ids), and method forms alike.
+func sortedObjects(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	sorted := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			e := ast.Unparen(arg)
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = ast.Unparen(u.X)
+			}
+			if obj := assignTargetObject(p, e); obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// orderSensitiveSink reports whether call writes, formats, hashes, or
+// encodes — operations whose byte stream depends on invocation order.
+func orderSensitiveSink(p *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch name {
+		case "Fprintf", "Fprintln", "Fprint", "Printf", "Println", "Print", "Appendf", "Appendln", "Append":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteRecord", "Encode", "EncodeValue", "Sum":
+		return typeString(sig.Recv().Type()) + "." + name, true
+	}
+	return "", false
+}
+
+// assignTargetObject resolves the object behind an assignable
+// expression: a plain identifier, or the root identifier of a
+// selector/index chain (s.rows, buf[i]).
+func assignTargetObject(p *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := p.Info().Uses[x]; obj != nil {
+				return obj
+			}
+			return p.Info().Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != 0 && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info().Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// inspectSameFunc walks n but does not descend into nested function
+// literals: their bodies belong to a different dynamic scope.
+func inspectSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}
+
+// typeString renders a receiver type compactly (package-qualified base
+// name, pointer stripped).
+func typeString(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,132 @@
+// SARIF 2.1.0 serialization for adalint findings, so CI systems (and
+// the GitHub code-scanning UI) can ingest the report without parsing
+// the human text form. Only the small, mandatory corner of the format
+// is emitted; every struct mirrors a property of the OASIS sarif-2.1.0
+// schema by its JSON tag.
+package lint
+
+import "encoding/json"
+
+// SARIF schema constants.
+const (
+	SARIFSchema  = "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/sarif-schema-2.1.0.json"
+	SARIFVersion = "2.1.0"
+)
+
+// SARIFLog is the document root.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool identifies the producing analyzer.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver carries the tool name, version and rule metadata.
+type SARIFDriver struct {
+	Name    string      `json:"name"`
+	Version string      `json:"version,omitempty"`
+	Rules   []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one check's metadata.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+// SARIFMessage wraps a plain-text message.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFLocation points a result at a file region.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is an artifact plus an optional region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           *SARIFRegion          `json:"region,omitempty"`
+}
+
+// SARIFArtifactLocation names the file, module-root-relative.
+type SARIFArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SARIFRegion is a 1-based source position.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ToSARIF renders findings as a SARIF 2.1.0 log. Rules cover the
+// whole suite that ran (so a clean run still documents what was
+// checked); driver-synthesized findings (checks "adalint", "baseline")
+// get rules appended on demand. File URIs are moduleDir-relative.
+func ToSARIF(findings []Finding, checks []*Check, version, moduleDir string) ([]byte, error) {
+	ruleIndex := map[string]int{}
+	var rules []SARIFRule
+	addRule := func(id, doc string) int {
+		if i, ok := ruleIndex[id]; ok {
+			return i
+		}
+		ruleIndex[id] = len(rules)
+		rules = append(rules, SARIFRule{ID: id, ShortDescription: SARIFMessage{Text: doc}})
+		return len(rules) - 1
+	}
+	for _, c := range checks {
+		addRule(c.Name, c.Doc)
+	}
+
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		var region *SARIFRegion
+		if f.Pos.Line > 0 {
+			region = &SARIFRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+		}
+		idx := addRule(f.Check, "adalint driver diagnostic")
+		results = append(results, SARIFResult{
+			RuleID:    f.Check,
+			RuleIndex: idx,
+			Level:     "error", // every surviving finding fails the gate
+			Message:   SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{URI: relSlash(f.Pos.Filename, moduleDir)},
+					Region:           region,
+				},
+			}},
+		})
+	}
+
+	log := SARIFLog{
+		Schema:  SARIFSchema,
+		Version: SARIFVersion,
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "adalint", Version: version, Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}

@@ -1,0 +1,158 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adaptivertc/internal/lint"
+)
+
+// TestSARIFValid renders a real run as SARIF and re-parses it,
+// asserting the SARIF 2.1.0 invariants a consumer (GitHub code
+// scanning, sarif-tools) relies on: version string, tool name, every
+// result's ruleId resolving to a rule, ruleIndex agreement, 1-based
+// regions, and relative artifact URIs.
+func TestSARIFValid(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.Run(".", []string{"testdata/errcompare", "testdata/lockcopy"}, lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("fixtures produced no findings to serialize")
+	}
+	data, err := lint.ToSARIF(res.Findings, lint.Checks(), "test", loader.ModuleDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through a schema-shaped anonymous struct: required
+	// properties missing from the output would surface as zero values.
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif") {
+		t.Errorf("$schema %q does not reference a sarif schema", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "adalint" {
+		t.Errorf("tool name = %q, want adalint", run.Tool.Driver.Name)
+	}
+	if len(run.Results) != len(res.Findings) {
+		t.Errorf("got %d results, want %d", len(run.Results), len(res.Findings))
+	}
+
+	ruleAt := map[string]int{}
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ID == "" {
+			t.Errorf("rule %d has empty id", i)
+		}
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has empty shortDescription", r.ID)
+		}
+		if _, dup := ruleAt[r.ID]; dup {
+			t.Errorf("duplicate rule id %s", r.ID)
+		}
+		ruleAt[r.ID] = i
+	}
+	for _, c := range lint.Checks() {
+		if _, ok := ruleAt[c.Name]; !ok {
+			t.Errorf("check %s missing from rules metadata", c.Name)
+		}
+	}
+	for i, r := range run.Results {
+		idx, ok := ruleAt[r.RuleID]
+		if !ok {
+			t.Errorf("result %d ruleId %q has no rule", i, r.RuleID)
+			continue
+		}
+		if r.RuleIndex != idx {
+			t.Errorf("result %d ruleIndex %d, rules[%q] is at %d", i, r.RuleIndex, r.RuleID, idx)
+		}
+		if r.Level != "error" {
+			t.Errorf("result %d level %q, want error", i, r.Level)
+		}
+		if r.Message.Text == "" {
+			t.Errorf("result %d has empty message", i)
+		}
+		if len(r.Locations) != 1 {
+			t.Errorf("result %d has %d locations, want 1", i, len(r.Locations))
+			continue
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if strings.HasPrefix(loc.ArtifactLocation.URI, "/") || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("result %d artifact URI %q is not a relative slash path", i, loc.ArtifactLocation.URI)
+		}
+		if loc.Region == nil || loc.Region.StartLine < 1 {
+			t.Errorf("result %d region is missing or not 1-based: %+v", i, loc.Region)
+		}
+	}
+}
+
+// TestSARIFCleanRun: zero findings must still produce a valid log with
+// an empty (non-null) results array and full rules metadata.
+func TestSARIFCleanRun(t *testing.T) {
+	data, err := lint.ToSARIF(nil, lint.Checks(), "test", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatal(err)
+	}
+	runs := log["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"]
+	if !ok || results == nil {
+		t.Fatal("clean run must serialize results as [] not null")
+	}
+	if n := len(results.([]any)); n != 0 {
+		t.Fatalf("clean run has %d results", n)
+	}
+}

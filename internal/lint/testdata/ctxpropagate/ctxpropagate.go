@@ -1,0 +1,81 @@
+// Fixture for the ctxpropagate check: with a context in scope, calling
+// the context-free sibling of an API that has a Ctx variant detaches
+// the callee from deadlines and cancellation.
+package ctxpropagate
+
+import "context"
+
+// Search has a Ctx sibling below; the pair mimics jsr.Gripenberg /
+// jsr.GripenbergCtx.
+func Search(depth int) (int, error) {
+	return SearchCtx(context.Background(), depth)
+}
+
+// SearchCtx is the context-aware form.
+func SearchCtx(ctx context.Context, depth int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return depth, nil
+}
+
+// Solo has no sibling; calling it anywhere is fine.
+func Solo(n int) int { return n }
+
+// Engine mimics core.Design's method pair.
+type Engine struct{ depth int }
+
+// Run has a Ctx sibling.
+func (e *Engine) Run() (int, error) { return e.RunCtx(context.Background()) }
+
+// RunCtx is the context-aware form.
+func (e *Engine) RunCtx(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.depth, nil
+}
+
+func badCall(ctx context.Context, depth int) (int, error) {
+	return Search(depth) // want "Search is called with a context in scope but ignores it; call SearchCtx"
+}
+
+func badMethod(ctx context.Context, e *Engine) (int, error) {
+	return e.Run() // want "Run is called with a context in scope but ignores it; call RunCtx"
+}
+
+func badInClosure(ctx context.Context, depths []int) error {
+	for _, d := range depths {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		run := func() error {
+			_, err := Search(d) // want "Search is called with a context in scope but ignores it; call SearchCtx"
+			return err
+		}
+		if err := run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func goodCtxCall(ctx context.Context, depth int) (int, error) {
+	return SearchCtx(ctx, depth)
+}
+
+func goodSolo(ctx context.Context, n int) int {
+	_ = ctx.Err()
+	return Solo(n)
+}
+
+// goodNoCtx has no context in scope: the non-Ctx form is the only
+// honest one to call.
+func goodNoCtx(depth int) (int, error) {
+	return Search(depth)
+}
+
+func suppressedCall(ctx context.Context, depth int) (int, error) {
+	//lint:ignore ctxpropagate this probe must complete even after cancellation to flush the checkpoint
+	return Search(depth)
+}

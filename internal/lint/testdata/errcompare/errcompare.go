@@ -1,0 +1,78 @@
+// Fixture for the errcompare check: sentinel errors must be matched
+// with errors.Is, not identity. Wrapping via fmt.Errorf("%w") and
+// errors.Join silently breaks ==, so a budget-exhausted bracket would
+// be misclassified as a hard failure.
+package errcompare
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget mimics jsr.ErrBudget: a package-level error sentinel.
+var ErrBudget = errors.New("errcompare: budget exhausted")
+
+// ErrDeadline is a second sentinel for switch cases.
+var ErrDeadline = errors.New("errcompare: deadline")
+
+// errNotSentinel is a local inside functions below, never package
+// scope, so comparisons against it are out of scope for the check.
+
+func search(n int) error {
+	if n < 0 {
+		return fmt.Errorf("searching: %w", ErrBudget)
+	}
+	return nil
+}
+
+func badEqual(n int) bool {
+	err := search(n)
+	return err == ErrBudget // want "sentinel error ErrBudget compared with =="
+}
+
+func badNotEqual(n int) bool {
+	err := search(n)
+	if err != ErrBudget { // want "sentinel error ErrBudget compared with !="
+		return false
+	}
+	return true
+}
+
+func badReversed(n int) bool {
+	err := search(n)
+	return ErrBudget == err // want "sentinel error ErrBudget compared with =="
+}
+
+func badSwitch(n int) string {
+	err := search(n)
+	switch err {
+	case ErrBudget: // want "switch on an error matches sentinel ErrBudget by identity"
+		return "budget"
+	case ErrDeadline: // want "switch on an error matches sentinel ErrDeadline by identity"
+		return "deadline"
+	default:
+		return "other"
+	}
+}
+
+func goodIs(n int) bool {
+	err := search(n)
+	return errors.Is(err, ErrBudget)
+}
+
+func goodNilCheck(n int) bool {
+	err := search(n)
+	return err == nil
+}
+
+func goodLocalCompare(n int) bool {
+	errA := search(n)
+	errB := search(n + 1)
+	return errA == errB // locals are not sentinels
+}
+
+func suppressedEqual(n int) bool {
+	err := search(n)
+	//lint:ignore errcompare this error is never wrapped; identity is part of the API contract
+	return err == ErrBudget
+}

@@ -1,0 +1,120 @@
+// Fixture for the goroleak check: goroutines launched per loop
+// iteration need a visible exit path — a context, a channel operation,
+// or a WaitGroup — or they accrete without bound under sustained load.
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+func compute(n int) int { return n * n }
+
+// sink is package state the leaky goroutines write to, so the fixture
+// type-checks without channels.
+var sink sync.Map
+
+func badLiteral(jobs []int) {
+	for _, j := range jobs {
+		go func(j int) { // want "goroutine launched per loop iteration has no exit path"
+			sink.Store(j, compute(j))
+		}(j)
+	}
+}
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		sink.Store(i, i)
+	}
+}
+
+func badNamed(jobs []int) {
+	for _, j := range jobs {
+		go spin(j) // want "runs spin, which has no exit path"
+	}
+}
+
+func goodWaitGroup(jobs []int) {
+	var wg sync.WaitGroup
+	results := make([]int, len(jobs))
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i, j int) {
+			defer wg.Done()
+			results[i] = compute(j)
+		}(i, j)
+	}
+	wg.Wait()
+}
+
+func goodChannel(jobs []int) []int {
+	out := make(chan int, len(jobs))
+	for _, j := range jobs {
+		go func(j int) {
+			out <- compute(j)
+		}(j)
+	}
+	results := make([]int, 0, len(jobs))
+	for range jobs {
+		results = append(results, <-out)
+	}
+	return results
+}
+
+func goodContext(ctx context.Context, jobs []int) {
+	for _, j := range jobs {
+		go func(j int) {
+			select {
+			case <-ctx.Done():
+			default:
+				sink.Store(j, compute(j))
+			}
+		}(j)
+	}
+}
+
+func worker(ctx context.Context, n int) {
+	if ctx.Err() == nil {
+		sink.Store(n, n)
+	}
+}
+
+func goodCtxArg(ctx context.Context, jobs []int) {
+	for _, j := range jobs {
+		go worker(ctx, j)
+	}
+}
+
+// pool is the worker-pool shape: the exit protocol lives in receiver
+// state (quit channel + WaitGroup), not in the launch's argument list.
+type pool struct {
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+	<-p.quit
+}
+
+func goodReceiverState(p *pool, workers int) {
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.run()
+	}
+}
+
+func goodNotInLoop(j int) {
+	go func() {
+		sink.Store(j, compute(j))
+	}()
+}
+
+func suppressedLaunch(jobs []int) {
+	for _, j := range jobs {
+		//lint:ignore goroleak bounded by len(jobs) <= 4 at every call site; each store is microseconds
+		go func(j int) {
+			sink.Store(j, compute(j))
+		}(j)
+	}
+}

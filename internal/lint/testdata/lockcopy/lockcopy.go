@@ -1,0 +1,90 @@
+// Fixture for the lockcopy check: sync primitives copied by value fork
+// their lock state — both copies unlock independently and mutual
+// exclusion silently ends.
+package lockcopy
+
+import "sync"
+
+// Counter embeds a mutex, like the server's metrics registry.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Registry nests a lock-bearing struct one level down.
+type Registry struct {
+	counters [4]Counter
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func badAssign(src *Counter) {
+	c := *src // want "copies lockcopy.Counter, which contains a sync primitive"
+	c.Inc()
+}
+
+func badIndexAssign(r *Registry) {
+	first := r.counters[0] // want "copies lockcopy.Counter, which contains a sync primitive"
+	first.Inc()
+}
+
+func badNestedAssign(r *Registry) {
+	snapshot := *r // want "copies lockcopy.Registry, which contains a sync primitive"
+	snapshot.counters[0].Inc()
+}
+
+func badRange(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want "range copies each lockcopy.Counter element by value"
+		total += c.n
+	}
+	return total
+}
+
+func observe(c Counter) int { return c.n }
+
+func badArg(c *Counter) int {
+	return observe(*c) // want "argument passes lockcopy.Counter to observe by value"
+}
+
+func goodPointerAssign(src *Counter) {
+	c := src
+	c.Inc()
+}
+
+func goodFreshLiteral() Counter {
+	c := Counter{}
+	return c
+}
+
+func goodPointerRange(cs []*Counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+func goodIndexRange(cs []Counter) int {
+	total := 0
+	for i := range cs {
+		total += cs[i].n
+	}
+	return total
+}
+
+func observePtr(c *Counter) int { return c.n }
+
+func goodPointerArg(c *Counter) int {
+	return observePtr(c)
+}
+
+func suppressedCopy(src *Counter) int {
+	//lint:ignore lockcopy snapshot of a quiesced counter: no goroutine holds the lock during shutdown
+	c := *src
+	return c.n
+}

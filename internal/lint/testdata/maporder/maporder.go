@@ -1,0 +1,109 @@
+// Fixture for the maporder check: map iteration feeding an
+// order-sensitive sink (slice append, writer, hash, encoder) must
+// sort first; the collect-keys-then-sort idiom and per-iteration
+// scratch are exempt.
+package maporder
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func badAppend(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want "appends to names in random order"
+	}
+	return names
+}
+
+func badWrite(m map[string]float64, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s,%g\n", k, v) // want "calls fmt.Fprintf in random order"
+	}
+}
+
+func badHash(m map[string][]byte) [32]byte {
+	h := sha256.New()
+	for _, v := range m {
+		h.Write(v) // want "Write in random order"
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "calls strings.Builder.WriteString in random order"
+	}
+	return b.String()
+}
+
+// goodCollectAndSort is the canonical fix: the append target is sorted
+// before use, so the map's iteration order never escapes.
+func goodCollectAndSort(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%d\n", k, m[k])
+	}
+}
+
+// goodSortSlice sorts row structs by key after collecting.
+func goodSortSlice(m map[string]int) []string {
+	rows := make([]string, 0, len(m))
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// goodScratch uses a builder created inside the loop body: the bytes
+// written per iteration never observe cross-iteration order.
+func goodScratch(m map[string]int, out map[string]string) {
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+}
+
+// goodReduction accumulates an order-insensitive reduction.
+func goodReduction(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodLoopLocal appends to a slice declared inside the loop body.
+func goodLoopLocal(m map[string][]int, out map[string]int) {
+	for k, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		out[k] = len(evens)
+	}
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		//lint:ignore maporder order is re-established by the caller's stable sort over the full result
+		names = append(names, name)
+	}
+	return names
+}

@@ -1,0 +1,41 @@
+// Fixture for suppression accounting: a //lint:ignore directive must
+// earn its keep. One that suppresses nothing is stale armor — the
+// finding it was written for moved or was fixed — and one naming an
+// unregistered check was never armor at all.
+package unusedignore
+
+import "errors"
+
+// ErrProbe is a sentinel so a used suppression can exist below.
+var ErrProbe = errors.New("unusedignore: probe")
+
+func probe(n int) error {
+	if n < 0 {
+		return ErrProbe
+	}
+	return nil
+}
+
+// usedDirective suppresses a real errcompare finding: accounted as
+// used, so no unusedignore finding here.
+func usedDirective(n int) bool {
+	err := probe(n)
+	//lint:ignore errcompare fixture: identity comparison is the pattern under test
+	return err == ErrProbe
+}
+
+// staleDirective guards a line that stopped comparing sentinels long
+// ago; errcompare reports nothing, so the directive is dead weight.
+// (Expectations live in TestUnusedIgnore — a want comment cannot share
+// the directive's line.)
+func staleDirective(n int) bool {
+	//lint:ignore errcompare nothing on the next line trips errcompare anymore
+	return probe(n) == nil
+}
+
+// typoDirective names a check that does not exist; it can never have
+// suppressed anything.
+func typoDirective(n int) bool {
+	//lint:ignore errcmp reason text for a check that was never registered
+	return probe(n) == nil
+}

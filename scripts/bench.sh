@@ -1,0 +1,50 @@
+#!/bin/sh
+# JSR benchmark snapshot: runs the pinned JSR-path benchmarks (worker
+# sweep + certificate hot path) with a fixed -benchtime and rewrites
+# BENCH_jsr.json, the committed record of the engine's throughput.
+#
+# The pinned benchtime keeps iteration counts comparable across
+# snapshots; absolute ns/op still depends on the host, which is why the
+# host fields (goos/goarch/cpu, go version) are part of the record.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=5x COUNT=3 scripts/bench.sh   # override the pins
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_jsr.json}"
+benchtime="${BENCHTIME:-2x}"
+count="${COUNT:-1}"
+pattern='^(BenchmarkJSRWorkers|BenchmarkStabilityCertificate|BenchmarkDesignSynthesis)$'
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" .)"
+printf '%s\n' "$raw"
+
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
+function jstr(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return "\"" s "\"" }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { cpu = $0; sub(/^cpu:[ \t]*/, "", cpu) }
+/^Benchmark/ && $4 == "ns/op" {
+    rows[n++] = "    {\"name\": " jstr($1) ", \"iterations\": " $2 ", \"ns_per_op\": " $3 "}"
+}
+END {
+    print "{"
+    print "  \"benchtime\": " jstr(benchtime) ","
+    print "  \"go\": " jstr(goversion) ","
+    print "  \"goos\": " jstr(goos) ","
+    print "  \"goarch\": " jstr(goarch) ","
+    print "  \"cpu\": " jstr(cpu) ","
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) print rows[i] (i < n-1 ? "," : "")
+    print "  ]"
+    print "}"
+}' > "$out"
+
+# A snapshot with no benchmark rows means the pattern rotted.
+grep -q '"name"' "$out" || {
+    echo "error: no benchmark rows captured into $out" >&2
+    exit 1
+}
+echo "wrote $out"

@@ -5,21 +5,39 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== go build ./..."
 go build ./...
 
 echo "== go vet ./..."
 go vet ./...
 
-echo "== adalint ./..."
-go run ./cmd/adalint ./...
+echo "== adalint ./... (full suite, suppression accounting included)"
+go build -o "$tmpdir/adalint" ./cmd/adalint
+"$tmpdir/adalint" ./...
 
-echo "== adalint self-test (fixtures must trip the linter)"
-# The testdata fixtures contain deliberate violations; adalint must
-# report them (exit non-zero) or the checks have gone soft.
-for fixture in floatcompare ctxloop httpserver; do
-    if go run ./cmd/adalint "./internal/lint/testdata/$fixture" >/dev/null 2>&1; then
-        echo "error: adalint exited 0 on the $fixture violation fixture" >&2
+echo "== adalint SARIF output parses"
+"$tmpdir/adalint" -sarif ./... > "$tmpdir/adalint.sarif"
+grep -q '"version": "2.1.0"' "$tmpdir/adalint.sarif" || {
+    echo "error: adalint -sarif did not emit a SARIF 2.1.0 log" >&2
+    exit 1
+}
+
+echo "== adalint self-test (every registered check ships a tripping fixture)"
+# The fixture gate is derived from -list, so a newly registered check
+# without a violation fixture fails the build: the testdata directory
+# must exist and adalint must report findings on it (exit non-zero) or
+# the check has gone soft.
+"$tmpdir/adalint" -list | while read -r check _; do
+    fixture="internal/lint/testdata/$check"
+    if [ ! -d "$fixture" ]; then
+        echo "error: check $check has no violation fixture at $fixture" >&2
+        exit 1
+    fi
+    if "$tmpdir/adalint" "./$fixture" >/dev/null 2>&1; then
+        echo "error: adalint exited 0 on the $check violation fixture" >&2
         exit 1
     fi
 done
@@ -34,8 +52,6 @@ echo "== faultsim smoke: one fault-injected sequence through the certified ladde
 go run ./cmd/adactl faultsim -sequences 1 -jobs 20 -workers 1 -nodes 20000 -brute 3 >/dev/null
 
 echo "== interruption smoke: jsrtool -timeout cuts with a valid bracket, -resume matches a fresh run"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/jsrtool" ./cmd/jsrtool
 cat > "$tmpdir/set.json" <<'EOF'
 [ [[0.55, 0.55], [0, 0.55]],
