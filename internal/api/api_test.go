@@ -111,6 +111,22 @@ func TestValidateRejections(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsNonFiniteEntries pins the first line of defense
+// against the vacuous-bracket bug: a NaN entry makes every comparison
+// in the JSR search false, so an unvalidated request could come back
+// "certified stable" with Upper stuck at 0. The /v1/certify path must
+// reject every non-finite entry here (and the jsr package now rejects
+// them again with jsr.ErrNonFinite as a second layer).
+func TestValidateRejectsNonFiniteEntries(t *testing.T) {
+	for name, v := range map[string]float64{"nan": math.NaN(), "+inf": math.Inf(1), "-inf": math.Inf(-1)} {
+		r := normalized(validMatrixReq())
+		r.Matrices[1][0][1] = v
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s entry validated, want rejection", name)
+		}
+	}
+}
+
 // Golden key: the content address of the canonical two-matrix request.
 // If this changes, every persisted cache entry is orphaned — that is
 // only acceptable with a deliberate domain-string bump.

@@ -121,7 +121,10 @@ func (d *Design) OmegaSet() []*mat.Dense {
 // with the combined brute-force/Gripenberg estimator. The closed loop
 // is certified asymptotically stable for every admissible overrun
 // pattern iff the upper bound is < 1. A jsr.ErrBudget return means the
-// bracket is valid but looser than requested.
+// bracket is valid but looser than requested. opt is passed through to
+// the estimator pipeline, which preconditions the set once itself (so
+// opt.DisableEllipsoid has no further effect here — see
+// jsr.EstimateCtx).
 func (d *Design) StabilityBounds(bruteLen int, opt jsr.GripenbergOptions) (jsr.Bounds, error) {
 	return jsr.Estimate(d.OmegaSet(), bruteLen, opt)
 }

@@ -152,7 +152,9 @@ func AblationJSR(opt Options) ([]AblationJSRRow, error) {
 		row.PreTime = time.Since(t0)
 
 		t0 = time.Now()
-		row.PreGrip, err = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers})
+		// DisableEllipsoid: work is already preconditioned, and the row
+		// is meant to isolate exactly one transform per column.
+		row.PreGrip, err = jsr.Gripenberg(work, jsr.GripenbergOptions{Delta: opt.Delta, MaxDepth: 30, Workers: opt.Workers, DisableEllipsoid: true})
 		if err != nil && !errors.Is(err, jsr.ErrBudget) {
 			return err
 		}

@@ -125,7 +125,7 @@ func (c Contract) Validate() error {
 type Event struct {
 	Job      int // job index at which the transition happened
 	From, To Tier
-	Reason string
+	Reason   string
 }
 
 // Metrics is the guard's degradation accounting. All fields are plain

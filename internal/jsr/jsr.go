@@ -73,6 +73,14 @@ func (b Bounds) String() string {
 // ErrEmptySet is returned when no matrices are supplied.
 var ErrEmptySet = errors.New("jsr: empty matrix set")
 
+// ErrNonFinite is returned when a supplied matrix contains a NaN or
+// ±Inf entry. Non-finite entries must be rejected up front: every
+// comparison against NaN is false, so a search run on such a set would
+// never raise its lower bound or trip a prune test and would silently
+// return a vacuous bracket (e.g. Upper stuck at 0, which reads as
+// certified-stable).
+var ErrNonFinite = errors.New("jsr: matrix set contains a non-finite entry")
+
 // ErrBudget is returned by Gripenberg when the node or depth budget is
 // exhausted before the requested accuracy δ is certified. The budget is
 // spent before giving up: when a whole level no longer fits, the search
@@ -111,6 +119,9 @@ func validateSet(set []*mat.Dense) (int, error) {
 	for i, m := range set {
 		if !m.IsSquare() || m.Rows() != n {
 			return 0, fmt.Errorf("jsr: matrix %d is %d×%d, want %d×%d", i, m.Rows(), m.Cols(), n, n)
+		}
+		if m.HasNaN() {
+			return 0, fmt.Errorf("jsr: matrix %d: %w", i, ErrNonFinite)
 		}
 	}
 	return n, nil
@@ -310,28 +321,51 @@ func BruteForceBoundsCtx(ctx context.Context, set []*mat.Dense, maxLen int, opt 
 	// order so the per-level "first maximizer" is the lexicographically
 	// first one, exactly as a sequential sweep would pick it.
 	if splitDepth < maxLen {
+		// Per-worker scratch: one spectral-norm/eig workspace plus one
+		// preallocated product buffer per tree level, so the streaming
+		// DFS performs zero allocations per node (words are only
+		// materialized on the rare fold improvements). A level-indexed
+		// buffer is safe because a node's product is only read while its
+		// children are computed, and children use the next level's
+		// buffer. The scratch kernels are bit-identical to the
+		// allocating ones, so bounds are unchanged.
+		n := set[0].Rows()
+		type deepScratch struct {
+			ms    *mat.Scratch
+			prods []*mat.Dense
+			path  []int
+		}
+		scratch := make([]*deepScratch, workers)
 		parts := make([][]levelBest, len(level))
-		err := parallelRanges(ctx, len(level), workers, func(ctx context.Context, lo, hi int) error {
-			path := make([]int, maxLen)
+		err := parallelSlots(ctx, len(level), workers, func(ctx context.Context, slot, lo, hi int) error {
+			ds := scratch[slot]
+			if ds == nil {
+				ds = &deepScratch{ms: mat.NewScratch(n), prods: make([]*mat.Dense, maxLen+1), path: make([]int, maxLen)}
+				for l := splitDepth + 1; l <= maxLen; l++ {
+					ds.prods[l] = mat.New(n, n)
+				}
+				scratch[slot] = ds
+			}
 			for ci := lo; ci < hi; ci++ {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
 				part := make([]levelBest, maxLen+1)
-				copy(path, words[ci])
+				copy(ds.path, words[ci])
 				var dfs func(prod *mat.Dense, length int) error
 				dfs = func(prod *mat.Dense, length int) error {
 					for ai := 0; ai < k; ai++ {
 						if err := ctx.Err(); err != nil {
 							return err
 						}
-						p := mat.Mul(set[ai], prod)
-						path[length] = ai
-						rho, err := mat.SpectralRadius(p)
+						p := ds.prods[length+1]
+						mat.MulInto(p, set[ai], prod)
+						ds.path[length] = ai
+						rho, err := mat.SpectralRadiusScratch(p, ds.ms)
 						if err != nil {
 							return err
 						}
-						part[length+1].fold(rho, path[:length+1], norm(p))
+						part[length+1].fold(rho, ds.path[:length+1], mat.TwoNormScratch(p, ds.ms))
 						if length+1 < maxLen {
 							if err := dfs(p, length+1); err != nil {
 								return err
@@ -384,6 +418,16 @@ type GripenbergOptions struct {
 	// Workers is the number of expansion goroutines; ≤ 0 selects
 	// GOMAXPROCS. The returned Bounds are bit-identical for every value.
 	Workers int
+	// DisableEllipsoid turns off the ellipsoidal-norm preconditioning
+	// that Gripenberg applies by default: the search runs on the
+	// similarity-transformed set M·A·M⁻¹ (see Precondition), whose
+	// 2-norm is the single-Lyapunov P-weighted norm of A, so branch
+	// certificates are far tighter and the frontier drains much earlier.
+	// Lower bounds are replayed against the caller's untransformed
+	// matrices, so the bracket contract is unchanged. EstimateCtx and
+	// EstimateRawCtx disable it internally (the former preconditions the
+	// whole pipeline itself; the latter documents running raw).
+	DisableEllipsoid bool
 	// Deadline caps the wall-clock time of the search; ≤ 0 means no
 	// cap. When it expires the best-so-far bracket is returned with an
 	// error wrapping ErrDeadline (see GripenbergCtx for the boundary
@@ -438,6 +482,14 @@ type GripenbergState struct {
 	Lower    float64 // best certified lower bound so far
 	Witness  []int   // word attaining Lower
 	Frontier [][]int // words of the live branches, in frontier order
+	// Ellipsoid records whether the snapshotted search ran on the
+	// ellipsoidally preconditioned set. Resume recomputes the (fully
+	// deterministic) preconditioner rather than persisting the
+	// transformed matrices, so a resume is only bit-identical when the
+	// resuming options select the same mode; GripenbergCtx rejects a
+	// mismatch. Old snapshots without the field decode to false, which
+	// matches the raw searches that produced them.
+	Ellipsoid bool
 }
 
 type gripNode struct {
@@ -485,13 +537,18 @@ func cutBounds(lower, delta float64, witness []int, frontier []gripNode) Bounds 
 }
 
 // seedFrontier builds the depth-1 frontier of singleton products and
-// the initial lower bound, lowest index winning ties.
-func seedFrontier(set []*mat.Dense) ([]gripNode, float64, []int, error) {
+// the initial lower bound, lowest index winning ties. The frontier
+// (products and norm certificates) is built from work — the searched,
+// possibly preconditioned set — while the lower-bound spectral radii
+// are taken from raw, the caller's matrices, so the reported Lower is
+// always a rate attained on the caller's set. For unpreconditioned
+// searches work and raw are the same slice.
+func seedFrontier(work, raw []*mat.Dense) ([]gripNode, float64, []int, error) {
 	lower := 0.0
 	var witness []int
-	frontier := make([]gripNode, 0, len(set))
-	for i, a := range set {
-		rho, err := mat.SpectralRadius(a)
+	frontier := make([]gripNode, 0, len(work))
+	for i, a := range work {
+		rho, err := mat.SpectralRadius(raw[i])
 		if err != nil {
 			return nil, 0, nil, err
 		}
@@ -505,15 +562,16 @@ func seedFrontier(set []*mat.Dense) ([]gripNode, float64, []int, error) {
 }
 
 // captureGripState deep-copies the loop-top state into a snapshot.
-func captureGripState(k, depth, nodes int, lower float64, witness []int, frontier []gripNode) GripenbergState {
+func captureGripState(k, depth, nodes int, lower float64, witness []int, frontier []gripNode, ellipsoid bool) GripenbergState {
 	words := make([][]int, len(frontier))
 	for i := range frontier {
 		words[i] = append([]int(nil), frontier[i].word...)
 	}
 	return GripenbergState{
 		K: k, Depth: depth, Nodes: nodes, Lower: lower,
-		Witness:  append([]int(nil), witness...),
-		Frontier: words,
+		Witness:   append([]int(nil), witness...),
+		Frontier:  words,
+		Ellipsoid: ellipsoid,
 	}
 }
 
@@ -548,20 +606,6 @@ func rebuildFrontier(set []*mat.Dense, st *GripenbergState) ([]gripNode, error) 
 		frontier[i] = gripNode{prod: prod, word: append([]int(nil), word...), cert: cert}
 	}
 	return frontier, nil
-}
-
-// expandNode computes the k children of one frontier node into out
-// (length k), in matrix-index order.
-func expandNode(set []*mat.Dense, nd gripNode, exp float64, out []gripChild) error {
-	for ai, a := range set {
-		p := mat.Mul(a, nd.prod)
-		rho, err := mat.SpectralRadius(p)
-		if err != nil {
-			return err
-		}
-		out[ai] = gripChild{prod: p, rho: rho, cert: math.Min(nd.cert, math.Pow(norm(p), exp))}
-	}
-	return nil
 }
 
 // mergeSurvivors keeps the children whose certificates survive the
@@ -621,6 +665,24 @@ func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions)
 	}
 	k := len(set)
 
+	// Ellipsoidal pruning: run the whole search on the Lyapunov-
+	// preconditioned set M·A·M⁻¹ (same JSR, far tighter norm
+	// certificates) and replay every lower-bound candidate on the
+	// caller's raw matrices so the returned Lower is exactly the rate
+	// its WitnessWord attains on the caller's set. Running the entire
+	// certificate chain in the transformed norm — rather than mixing
+	// min(‖·‖₂, ‖·‖_P) per prefix — keeps every prune sound: a branch
+	// certificate is only comparable with bounds computed in the same
+	// norm. Precondition is deterministic, so resumed searches rebuild
+	// the same transformed set.
+	work := set
+	ell := false
+	if !opt.DisableEllipsoid {
+		if t, _, ok := Precondition(set); ok {
+			work, ell = t, true
+		}
+	}
+
 	var (
 		lower    float64
 		witness  []int
@@ -629,26 +691,31 @@ func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions)
 		depth    int
 	)
 	if opt.Resume != nil {
-		frontier, err = rebuildFrontier(set, opt.Resume)
+		if opt.Resume.Ellipsoid != ell {
+			return Bounds{}, fmt.Errorf("jsr: resume state has ellipsoid preconditioning %v but this search resolved it to %v; set DisableEllipsoid to match the snapshotting run", opt.Resume.Ellipsoid, ell)
+		}
+		frontier, err = rebuildFrontier(work, opt.Resume)
 		if err != nil {
 			return Bounds{}, err
 		}
 		depth, nodes, lower = opt.Resume.Depth, opt.Resume.Nodes, opt.Resume.Lower
 		witness = append([]int(nil), opt.Resume.Witness...)
 	} else {
-		frontier, lower, witness, err = seedFrontier(set)
+		frontier, lower, witness, err = seedFrontier(work, set)
 		if err != nil {
 			return Bounds{}, err
 		}
 		depth, nodes = 1, k
 	}
 
+	g := newGripSearch(work, opt.Workers)
+
 	for len(frontier) > 0 && depth < opt.MaxDepth {
 		// The loop top is a level boundary: snapshot it first, so even
 		// a cut on this very iteration leaves a resumable state, then
 		// honor cancellation with the best-so-far bracket.
 		if opt.Snapshot != nil {
-			if serr := opt.Snapshot(captureGripState(k, depth, nodes, lower, witness, frontier)); serr != nil {
+			if serr := opt.Snapshot(captureGripState(k, depth, nodes, lower, witness, frontier, ell)); serr != nil {
 				return Bounds{}, fmt.Errorf("jsr: snapshot: %w", serr)
 			}
 		}
@@ -681,21 +748,7 @@ func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions)
 
 		depth++
 		exp := 1 / float64(depth)
-		children := make([]gripChild, expand*k)
-		err := parallelRanges(ctx, expand, opt.Workers, func(ctx context.Context, lo, hi int) error {
-			for fi := lo; fi < hi; fi++ {
-				if cerr := ctx.Err(); cerr != nil {
-					return cerr
-				}
-				nd := frontier[fi]
-				if gerr := expandGuard(nd.word, func() error {
-					return expandNode(set, nd, exp, children[fi*k:(fi+1)*k])
-				}); gerr != nil {
-					return gerr
-				}
-			}
-			return nil
-		})
+		children, err := g.expandLevel(ctx, frontier, expand, depth, opt.Workers)
 		if err != nil {
 			if isCtxErr(err) {
 				// Mid-level cut: discard the partial level and report
@@ -708,16 +761,32 @@ func GripenbergCtx(ctx context.Context, set []*mat.Dense, opt GripenbergOptions)
 		nodes += expand * k
 
 		// Merge pass 1: raise the lower bound; the scan order makes the
-		// lowest-index maximizer the witness.
-		bestIdx := -1
-		for ci := range children {
-			if lb := math.Pow(children[ci].rho, exp); lb > lower {
-				lower = lb
-				bestIdx = ci
+		// lowest-index maximizer the witness. Preconditioned searches
+		// replay each improving candidate on the raw set: similarity
+		// preserves spectral radii exactly in real arithmetic but not in
+		// floating point, and Lower must be the rate the witness attains
+		// on the caller's matrices. The replay keeps Lower a running
+		// max, so interrupted brackets stay nested inside finished ones.
+		if ell {
+			for ci := range children {
+				if lb := math.Pow(children[ci].rho, exp); lb > lower {
+					w := childWord(frontier[ci/k].word, ci%k)
+					if r, rerr := WitnessRate(set, w); rerr == nil && r > lower {
+						lower, witness = r, w
+					}
+				}
 			}
-		}
-		if bestIdx >= 0 {
-			witness = childWord(frontier[bestIdx/k].word, bestIdx%k)
+		} else {
+			bestIdx := -1
+			for ci := range children {
+				if lb := math.Pow(children[ci].rho, exp); lb > lower {
+					lower = lb
+					bestIdx = ci
+				}
+			}
+			if bestIdx >= 0 {
+				witness = childWord(frontier[bestIdx/k].word, bestIdx%k)
+			}
 		}
 
 		// Merge pass 2: keep children that survive the final per-level
@@ -753,6 +822,8 @@ func EstimateRawCtx(ctx context.Context, set []*mat.Dense, bruteLen int, opt Gri
 		defer cancel()
 		opt.Deadline = 0
 	}
+	// Raw means raw: no preconditioning anywhere in this pipeline.
+	opt.DisableEllipsoid = true
 	bf, bferr := BruteForceBoundsCtx(ctx, set, bruteLen, BruteForceOptions{Workers: opt.Workers})
 	if bferr != nil && !errors.Is(bferr, ErrDeadline) {
 		return Bounds{}, bferr
@@ -803,6 +874,11 @@ func EstimateCtx(ctx context.Context, set []*mat.Dense, bruteLen int, opt Gripen
 		opt.Deadline = 0
 	}
 	work, _, _ := Precondition(set)
+	// The whole pipeline already runs on the preconditioned set; a
+	// second transform inside Gripenberg would help nothing and would
+	// make the Gripenberg-phase snapshots depend on a doubly-transformed
+	// set.
+	opt.DisableEllipsoid = true
 	bf, bferr := BruteForceBoundsCtx(ctx, work, bruteLen, BruteForceOptions{Workers: opt.Workers})
 	if bferr != nil && !errors.Is(bferr, ErrDeadline) {
 		return Bounds{}, bferr

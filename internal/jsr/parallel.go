@@ -80,10 +80,11 @@ func resolveWorkers(w int) int {
 	return w
 }
 
-// runRange invokes fn on one chunk with a panic backstop: expansion
-// sites wrap per-node work in expandGuard to attach the word, and this
-// outer recover catches anything that escapes between nodes.
-func runRange(ctx context.Context, lo, hi int, fn func(ctx context.Context, lo, hi int) error) (err error) {
+// runSlot invokes fn on one chunk with a panic backstop: expansion
+// sites wrap per-node work in expandGuard (or an equivalent inline
+// recover) to attach the word, and this outer recover catches anything
+// that escapes between nodes.
+func runSlot(ctx context.Context, slot, lo, hi int, fn func(ctx context.Context, slot, lo, hi int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if pe, ok := r.(*PanicError); ok {
@@ -93,19 +94,21 @@ func runRange(ctx context.Context, lo, hi int, fn func(ctx context.Context, lo, 
 			err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return fn(ctx, lo, hi)
+	return fn(ctx, slot, lo, hi)
 }
 
-// parallelRanges splits the index range [0, n) into at most `workers`
-// contiguous chunks and runs fn on each concurrently. fn(ctx, lo, hi)
-// must touch only state owned by indexes in [lo, hi) and should poll
-// ctx between nodes. When any chunk fails (error or panic) the shared
-// context is cancelled so the remaining workers drain at their next
-// poll instead of finishing the level. The returned error is the one
-// from the lowest-indexed chunk that failed for a non-cancellation
-// reason; pure cancellation (deadline or caller cancel) is returned
-// only when no chunk failed on its own.
-func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) error) error {
+// parallelSlots splits the index range [0, n) into at most `workers`
+// contiguous chunks and runs fn on each concurrently. fn(ctx, slot, lo,
+// hi) must touch only state owned by indexes in [lo, hi) — plus any
+// per-worker scratch keyed by slot, which is in [0, workers) and unique
+// per concurrent invocation — and should poll ctx between nodes. When
+// any chunk fails (error or panic) the shared context is cancelled so
+// the remaining workers drain at their next poll instead of finishing
+// the level. The returned error is the one from the lowest-indexed
+// chunk that failed for a non-cancellation reason; pure cancellation
+// (deadline or caller cancel) is returned only when no chunk failed on
+// its own.
+func parallelSlots(ctx context.Context, n, workers int, fn func(ctx context.Context, slot, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -113,7 +116,7 @@ func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Con
 		workers = n
 	}
 	if workers <= 1 {
-		return runRange(ctx, 0, n, fn)
+		return runSlot(ctx, 0, 0, n, fn)
 	}
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -132,7 +135,7 @@ func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Con
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = runRange(wctx, lo, hi, fn)
+			errs[w] = runSlot(wctx, w, lo, hi, fn)
 			if errs[w] != nil {
 				cancel()
 			}
@@ -153,4 +156,12 @@ func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Con
 		return err
 	}
 	return ctxErr
+}
+
+// parallelRanges is parallelSlots for callers that do not need the
+// per-worker slot index.
+func parallelRanges(ctx context.Context, n, workers int, fn func(ctx context.Context, lo, hi int) error) error {
+	return parallelSlots(ctx, n, workers, func(ctx context.Context, _, lo, hi int) error {
+		return fn(ctx, lo, hi)
+	})
 }

@@ -25,6 +25,8 @@ var matAliasRules = map[string][][2]int{
 	"AddInPlace": {{0, 1}}, // a += b is fine elementwise, but a+=a is Scale(2,·) in disguise: flag self-add as a likely copy-paste bug
 	"MulVecInto": {{0, 2}}, // dst must not alias x (row dot-products read x after dst[i] is written)
 	"mulInto":    {{0, 1}, {0, 2}},
+	"MulInto":    {{0, 1}, {0, 2}}, // c = a*b accumulates into c while re-reading a and b rows
+	"mulGeneric": {{0, 1}, {0, 2}},
 }
 
 func runMatAlias(p *Pass) {

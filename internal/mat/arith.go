@@ -58,8 +58,23 @@ func Mul(a, b *Dense) *Dense {
 	return c
 }
 
-// mulInto computes c = a*b, where c must not alias a or b.
+// mulInto computes c = a*b, where c must not alias a or b and must be
+// zero-filled on entry (New returns zeroed storage; MulInto clears
+// reused buffers before calling). Square sizes with a hand-unrolled
+// kernel dispatch to it; the kernels accumulate in exactly the same
+// k-outer/j-inner order as the generic loop, so every code path yields
+// bit-identical products.
 func mulInto(c, a, b *Dense) {
+	if k := kernelFor(a, b); k != nil {
+		k(c.data, a.data, b.data)
+		return
+	}
+	mulGeneric(c, a, b)
+}
+
+// mulGeneric is the general-size product loop. c must be pre-zeroed and
+// must not alias a or b.
+func mulGeneric(c, a, b *Dense) {
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
 		crow := c.data[i*c.cols : (i+1)*c.cols]

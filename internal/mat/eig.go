@@ -16,10 +16,18 @@ var ErrEigNotConverged = errors.New("mat: eigenvalue iteration did not converge"
 // result has the same eigenvalues as the input.
 func Hessenberg(a *Dense) *Dense {
 	mustSquare("Hessenberg", a)
-	n := a.rows
 	h := a.Clone()
+	hessenbergInPlace(h, make([]float64, a.rows))
+	return h
+}
+
+// hessenbergInPlace reduces h to upper Hessenberg form in place. v is a
+// length-n work vector whose prior contents are ignored. Shared by the
+// allocating Hessenberg wrapper and the scratch-arena eigenvalue path;
+// both therefore produce bit-identical reductions.
+func hessenbergInPlace(h *Dense, v []float64) {
+	n := h.rows
 	d := h.data
-	v := make([]float64, n)
 	for k := 0; k < n-2; k++ {
 		// Build the Householder vector for column k, rows k+1..n-1.
 		scale := 0.0
@@ -73,7 +81,6 @@ func Hessenberg(a *Dense) *Dense {
 			d[i*n+k] = 0
 		}
 	}
-	return h
 }
 
 // balance applies diagonal similarity scaling (Parlett–Reinsch) so that
@@ -137,10 +144,15 @@ func Eigenvalues(a *Dense) ([]complex128, error) {
 	if eigs, err := eigOnce(a); err == nil {
 		return eigs, nil
 	}
-	// The QR iteration occasionally cycles on highly structured
-	// matrices (e.g. checkerboard sparsity). Retry on equivalent
-	// problems: a normalized copy (eigenvalues scale linearly) and the
-	// transpose (identical spectrum).
+	return eigRetry(a)
+}
+
+// eigRetry is the fallback ladder used after a first eigOnce attempt
+// fails. The QR iteration occasionally cycles on highly structured
+// matrices (e.g. checkerboard sparsity); retry on equivalent problems:
+// a normalized copy (eigenvalues scale linearly) and the transpose
+// (identical spectrum).
+func eigRetry(a *Dense) ([]complex128, error) {
 	//lint:ignore floatcompare rescaling is only pointless at exactly 1; any other norm value is safe to divide by
 	if s := InfNorm(a); s > 0 && s != 1 {
 		if eigs, err := eigOnce(Scale(1/s, a)); err == nil {
@@ -162,8 +174,8 @@ func Eigenvalues(a *Dense) ([]complex128, error) {
 func eigOnce(a *Dense) ([]complex128, error) {
 	work := a.Clone()
 	balance(work)
-	h := Hessenberg(work)
-	return hqr(h)
+	hessenbergInPlace(work, make([]float64, a.rows))
+	return hqr(work)
 }
 
 // eig2x2 returns the eigenvalues of [[a,b],[c,d]].
@@ -184,6 +196,31 @@ func eig2x2(a, b, c, d float64) []complex128 {
 // Numerical Recipes). The matrix is destroyed.
 func hqr(hm *Dense) ([]complex128, error) {
 	n := hm.rows
+	wr := make([]float64, n)
+	wi := make([]float64, n)
+	if err := hqrInPlace(hm, wr, wi); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(wr[i], wi[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		//lint:ignore floatcompare sort comparator: a deterministic total order needs exact tie-breaks
+		if real(out[i]) != real(out[j]) {
+			return real(out[i]) < real(out[j])
+		}
+		return imag(out[i]) < imag(out[j])
+	})
+	return out, nil
+}
+
+// hqrInPlace is the iteration core of hqr. It destroys hm and writes
+// the eigenvalue real/imaginary parts into the caller-provided wr and
+// wi (length n, prior contents ignored), allocating nothing itself so
+// the scratch-arena spectral-radius path can reuse buffers.
+func hqrInPlace(hm *Dense, wr, wi []float64) error {
+	n := hm.rows
 	a := hm.data
 	at := func(i, j int) float64 { return a[i*n+j] }
 	set := func(i, j int, v float64) { a[i*n+j] = v }
@@ -198,11 +235,12 @@ func hqr(hm *Dense) ([]complex128, error) {
 	//lint:ignore floatcompare a norm is exactly zero only for the exactly zero matrix
 	if anorm == 0 {
 		// The zero matrix: all eigenvalues are zero.
-		return make([]complex128, n), nil
+		for i := 0; i < n; i++ {
+			wr[i], wi[i] = 0, 0
+		}
+		return nil
 	}
 
-	wr := make([]float64, n)
-	wi := make([]float64, n)
 	nn := n - 1
 	t := 0.0
 	for nn >= 0 {
@@ -263,7 +301,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 			}
 			// No root yet: perform a double QR step.
 			if its == 60 {
-				return nil, ErrEigNotConverged
+				return ErrEigNotConverged
 			}
 			if its == 10 || its == 20 || its == 30 || its == 40 || its == 50 {
 				// Exceptional shift to break symmetry cycles.
@@ -371,18 +409,7 @@ func hqr(hm *Dense) ([]complex128, error) {
 			}
 		}
 	}
-	out := make([]complex128, n)
-	for i := range out {
-		out[i] = complex(wr[i], wi[i])
-	}
-	sort.Slice(out, func(i, j int) bool {
-		//lint:ignore floatcompare sort comparator: a deterministic total order needs exact tie-breaks
-		if real(out[i]) != real(out[j]) {
-			return real(out[i]) < real(out[j])
-		}
-		return imag(out[i]) < imag(out[j])
-	})
-	return out, nil
+	return nil
 }
 
 // SpectralRadius returns max |λᵢ| over the eigenvalues of a square

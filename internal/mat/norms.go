@@ -61,15 +61,23 @@ func TwoNorm(a *Dense) float64 {
 	at := a.T()
 	ata := Mul(at, a)
 	n := ata.rows
+	return twoNormPower(a, ata, make([]float64, n), make([]float64, n), make([]float64, n))
+}
+
+// twoNormPower runs the shared power-iteration core of TwoNorm and
+// TwoNormScratch on a precomputed AᵀA. x, y, z are length-n work
+// vectors whose prior contents are ignored; the iterate ping-pongs
+// between x and y so no per-step vectors are allocated, with exactly
+// the same arithmetic as a freshly allocating loop.
+func twoNormPower(a, ata *Dense, x, y, z []float64) float64 {
 	// Deterministic start with energy in all directions.
-	x := make([]float64, n)
 	for i := range x {
-		x[i] = 1 / math.Sqrt(float64(n)+float64(i))
+		x[i] = 1 / math.Sqrt(float64(len(x))+float64(i))
 	}
 	normalize(x)
 	lam := 0.0
 	for iter := 0; iter < 200; iter++ {
-		y := MulVec(ata, x)
+		MulVecInto(y, ata, x)
 		ny := vecNorm(y)
 		//lint:ignore floatcompare power iteration collapsed to the exactly zero vector; also guards the division below
 		if ny == 0 {
@@ -78,8 +86,9 @@ func TwoNorm(a *Dense) float64 {
 		for i := range y {
 			y[i] /= ny
 		}
-		newLam := Dot(y, MulVec(ata, y))
-		x = y
+		MulVecInto(z, ata, y)
+		newLam := Dot(y, z)
+		x, y = y, x
 		if math.Abs(newLam-lam) <= 1e-13*math.Max(1, math.Abs(newLam)) {
 			return math.Sqrt(math.Max(newLam, 0))
 		}

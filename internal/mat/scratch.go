@@ -1,0 +1,121 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Scratch is a reusable workspace for the norm and spectral-radius
+// computations on n×n matrices that dominate the JSR hot loop. One
+// Scratch serves one goroutine; callers that parallelize keep one per
+// worker. The scratch variants produce bit-identical results to their
+// allocating counterparts (TwoNorm, SpectralRadius) because they share
+// the same computational cores (twoNormPower, hessenbergInPlace,
+// hqrInPlace) — only the buffer lifetimes differ.
+type Scratch struct {
+	n            int
+	at, ata, eig *Dense
+	x, y, z, v   []float64
+	wr, wi       []float64
+}
+
+// NewScratch returns a workspace for n×n operands.
+func NewScratch(n int) *Scratch {
+	return &Scratch{
+		n:   n,
+		at:  New(n, n),
+		ata: New(n, n),
+		eig: New(n, n),
+		x:   make([]float64, n),
+		y:   make([]float64, n),
+		z:   make([]float64, n),
+		v:   make([]float64, n),
+		wr:  make([]float64, n),
+		wi:  make([]float64, n),
+	}
+}
+
+// N returns the operand size this scratch was built for.
+func (s *Scratch) N() int { return s.n }
+
+// transposeInto writes srcᵀ into dst. dst must not alias src.
+func transposeInto(dst, src *Dense) {
+	for i := 0; i < src.rows; i++ {
+		for j := 0; j < src.cols; j++ {
+			dst.data[j*dst.cols+i] = src.data[i*src.cols+j]
+		}
+	}
+}
+
+// TwoNormScratch returns ‖a‖₂ for a square matrix using s's buffers,
+// allocating nothing. Bit-identical to TwoNorm(a).
+func TwoNormScratch(a *Dense, s *Scratch) float64 {
+	if a.rows != s.n || a.cols != s.n {
+		mustSquare("TwoNormScratch", a)
+		// Shape mismatch against the arena: fall back to the allocating
+		// path rather than corrupt buffers.
+		return TwoNorm(a)
+	}
+	transposeInto(s.at, a)
+	MulInto(s.ata, s.at, a)
+	return twoNormPower(a, s.ata, s.x, s.y, s.z)
+}
+
+// SpectralRadiusScratch returns max |λᵢ| for a square matrix using s's
+// buffers. The warm path (first QR attempt converges, which is the
+// overwhelmingly common case) allocates nothing; the cold retry ladder
+// falls back to the allocating path. Bit-identical to SpectralRadius(a).
+func SpectralRadiusScratch(a *Dense, s *Scratch) (float64, error) {
+	mustSquare("SpectralRadiusScratch", a)
+	switch a.rows {
+	case 1:
+		return math.Abs(a.data[0]), nil
+	case 2:
+		return radius2x2(a.data[0], a.data[1], a.data[2], a.data[3]), nil
+	}
+	if a.rows != s.n {
+		return SpectralRadius(a)
+	}
+	// Same op sequence as eigOnce: copy, balance, Hessenberg, QR.
+	s.eig.CopyFrom(a)
+	balance(s.eig)
+	hessenbergInPlace(s.eig, s.v)
+	if err := hqrInPlace(s.eig, s.wr, s.wi); err != nil {
+		// Mirror Eigenvalues' retry ladder so failures resolve the same
+		// way as the allocating path.
+		eigs, rerr := eigRetry(a)
+		if rerr != nil {
+			return 0, rerr
+		}
+		r := 0.0
+		for _, l := range eigs {
+			if v := cmplx.Abs(l); v > r {
+				r = v
+			}
+		}
+		return r, nil
+	}
+	// max over (wr, wi) pairs equals max cmplx.Abs over the sorted
+	// eigenvalue slice: cmplx.Abs is math.Hypot(re, im) and the max
+	// fold is order-independent.
+	r := 0.0
+	for i := range s.wr {
+		if v := math.Hypot(s.wr[i], s.wi[i]); v > r {
+			r = v
+		}
+	}
+	return r, nil
+}
+
+// radius2x2 is the closed-form spectral radius of [[a,b],[c,d]],
+// following eig2x2's arithmetic exactly.
+func radius2x2(a, b, c, d float64) float64 {
+	tr := a + d
+	det := a*d - b*c
+	disc := tr*tr/4 - det
+	if disc >= 0 {
+		s := math.Sqrt(disc)
+		return math.Max(math.Abs(tr/2+s), math.Abs(tr/2-s))
+	}
+	return math.Hypot(tr/2, math.Sqrt(-disc))
+}

@@ -1,43 +1,74 @@
 #!/bin/sh
 # JSR benchmark snapshot: runs the pinned JSR-path benchmarks (worker
-# sweep + certificate hot path) with a fixed -benchtime and rewrites
-# BENCH_jsr.json, the committed record of the engine's throughput.
+# sweep, certificate hot path, and the zero-alloc expand kernel) and
+# rewrites BENCH_jsr.json, the committed record of the engine's
+# throughput and allocation behavior.
+#
+# Each benchmark runs -count times and the snapshot records the MINIMUM
+# ns/op across runs: the minimum is the least noisy estimator of the
+# true cost on a shared host (noise only ever adds time). B/op and
+# allocs/op come from -benchmem; the warm expand loop is pinned at zero
+# allocations, so any increase is a regression, not noise.
 #
 # The pinned benchtime keeps iteration counts comparable across
 # snapshots; absolute ns/op still depends on the host, which is why the
 # host fields (goos/goarch/cpu, go version) are part of the record.
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=5x COUNT=3 scripts/bench.sh   # override the pins
+#   BENCHTIME=2x COUNT=1 scripts/bench.sh   # override the pins
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_jsr.json}"
-benchtime="${BENCHTIME:-2x}"
-count="${COUNT:-1}"
-pattern='^(BenchmarkJSRWorkers|BenchmarkStabilityCertificate|BenchmarkDesignSynthesis)$'
+benchtime="${BENCHTIME:-5x}"
+count="${COUNT:-3}"
+pattern='^(BenchmarkJSRWorkers|BenchmarkStabilityCertificate|BenchmarkDesignSynthesis|BenchmarkJSRExpand)$'
 
-raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" .)"
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -count "$count" -benchmem . ./internal/jsr)"
 printf '%s\n' "$raw"
 
-printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
+printf '%s\n' "$raw" | awk -v benchtime="$benchtime" -v count="$count" -v goversion="$(go env GOVERSION)" '
 function jstr(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); return "\"" s "\"" }
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { cpu = $0; sub(/^cpu:[ \t]*/, "", cpu) }
-/^Benchmark/ && $4 == "ns/op" {
-    rows[n++] = "    {\"name\": " jstr($1) ", \"iterations\": " $2 ", \"ns_per_op\": " $3 "}"
+/^Benchmark/ {
+    # Fields: Name iters X ns/op [Y B/op Z allocs/op]. The -GOMAXPROCS
+    # suffix is stripped so names stay stable across hosts.
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        else if ($(i+1) == "B/op") bop = $i
+        else if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (ns == "") next
+    if (!(name in seen)) {
+        seen[name] = 1; order[n++] = name
+        iters[name] = $2; minns[name] = ns; minb[name] = bop; mina[name] = aop
+    } else {
+        if (ns + 0 < minns[name] + 0) { minns[name] = ns; iters[name] = $2 }
+        if (bop != "" && (minb[name] == "" || bop + 0 < minb[name] + 0)) minb[name] = bop
+        if (aop != "" && (mina[name] == "" || aop + 0 < mina[name] + 0)) mina[name] = aop
+    }
 }
 END {
     print "{"
     print "  \"benchtime\": " jstr(benchtime) ","
+    print "  \"count\": " count ","
     print "  \"go\": " jstr(goversion) ","
     print "  \"goos\": " jstr(goos) ","
     print "  \"goarch\": " jstr(goarch) ","
     print "  \"cpu\": " jstr(cpu) ","
     print "  \"benchmarks\": ["
-    for (i = 0; i < n; i++) print rows[i] (i < n-1 ? "," : "")
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        row = "    {\"name\": " jstr(name) ", \"iterations\": " iters[name] ", \"ns_per_op\": " minns[name]
+        if (minb[name] != "") row = row ", \"b_per_op\": " minb[name]
+        if (mina[name] != "") row = row ", \"allocs_per_op\": " mina[name]
+        print row "}" (i < n-1 ? "," : "")
+    }
     print "  ]"
     print "}"
 }' > "$out"

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Regression gate: compare a fresh bench.sh snapshot against the
+# committed baseline (BENCH_jsr.json by default).
+#
+# Fails when, for any benchmark named in the baseline:
+#   - the benchmark is missing from the fresh snapshot (pattern rot),
+#   - fresh ns/op exceeds baseline ns/op by more than THRESH (default
+#     1.15, i.e. a >15% slowdown), or
+#   - allocs/op increased at all (both files must record it; old
+#     baselines without alloc rows skip this check for that row).
+#
+# Benchmarks present only in the fresh snapshot are reported but never
+# gate: adding a benchmark must not break CI until its baseline lands.
+#
+# Usage: scripts/bench_compare.sh fresh.json [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fresh="${1:?usage: scripts/bench_compare.sh fresh.json [baseline.json]}"
+base="${2:-BENCH_jsr.json}"
+thresh="${THRESH:-1.15}"
+
+awk -v thresh="$thresh" -v basefile="$base" -v freshfile="$fresh" '
+function getnum(key,    v) {
+    if (match($0, "\"" key "\": [0-9.eE+-]+")) {
+        v = substr($0, RSTART, RLENGTH)
+        sub(/^.*: /, "", v)
+        return v
+    }
+    return ""
+}
+function getname(    v) {
+    if (match($0, /"name": "[^"]+"/)) return substr($0, RSTART + 9, RLENGTH - 10)
+    return ""
+}
+FNR == 1 { filenum++ }
+/"name"/ {
+    name = getname()
+    if (name == "") next
+    if (filenum == 1) {
+        bns[name] = getnum("ns_per_op"); ba[name] = getnum("allocs_per_op")
+        border[bn++] = name
+    } else {
+        fns[name] = getnum("ns_per_op"); fa[name] = getnum("allocs_per_op")
+        forder[fn++] = name
+    }
+}
+END {
+    fail = 0
+    for (i = 0; i < bn; i++) {
+        name = border[i]
+        if (!(name in fns)) {
+            printf "FAIL %-45s in baseline %s but missing from %s\n", name, basefile, freshfile
+            fail = 1
+            continue
+        }
+        ratio = fns[name] / bns[name]
+        status = "ok  "
+        if (ratio > thresh) { status = "FAIL"; fail = 1 }
+        printf "%s %-45s ns/op %12.0f -> %12.0f  (%.2fx, gate %.2fx)\n", status, name, bns[name], fns[name], ratio, thresh
+        if (ba[name] != "" && fa[name] != "") {
+            if (fa[name] + 0 > ba[name] + 0) {
+                printf "FAIL %-45s allocs/op %s -> %s (any increase gates)\n", name, ba[name], fa[name]
+                fail = 1
+            } else {
+                printf "ok   %-45s allocs/op %s -> %s\n", name, ba[name], fa[name]
+            }
+        }
+    }
+    for (i = 0; i < fn; i++) {
+        name = forder[i]
+        if (!(name in bns)) printf "new  %-45s ns/op %12.0f (no baseline, not gated)\n", name, fns[name]
+    }
+    if (bn == 0) { printf "FAIL no benchmark rows in baseline %s\n", basefile; fail = 1 }
+    exit fail
+}' "$base" "$fresh"
