@@ -1,0 +1,107 @@
+// Command adaclient submits a certification request to an adaserved
+// instance through the resilient client (internal/client) and prints
+// the server's canonical response JSON.
+//
+//	adaclient [-server http://127.0.0.1:8080] [-in request.json]
+//	          [-deadline 2m] [-client-id ID] [-attempts 8] [-seed 1]
+//	          [-version]
+//
+// The request file (default: stdin, or "-") holds the same JSON body
+// POST /v1/certify accepts. The client rides out the service's honest
+// backpressure — 429/503 with Retry-After are obeyed, transient 5xx
+// and transport faults retry under seeded-jitter backoff behind a
+// circuit breaker, and a 202 job is polled to completion — so the
+// bytes printed on success are the canonical certificate, identical to
+// what a fault-free synchronous call (or a local jsrtool run encoded
+// through the same canonical encoder) produces.
+//
+// Exit codes: 0 success, 1 certification failed server-side, 2 usage
+// or transport failure.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/buildinfo"
+	"adaptivertc/internal/client"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	server := flag.String("server", "http://127.0.0.1:8080", "adaserved base URL")
+	in := flag.String("in", "-", "request JSON file (\"-\" = stdin)")
+	deadline := flag.Duration("deadline", 2*time.Minute, "overall budget for the certification, retries included; also sent as X-Request-Deadline")
+	clientID := flag.String("client-id", "", "X-Client-ID for the server's per-client rate limiter")
+	attempts := flag.Int("attempts", 8, "max retryable attempts")
+	seed := flag.Int64("seed", 1, "retry-jitter seed (equal seeds retry on equal schedules)")
+	version := flag.Bool("version", false, "print build/version information and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Line("adaclient"))
+		return 0
+	}
+
+	var (
+		raw []byte
+		err error
+	)
+	if *in == "-" {
+		raw, err = io.ReadAll(io.LimitReader(os.Stdin, 16<<20))
+	} else {
+		raw, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaclient:", err)
+		return 2
+	}
+	var req api.CertifyRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		fmt.Fprintln(os.Stderr, "adaclient: parsing request:", err)
+		return 2
+	}
+
+	c, err := client.New(client.Options{
+		BaseURL:     *server,
+		ClientID:    *clientID,
+		MaxAttempts: *attempts,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaclient:", err)
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+	defer cancel()
+	body, err := c.CertifyBytes(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaclient:", err)
+		var se *client.StatusError
+		if errors.As(err, &se) && se.Code >= 500 {
+			return 1
+		}
+		if errors.Is(err, client.ErrCircuitOpen) {
+			return 1
+		}
+		return 2
+	}
+	// The body is the server's canonical encoding (newline-terminated);
+	// write it verbatim so the output is byte-comparable to a direct
+	// certify response.
+	if _, err := os.Stdout.Write(body); err != nil {
+		fmt.Fprintln(os.Stderr, "adaclient:", err)
+		return 2
+	}
+	return 0
+}

@@ -2,7 +2,8 @@
 // a content-addressed certificate cache.
 //
 //	adaserved [-addr :8080] [-workers N] [-cache-dir DIR] [-queue N]
-//	          [-timeout 5m] [-version]
+//	          [-timeout 5m] [-rate R] [-burst N] [-max-inflight N]
+//	          [-cache-probe 30s] [-version]
 //
 // Endpoints:
 //
@@ -19,6 +20,15 @@
 // bounds. SIGINT/SIGTERM shut down gracefully: intake stops, workers
 // drain the queue (bounded by -timeout), and whatever is still running
 // checkpoints and exits cleanly.
+//
+// Admission control: -rate and -burst run a per-client token bucket on
+// POST /v1/certify (429 + Retry-After when exceeded; clients are keyed
+// on X-Client-ID, falling back to the remote host), and -max-inflight
+// caps concurrent certify handlers (503 + Retry-After from the
+// observed drain rate). Disk faults under -cache-dir demote the
+// certificate cache to memory-only instead of failing requests;
+// /healthz reports the degraded state and a recovery probe (every
+// -cache-probe) re-promotes the disk once it heals.
 package main
 
 import (
@@ -49,6 +59,10 @@ func run() int {
 	cacheDir := flag.String("cache-dir", "", "persist certificates and job checkpoints under this directory (empty = memory only)")
 	queue := flag.Int("queue", 64, "bounded job queue capacity; a full queue answers 503")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-job wall-clock budget")
+	rate := flag.Float64("rate", 0, "per-client certify requests per second (token bucket refill; 0 = no rate limit)")
+	burst := flag.Int("burst", 0, "per-client token-bucket capacity (0 = default 8; only meaningful with -rate)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent certify requests before shedding 503 (0 = unlimited)")
+	cacheProbe := flag.Duration("cache-probe", 0, "recovery-probe interval while the disk cache is degraded (0 = default 30s)")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Parse()
 
@@ -62,17 +76,20 @@ func run() int {
 		certDir = filepath.Join(*cacheDir, "certs")
 		stateDir = *cacheDir
 	}
-	cache, err := certcache.New(certcache.Options{Dir: certDir})
+	cache, err := certcache.New(certcache.Options{Dir: certDir, ProbeInterval: *cacheProbe})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaserved:", err)
 		return 2
 	}
 	svc, err := server.New(server.Config{
-		Workers:   *workers,
-		QueueSize: *queue,
-		Timeout:   *timeout,
-		Cache:     cache,
-		StateDir:  stateDir,
+		Workers:     *workers,
+		QueueSize:   *queue,
+		Timeout:     *timeout,
+		Cache:       cache,
+		StateDir:    stateDir,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		MaxInflight: *maxInflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaserved:", err)

@@ -131,22 +131,32 @@ type JobStatus struct {
 	Error  string           `json:"error,omitempty"`
 }
 
-// Health is the /healthz document.
+// Health is the /healthz document. CacheDegraded reports the
+// certificate cache's persistent layer: true means a disk fault
+// demoted it to memory-only (the service still certifies; repeats just
+// recompute after a restart) and a recovery probe is pending.
 type Health struct {
-	Status        string `json:"status"`
-	Version       string `json:"version"`
-	UptimeSeconds int64  `json:"uptime_seconds"`
-	Workers       int    `json:"workers"`
-	QueueDepth    int    `json:"queue_depth"`
-	JobsQueued    int    `json:"jobs_queued"`
-	JobsRunning   int    `json:"jobs_running"`
-	JobsDone      int    `json:"jobs_done"`
-	JobsFailed    int    `json:"jobs_failed"`
+	Status              string `json:"status"`
+	Version             string `json:"version"`
+	UptimeSeconds       int64  `json:"uptime_seconds"`
+	Workers             int    `json:"workers"`
+	QueueDepth          int    `json:"queue_depth"`
+	JobsQueued          int    `json:"jobs_queued"`
+	JobsRunning         int    `json:"jobs_running"`
+	JobsDone            int    `json:"jobs_done"`
+	JobsFailed          int    `json:"jobs_failed"`
+	CacheDegraded       bool   `json:"cache_degraded"`
+	CacheDegradedReason string `json:"cache_degraded_reason,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.
+// RetryAfterSeconds mirrors the Retry-After header on 429/503
+// load-shed responses, so clients that only see the body still learn
+// the server's backoff hint; zero means the error is not retryable on
+// a schedule.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // maxRequestBytes bounds a decoded request body: 64 matrices of 64×64

@@ -10,10 +10,15 @@
 //     requests without touching the disk.
 //
 //   - An optional on-disk store (one file per key, written through
-//     internal/checkpoint's atomic temp+rename+checksum writer)
-//     survives restarts. A corrupt or mismatching entry is evicted and
-//     recomputed — checkpoint.ErrCorrupt is a cache miss, never a
-//     request failure.
+//     internal/checkpoint's atomic temp+rename+checksum writer behind
+//     the pluggable FS seam) survives restarts. A corrupt or
+//     mismatching entry is evicted and recomputed — checkpoint.
+//     ErrCorrupt is a cache miss, never a request failure. A *failing*
+//     disk (ENOSPC, permission loss, IO errors) demotes the cache to
+//     memory-only: requests keep being served from memory and fresh
+//     computation, a health flag records the demotion, and a periodic
+//     recovery probe re-enables the disk once it heals. Disk trouble
+//     degrades the cache, never the service.
 //
 //   - Singleflight deduplication: N concurrent requests for the same
 //     key perform exactly one computation; the followers block on the
@@ -27,6 +32,7 @@
 package certcache
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"errors"
@@ -34,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"adaptivertc/internal/checkpoint"
 	"adaptivertc/internal/inputhash"
@@ -85,7 +92,8 @@ func (o Outcome) String() string {
 }
 
 // Stats is a snapshot of the cache counters. All counters are
-// monotonic over the life of the Cache.
+// monotonic over the life of the Cache; Degraded and DegradedReason
+// describe the current health of the persistent layer.
 type Stats struct {
 	Hits       int64 // memory hits
 	DiskHits   int64 // disk hits (promoted to memory)
@@ -93,8 +101,16 @@ type Stats struct {
 	Shared     int64 // calls served by someone else's in-flight computation
 	Corrupt    int64 // on-disk entries evicted as corrupt/mismatching
 	WriteErrs  int64 // best-effort persistence failures
+	ReadErrs   int64 // disk read failures other than not-exist/corrupt
+	Demotions  int64 // times the cache fell back to memory-only
+	Recoveries int64 // times a probe restored the persistent layer
 	Entries    int   // current in-memory entries
 	BytesInMem int64 // current in-memory body bytes
+
+	// Degraded is true while the persistent layer is offline after a
+	// disk fault; DegradedReason records the error that demoted it.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Options configures a Cache. The zero value is a memory-only cache
@@ -106,18 +122,33 @@ type Options struct {
 	// Dir, when non-empty, persists every computed entry to this
 	// directory (created if absent) and consults it on memory misses.
 	Dir string
+	// FS is the filesystem the persistent layer writes through; nil
+	// selects OSFS. Tests and the chaos harness substitute a faulty FS.
+	FS FS
+	// ProbeInterval bounds how often a degraded cache re-probes the
+	// disk; ≤ 0 selects 30 seconds. Probes run lazily from cache
+	// operations, so an idle degraded cache costs nothing.
+	ProbeInterval time.Duration
 }
+
+// defaultProbeInterval is the degraded-mode re-probe cadence.
+const defaultProbeInterval = 30 * time.Second
 
 // Cache is a concurrency-safe content-addressed certificate store.
 type Cache struct {
-	capacity int
-	dir      string
+	capacity      int
+	dir           string
+	fs            FS
+	probeInterval time.Duration
+	now           func() time.Time // swapped in tests
 
-	mu       sync.Mutex
-	lru      *list.List // front = most recent; values are *memEntry
-	index    map[Key]*list.Element
-	inflight map[Key]*flight
-	stats    Stats
+	mu        sync.Mutex
+	lru       *list.List // front = most recent; values are *memEntry
+	index     map[Key]*list.Element
+	inflight  map[Key]*flight
+	stats     Stats
+	degraded  bool
+	lastProbe time.Time // last degraded-mode probe attempt
 }
 
 type memEntry struct {
@@ -132,22 +163,33 @@ type flight struct {
 	err  error
 }
 
-// New creates a cache, creating Options.Dir if requested.
+// New creates a cache, creating Options.Dir if requested. A Dir that
+// cannot be created at construction time is an operator error and
+// fails New; faults after construction demote instead.
 func New(opt Options) (*Cache, error) {
 	if opt.Capacity <= 0 {
 		opt.Capacity = 1024
 	}
+	if opt.FS == nil {
+		opt.FS = OSFS{}
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = defaultProbeInterval
+	}
 	if opt.Dir != "" {
-		if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		if err := opt.FS.MkdirAll(opt.Dir); err != nil {
 			return nil, fmt.Errorf("certcache: creating %s: %w", opt.Dir, err)
 		}
 	}
 	return &Cache{
-		capacity: opt.Capacity,
-		dir:      opt.Dir,
-		lru:      list.New(),
-		index:    make(map[Key]*list.Element),
-		inflight: make(map[Key]*flight),
+		capacity:      opt.Capacity,
+		dir:           opt.Dir,
+		fs:            opt.FS,
+		probeInterval: opt.ProbeInterval,
+		now:           time.Now,
+		lru:           list.New(),
+		index:         make(map[Key]*list.Element),
+		inflight:      make(map[Key]*flight),
 	}, nil
 }
 
@@ -157,7 +199,92 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	s := c.stats
 	s.Entries = c.lru.Len()
+	s.Degraded = c.degraded
 	return s
+}
+
+// Degraded reports whether the persistent layer is currently offline
+// (memory-only operation after a disk fault), with the demoting error.
+func (c *Cache) Degraded() (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded, c.stats.DegradedReason
+}
+
+// demoteLocked switches the cache to memory-only after a disk fault.
+// Caller holds c.mu. Repeat faults while already degraded are ignored:
+// the first error is the diagnostic one.
+func (c *Cache) demoteLocked(op string, err error) {
+	if c.degraded {
+		return
+	}
+	c.degraded = true
+	c.stats.Demotions++
+	c.stats.DegradedReason = fmt.Sprintf("%s: %v", op, err)
+	c.lastProbe = c.now()
+}
+
+// diskUsable reports whether the persistent layer should be consulted.
+// While degraded, at most one caller per probe interval attempts a
+// recovery probe; everyone else skips the disk immediately.
+func (c *Cache) diskUsable() bool {
+	if c.dir == "" {
+		return false
+	}
+	c.mu.Lock()
+	if !c.degraded {
+		c.mu.Unlock()
+		return true
+	}
+	if c.now().Sub(c.lastProbe) < c.probeInterval {
+		c.mu.Unlock()
+		return false
+	}
+	c.lastProbe = c.now()
+	c.mu.Unlock()
+	return c.Probe()
+}
+
+// probePayload is written and read back by recovery probes; corruption
+// injected by a faulty FS therefore also fails the probe.
+var probePayload = []byte("adaserved certcache recovery probe\n")
+
+// Probe attempts a full write-read-remove round trip on the persistent
+// directory and, on success, restores disk operation. It returns the
+// resulting health (true = persistent layer usable). Probes are cheap
+// and safe to call at any time; a healthy cache returns true
+// immediately.
+func (c *Cache) Probe() bool {
+	if c.dir == "" {
+		return false
+	}
+	c.mu.Lock()
+	if !c.degraded {
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+
+	p := filepath.Join(c.dir, ".probe")
+	ok := c.fs.MkdirAll(c.dir) == nil &&
+		c.fs.WriteFile(p, probePayload) == nil
+	if ok {
+		got, err := c.fs.ReadFile(p)
+		ok = err == nil && bytes.Equal(got, probePayload)
+	}
+	if !ok {
+		return false
+	}
+	//lint:ignore droppederr best-effort cleanup: a lingering probe file is harmless and the next probe overwrites it
+	c.fs.Remove(p)
+	c.mu.Lock()
+	if c.degraded {
+		c.degraded = false
+		c.stats.DegradedReason = ""
+		c.stats.Recoveries++
+	}
+	c.mu.Unlock()
+	return true
 }
 
 // Get returns the cached bytes for key without ever computing: memory
@@ -175,8 +302,8 @@ func (c *Cache) Get(key Key) ([]byte, Outcome, bool) {
 		return body, HitMemory, true
 	}
 	c.mu.Unlock()
-	body, err := c.loadDisk(key)
-	if err != nil || body == nil {
+	body := c.loadDisk(key)
+	if body == nil {
 		return nil, Miss, false
 	}
 	c.mu.Lock()
@@ -216,15 +343,17 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.
 	c.mu.Unlock()
 
 	outcome := Miss
-	body, err := c.loadDisk(key)
+	var err error
+	body := c.loadDisk(key)
 	if body != nil {
 		outcome = HitDisk
-	} else if err == nil {
+	} else {
 		body, err = compute(ctx)
 	}
 
 	c.mu.Lock()
 	delete(c.inflight, key)
+	persistNeeded := false
 	switch {
 	case err != nil:
 		// Not cached: a failed computation (bad request reached the
@@ -235,11 +364,21 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.
 	default:
 		c.stats.Misses++
 		c.insertLocked(key, body)
-		if werr := c.persist(key, body); werr != nil {
-			c.stats.WriteErrs++
-		}
+		persistNeeded = true
 	}
 	c.mu.Unlock()
+
+	// Persist outside the LRU lock: the write path consults the
+	// degraded state itself, and a failing write demotes the cache
+	// rather than slowing every other caller.
+	if persistNeeded {
+		if werr := c.persist(key, body); werr != nil {
+			c.mu.Lock()
+			c.stats.WriteErrs++
+			c.demoteLocked("write "+c.path(key), werr)
+			c.mu.Unlock()
+		}
+	}
 
 	fl.body, fl.err = body, err
 	close(fl.done)
@@ -280,43 +419,56 @@ func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, hex[:2], hex+".cert")
 }
 
-// loadDisk reads and verifies the persisted entry for key. A missing
-// file returns (nil, nil). A corrupt, mismatching, or misfiled entry
-// is removed and reported as a miss — recompute, never fail. Other
-// errors (permission, IO) propagate.
-func (c *Cache) loadDisk(key Key) ([]byte, error) {
-	if c.dir == "" {
-		return nil, nil
-	}
-	var e entry
-	err := checkpoint.Load(c.path(key), entryKind, entryVersion, &e)
-	switch {
-	case err == nil && e.Key == key:
-		return e.Body, nil
-	case errors.Is(err, os.ErrNotExist):
-		return nil, nil
-	case err == nil || errors.Is(err, checkpoint.ErrCorrupt) || errors.Is(err, checkpoint.ErrMismatch):
-		// err == nil here means the checksum passed but the embedded
-		// key disagrees with the file name: same treatment.
-		c.mu.Lock()
-		c.stats.Corrupt++
-		c.mu.Unlock()
-		os.Remove(c.path(key))
-		return nil, nil
-	default:
-		return nil, fmt.Errorf("certcache: reading %s: %w", c.path(key), err)
-	}
-}
-
-// persist writes the entry for key. Best-effort: the caller records
-// failures in Stats.WriteErrs and serves the computed bytes anyway.
-func (c *Cache) persist(key Key, body []byte) error {
-	if c.dir == "" {
+// loadDisk reads and verifies the persisted entry for key; nil means
+// miss. A corrupt, mismatching, or misfiled entry is removed and
+// reported as a miss — recompute, never fail. A failing disk
+// (permission loss, IO errors) demotes the cache to memory-only,
+// which is also a miss: degraded operation keeps serving requests, it
+// just stops consulting the disk until a probe restores it.
+func (c *Cache) loadDisk(key Key) []byte {
+	if !c.diskUsable() {
 		return nil
 	}
 	p := c.path(key)
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+	data, err := c.fs.ReadFile(p)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil
+	case err != nil:
+		c.mu.Lock()
+		c.stats.ReadErrs++
+		c.demoteLocked("read "+p, err)
+		c.mu.Unlock()
+		return nil
+	}
+	var e entry
+	if uerr := checkpoint.Unmarshal(data, entryKind, entryVersion, &e); uerr == nil && e.Key == key {
+		return e.Body
+	}
+	// Corrupt, mismatching, or misfiled (checksum passed but the
+	// embedded key disagrees with the file name): evict and recompute.
+	c.mu.Lock()
+	c.stats.Corrupt++
+	c.mu.Unlock()
+	//lint:ignore droppederr eviction is best-effort: the entry is already being treated as a miss
+	c.fs.Remove(p)
+	return nil
+}
+
+// persist writes the entry for key. Best-effort: the caller records
+// failures in Stats.WriteErrs, demotes the cache, and serves the
+// computed bytes anyway. A degraded cache skips the write silently.
+func (c *Cache) persist(key Key, body []byte) error {
+	if !c.diskUsable() {
+		return nil
+	}
+	data, err := checkpoint.Marshal(entryKind, entryVersion, entry{Key: key, Body: body})
+	if err != nil {
 		return err
 	}
-	return checkpoint.Save(p, entryKind, entryVersion, entry{Key: key, Body: body})
+	p := c.path(key)
+	if err := c.fs.MkdirAll(filepath.Dir(p)); err != nil {
+		return err
+	}
+	return c.fs.WriteFile(p, data)
 }

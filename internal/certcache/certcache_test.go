@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func keyOf(s string) Key { return sha256.Sum256([]byte(s)) }
@@ -304,4 +305,218 @@ func TestConcurrentMixedKeys(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// --- degraded-mode (faulty disk) behaviour ---
+
+// faultFS wraps the real filesystem with switchable read/write faults,
+// the in-package twin of the chaos harness's injector.
+type faultFS struct {
+	base       OSFS
+	mu         sync.Mutex
+	failReads  bool
+	failWrites bool
+}
+
+func (f *faultFS) set(reads, writes bool) {
+	f.mu.Lock()
+	f.failReads, f.failWrites = reads, writes
+	f.mu.Unlock()
+}
+
+func (f *faultFS) failing(read bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if read {
+		return f.failReads
+	}
+	return f.failWrites
+}
+
+func (f *faultFS) MkdirAll(dir string) error {
+	if f.failing(false) {
+		return errors.New("faultFS: injected mkdir failure")
+	}
+	return f.base.MkdirAll(dir)
+}
+
+func (f *faultFS) ReadFile(path string) ([]byte, error) {
+	if f.failing(true) {
+		return nil, errors.New("faultFS: injected read failure")
+	}
+	return f.base.ReadFile(path)
+}
+
+func (f *faultFS) WriteFile(path string, data []byte) error {
+	if f.failing(false) {
+		return errors.New("faultFS: injected write failure (ENOSPC)")
+	}
+	return f.base.WriteFile(path, data)
+}
+
+func (f *faultFS) Remove(path string) error {
+	if f.failing(false) {
+		return errors.New("faultFS: injected remove failure")
+	}
+	return f.base.Remove(path)
+}
+
+func computeBody(s string) func(context.Context) ([]byte, error) {
+	return func(context.Context) ([]byte, error) { return []byte(s), nil }
+}
+
+// A failing write demotes the cache to memory-only instead of failing
+// the request: the computed bytes are served and cached in memory, the
+// health flag flips, and later operations skip the disk entirely.
+func TestWriteFaultDemotesToMemoryOnly(t *testing.T) {
+	ffs := &faultFS{}
+	c := mustNew(t, Options{Dir: t.TempDir(), FS: ffs})
+	ffs.set(false, true)
+
+	body, outcome, err := c.GetOrCompute(context.Background(), keyOf("a"), computeBody("body-a"))
+	if err != nil || outcome != Miss || string(body) != "body-a" {
+		t.Fatalf("GetOrCompute under write fault = (%q, %v, %v), want served miss", body, outcome, err)
+	}
+	st := c.Stats()
+	if !st.Degraded || st.Demotions != 1 || st.WriteErrs != 1 {
+		t.Fatalf("stats after write fault: %+v, want degraded with one demotion and one write error", st)
+	}
+	if st.DegradedReason == "" {
+		t.Fatal("degraded cache carries no reason")
+	}
+	// Memory still serves.
+	if _, outcome, ok := c.Get(keyOf("a")); !ok || outcome != HitMemory {
+		t.Fatalf("memory hit after demotion: ok=%v outcome=%v", ok, outcome)
+	}
+	// Subsequent computations succeed without re-counting write errors
+	// (degraded mode skips the disk, it does not keep failing).
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("b"), computeBody("body-b")); err != nil {
+		t.Fatalf("second compute while degraded: %v", err)
+	}
+	if st := c.Stats(); st.WriteErrs != 1 || st.Demotions != 1 {
+		t.Fatalf("degraded cache kept touching the disk: %+v", st)
+	}
+}
+
+// A failing read is a cache miss plus a demotion, never a request
+// failure: the entry is recomputed and served.
+func TestReadFaultDemotesAndRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	healthy := mustNew(t, Options{Dir: dir})
+	if _, _, err := healthy.GetOrCompute(context.Background(), keyOf("k"), computeBody("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs := &faultFS{}
+	c := mustNew(t, Options{Dir: dir, FS: ffs})
+	ffs.set(true, false)
+	body, outcome, err := c.GetOrCompute(context.Background(), keyOf("k"), computeBody("v"))
+	if err != nil || outcome != Miss || string(body) != "v" {
+		t.Fatalf("GetOrCompute under read fault = (%q, %v, %v), want recomputed miss", body, outcome, err)
+	}
+	st := c.Stats()
+	if !st.Degraded || st.ReadErrs != 1 || st.Demotions != 1 {
+		t.Fatalf("stats after read fault: %+v", st)
+	}
+}
+
+// Once the disk heals, the next probe after the probe interval
+// restores persistence: the health flag clears and entries flow to
+// disk again.
+func TestProbeRecoversHealedDisk(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &faultFS{}
+	c := mustNew(t, Options{Dir: dir, FS: ffs, ProbeInterval: time.Minute})
+	clock := time.Unix(1_000_000, 0)
+	c.now = func() time.Time { return clock }
+
+	ffs.set(false, true)
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("a"), computeBody("va")); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); !st.Degraded {
+		t.Fatalf("not degraded after write fault: %+v", st)
+	}
+
+	// Disk heals, but the probe interval has not elapsed: still
+	// memory-only.
+	ffs.set(false, false)
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("b"), computeBody("vb")); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); !st.Degraded {
+		t.Fatalf("probed before the interval elapsed: %+v", st)
+	}
+
+	// Past the interval the next operation probes and recovers.
+	clock = clock.Add(2 * time.Minute)
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("c"), computeBody("vc")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Degraded || st.Recoveries != 1 {
+		t.Fatalf("stats after heal + probe: %+v, want recovered", st)
+	}
+	if reason := st.DegradedReason; reason != "" {
+		t.Fatalf("recovered cache still carries reason %q", reason)
+	}
+	// The post-recovery entry is actually on disk: a fresh cache over
+	// the same directory serves it without computing.
+	fresh := mustNew(t, Options{Dir: dir})
+	if _, outcome, ok := fresh.Get(keyOf("c")); !ok || outcome != HitDisk {
+		t.Fatalf("post-recovery entry not persisted: ok=%v outcome=%v", ok, outcome)
+	}
+	// Probe on a healthy cache is a cheap no-op true.
+	if !c.Probe() {
+		t.Fatal("Probe on healthy cache returned false")
+	}
+}
+
+// A probe against a still-broken disk fails closed: the cache stays
+// degraded and does not flap.
+func TestProbeFailsWhileDiskStillBroken(t *testing.T) {
+	ffs := &faultFS{}
+	c := mustNew(t, Options{Dir: t.TempDir(), FS: ffs, ProbeInterval: time.Minute})
+	clock := time.Unix(1_000_000, 0)
+	c.now = func() time.Time { return clock }
+
+	ffs.set(true, true)
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("a"), computeBody("va")); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("b"), computeBody("vb")); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if !st.Degraded || st.Recoveries != 0 {
+		t.Fatalf("stats after failed probe: %+v, want still degraded", st)
+	}
+}
+
+// Corrupt entries are a per-entry eviction, not a disk fault: the
+// cache must not demote over them.
+func TestCorruptEntryDoesNotDemote(t *testing.T) {
+	dir := t.TempDir()
+	c := mustNew(t, Options{Dir: dir})
+	key := keyOf("k")
+	if _, _, err := c.GetOrCompute(context.Background(), key, computeBody("v")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(c.EntryPath(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(c.EntryPath(key), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := mustNew(t, Options{Dir: dir})
+	if _, outcome, err := fresh.GetOrCompute(context.Background(), key, computeBody("v")); err != nil || outcome != Miss {
+		t.Fatalf("corrupt entry: outcome=%v err=%v, want recomputed miss", outcome, err)
+	}
+	st := fresh.Stats()
+	if st.Degraded || st.Corrupt != 1 {
+		t.Fatalf("stats after corrupt eviction: %+v, want Corrupt=1 not degraded", st)
+	}
 }

@@ -1,0 +1,288 @@
+// Package chaos is the service-layer fault harness for adaserved: a
+// set of seed-deterministic injectors that break the service's
+// environment — the cache's disk, the certification workers, the
+// client arrival pattern — while end-to-end tests assert the
+// invariants the service promises to keep anyway:
+//
+//   - no dropped work: every request a resilient client submits
+//     eventually certifies, through sheds, worker faults, and
+//     degraded-cache operation;
+//   - no false certificates: every answer is byte-identical to the
+//     canonical result a fault-free run produces — faults may slow the
+//     service down, never change its mathematics;
+//   - bounded queue: the job queue never exceeds its capacity; excess
+//     load is shed with honest Retry-After, not buffered without bound;
+//   - clean recovery: when the fault window closes, the cache
+//     re-promotes its disk layer and /healthz returns to "ok".
+//
+// The injectors mirror the repo's simulation-level fault philosophy
+// (internal/faults): all randomness is drawn from explicitly seeded
+// RNGs, so a failing chaos run reproduces from its seed.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adaptivertc/internal/certcache"
+)
+
+// ErrInjectedWorker is the error a worker-fault hook returns; it fails
+// the certification exactly like an engine error (never cached, job
+// marked failed), which is the transient failure a resilient client
+// must retry through.
+var ErrInjectedWorker = errors.New("chaos: injected worker fault")
+
+// ErrDiskFault is the default error a broken FaultyFS returns — it
+// stands in for ENOSPC, yanked volumes, and permission loss.
+var ErrDiskFault = errors.New("chaos: injected disk fault")
+
+// FaultyFS wraps a certcache.FS with switchable fault injection. The
+// zero-value fault state passes everything through. Safe for
+// concurrent use; toggles apply to operations that start after the
+// toggle.
+type FaultyFS struct {
+	inner certcache.FS
+
+	mu         sync.Mutex
+	failWrites bool
+	failReads  bool
+	corrupt    bool // reads succeed but return flipped bytes
+	err        error
+
+	writesFailed int64
+	readsFailed  int64
+	corrupted    int64
+}
+
+// NewFaultyFS wraps inner (nil selects the real filesystem).
+func NewFaultyFS(inner certcache.FS) *FaultyFS {
+	if inner == nil {
+		inner = certcache.OSFS{}
+	}
+	return &FaultyFS{inner: inner, err: ErrDiskFault}
+}
+
+// BreakWrites makes WriteFile (and MkdirAll) fail with err until Heal;
+// nil keeps ErrDiskFault.
+func (f *FaultyFS) BreakWrites(err error) {
+	f.mu.Lock()
+	f.failWrites = true
+	if err != nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// BreakReads makes ReadFile fail with err until Heal; nil keeps
+// ErrDiskFault.
+func (f *FaultyFS) BreakReads(err error) {
+	f.mu.Lock()
+	f.failReads = true
+	if err != nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// CorruptReads makes ReadFile return the true contents with the last
+// byte flipped — the bit-rot case the cache's checksums must catch.
+func (f *FaultyFS) CorruptReads() {
+	f.mu.Lock()
+	f.corrupt = true
+	f.mu.Unlock()
+}
+
+// Heal clears every fault: the disk behaves again.
+func (f *FaultyFS) Heal() {
+	f.mu.Lock()
+	f.failWrites, f.failReads, f.corrupt = false, false, false
+	f.err = ErrDiskFault
+	f.mu.Unlock()
+}
+
+// Injected reports how many operations were failed or corrupted.
+func (f *FaultyFS) Injected() (writesFailed, readsFailed, corrupted int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writesFailed, f.readsFailed, f.corrupted
+}
+
+// MkdirAll implements certcache.FS.
+func (f *FaultyFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	broken, err := f.failWrites, f.err
+	if broken {
+		f.writesFailed++
+	}
+	f.mu.Unlock()
+	if broken {
+		return fmt.Errorf("mkdir %s: %w", dir, err)
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// ReadFile implements certcache.FS.
+func (f *FaultyFS) ReadFile(path string) ([]byte, error) {
+	f.mu.Lock()
+	broken, corrupt, err := f.failReads, f.corrupt, f.err
+	if broken {
+		f.readsFailed++
+	}
+	f.mu.Unlock()
+	if broken {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	data, rerr := f.inner.ReadFile(path)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if corrupt && len(data) > 0 {
+		f.mu.Lock()
+		f.corrupted++
+		f.mu.Unlock()
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0xFF
+		return flipped, nil
+	}
+	return data, nil
+}
+
+// WriteFile implements certcache.FS.
+func (f *FaultyFS) WriteFile(path string, data []byte) error {
+	f.mu.Lock()
+	broken, err := f.failWrites, f.err
+	if broken {
+		f.writesFailed++
+	}
+	f.mu.Unlock()
+	if broken {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return f.inner.WriteFile(path, data)
+}
+
+// Remove implements certcache.FS. Removes always pass through: a disk
+// that can't delete doesn't block the degraded-mode ladder.
+func (f *FaultyFS) Remove(path string) error { return f.inner.Remove(path) }
+
+// WorkerFaults injects slow and failing certification workers through
+// server.Config.FaultHook. Faults fire only while the window is open
+// (Open/Close), each draw comes from the seeded RNG under a mutex, and
+// every injection is counted. With concurrent workers the interleaving
+// of draws is scheduling-dependent, but the fault mix converges to the
+// configured probabilities for any seed — the invariants the harness
+// checks hold for every interleaving.
+type WorkerFaults struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failProb float64
+	slowProb float64
+	delay    time.Duration
+	active   bool
+	injected int64
+	slowed   int64
+}
+
+// NewWorkerFaults builds an injector drawing from seed. Configure sets
+// the mix; the window starts closed.
+func NewWorkerFaults(seed int64) *WorkerFaults {
+	return &WorkerFaults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Configure sets the per-certification fault mix: failProb aborts the
+// computation with ErrInjectedWorker, slowProb (drawn when not
+// failing) stalls it for delay before proceeding.
+func (w *WorkerFaults) Configure(failProb, slowProb float64, delay time.Duration) {
+	w.mu.Lock()
+	w.failProb, w.slowProb, w.delay = failProb, slowProb, delay
+	w.mu.Unlock()
+}
+
+// Open starts the fault window.
+func (w *WorkerFaults) Open() {
+	w.mu.Lock()
+	w.active = true
+	w.mu.Unlock()
+}
+
+// Close ends the fault window: subsequent certifications run clean.
+func (w *WorkerFaults) Close() {
+	w.mu.Lock()
+	w.active = false
+	w.mu.Unlock()
+}
+
+// Injected reports how many certifications were failed and stalled.
+func (w *WorkerFaults) Injected() (failed, slowed int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.injected, w.slowed
+}
+
+// Hook returns the function to install as server.Config.FaultHook.
+func (w *WorkerFaults) Hook() func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		w.mu.Lock()
+		if !w.active {
+			w.mu.Unlock()
+			return nil
+		}
+		u := w.rng.Float64()
+		fail := u < w.failProb
+		slow := !fail && u < w.failProb+w.slowProb
+		delay := w.delay
+		if fail {
+			w.injected++
+		}
+		if slow {
+			w.slowed++
+		}
+		w.mu.Unlock()
+		if fail {
+			return ErrInjectedWorker
+		}
+		if slow && delay > 0 {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		return nil
+	}
+}
+
+// BurstPattern draws a length-n client send schedule shaped like the
+// paper's (m, K) weakly-hard constraint, repurposed for load: slot i
+// sends a request iff pattern[i], and every window of K consecutive
+// slots contains at most m sends. The draw is greedy-biased toward
+// bursting — each slot sends whenever the window constraint still
+// allows it with probability burstBias — so the pattern exercises the
+// admission path with maximal legal bursts, yet stays bounded by
+// construction. Deterministic in seed.
+func BurstPattern(seed int64, n, m, k int) ([]bool, error) {
+	if n <= 0 || m < 0 || k < 1 {
+		return nil, fmt.Errorf("chaos: invalid burst pattern (n=%d, m=%d, K=%d)", n, m, k)
+	}
+	const burstBias = 0.9
+	rng := rand.New(rand.NewSource(seed))
+	pattern := make([]bool, n)
+	inWindow := 0 // sends among the last min(i, k-1) slots
+	for i := 0; i < n; i++ {
+		if i >= k && pattern[i-k] {
+			inWindow--
+		}
+		if inWindow < m && rng.Float64() < burstBias {
+			pattern[i] = true
+			inWindow++
+		}
+	}
+	return pattern, nil
+}

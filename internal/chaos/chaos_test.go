@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/sched"
+)
+
+func TestFaultyFSTogglesAndCounts(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaultyFS(certcache.OSFS{})
+	p := filepath.Join(dir, "x")
+
+	if err := f.WriteFile(p, []byte("hello")); err != nil {
+		t.Fatalf("healthy write failed: %v", err)
+	}
+	got, err := f.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("healthy read = %q, %v", got, err)
+	}
+
+	f.BreakWrites(nil)
+	if err := f.WriteFile(p, []byte("nope")); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("broken write err = %v, want ErrDiskFault", err)
+	}
+	if err := f.MkdirAll(filepath.Join(dir, "sub")); !errors.Is(err, ErrDiskFault) {
+		t.Fatalf("broken mkdir err = %v, want ErrDiskFault", err)
+	}
+
+	f.BreakReads(os.ErrPermission)
+	if _, err := f.ReadFile(p); !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("broken read err = %v, want ErrPermission", err)
+	}
+
+	f.Heal()
+	f.CorruptReads()
+	got, err = f.ReadFile(p)
+	if err != nil {
+		t.Fatalf("corrupt read should succeed: %v", err)
+	}
+	if string(got) == "hello" {
+		t.Fatal("corrupt read returned pristine bytes")
+	}
+	if got[len(got)-1] != 'o'^0xFF {
+		t.Fatalf("corruption should flip the last byte, got %q", got)
+	}
+
+	f.Heal()
+	if got, err = f.ReadFile(p); err != nil || string(got) != "hello" {
+		t.Fatalf("healed read = %q, %v", got, err)
+	}
+	w, r, c := f.Injected()
+	if w != 2 || r != 1 || c != 1 {
+		t.Fatalf("injected counts = (%d, %d, %d), want (2, 1, 1)", w, r, c)
+	}
+}
+
+func TestWorkerFaultsWindowAndDeterminism(t *testing.T) {
+	draw := func(seed int64, n int) []bool {
+		w := NewWorkerFaults(seed)
+		w.Configure(0.5, 0, 0)
+		w.Open()
+		hook := w.Hook()
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = hook(context.Background()) != nil
+		}
+		return out
+	}
+	a, b := draw(7, 64), draw(7, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between equal seeds", i)
+		}
+	}
+
+	w := NewWorkerFaults(7)
+	w.Configure(1, 0, 0) // every certification fails while open
+	hook := w.Hook()
+	if err := hook(context.Background()); err != nil {
+		t.Fatalf("closed window injected a fault: %v", err)
+	}
+	w.Open()
+	if err := hook(context.Background()); !errors.Is(err, ErrInjectedWorker) {
+		t.Fatalf("open window err = %v, want ErrInjectedWorker", err)
+	}
+	w.Close()
+	if err := hook(context.Background()); err != nil {
+		t.Fatalf("closed window injected a fault: %v", err)
+	}
+	if failed, _ := w.Injected(); failed != 1 {
+		t.Fatalf("injected = %d, want 1", failed)
+	}
+}
+
+func TestWorkerFaultsSlowRespectsContext(t *testing.T) {
+	w := NewWorkerFaults(1)
+	w.Configure(0, 1, time.Hour) // every certification stalls
+	w.Open()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := w.Hook()(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("slow fault ignored context cancellation")
+	}
+}
+
+func TestBurstPatternSatisfiesWeaklyHard(t *testing.T) {
+	const period = 1.0
+	for _, tc := range []struct {
+		seed    int64
+		n, m, k int
+	}{
+		{1, 200, 1, 10},
+		{2, 200, 3, 5},
+		{3, 500, 2, 7},
+		{99, 64, 5, 5}, // m == K: every slot may send
+	} {
+		pattern, err := BurstPattern(tc.seed, tc.n, tc.m, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map sends to overruns and validate against the repo's own
+		// (m, K) checker: a burst schedule is a weakly-hard sequence.
+		resp := make([]float64, len(pattern))
+		sends := 0
+		for i, send := range pattern {
+			if send {
+				resp[i] = 1.5 * period
+				sends++
+			} else {
+				resp[i] = 0.5 * period
+			}
+		}
+		ok, err := sched.SatisfiesWeaklyHard(resp, period, tc.m, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed=%d (m=%d,K=%d): pattern violates its own constraint", tc.seed, tc.m, tc.k)
+		}
+		if tc.m > 0 && sends == 0 {
+			t.Fatalf("seed=%d: pattern never sends", tc.seed)
+		}
+	}
+
+	a, _ := BurstPattern(42, 100, 2, 8)
+	b, _ := BurstPattern(42, 100, 2, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs between equal seeds", i)
+		}
+	}
+
+	if _, err := BurstPattern(1, 0, 1, 1); err == nil {
+		t.Fatal("n=0 should error")
+	}
+}

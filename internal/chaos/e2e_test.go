@@ -1,0 +1,358 @@
+package chaos
+
+// Service-layer chaos tests: a real adaserved instance (httptest) with
+// a faulty disk, faulty workers, and (m, K)-bursty resilient clients.
+// The assertions are the four invariants from the package comment: no
+// dropped work, no false certificates, a bounded queue, and clean
+// recovery once the fault window closes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/client"
+	"adaptivertc/internal/server"
+)
+
+// chaosRequests returns distinct small certification requests: 1×1
+// systems whose JSR is the matrix entry itself, so each certifies in
+// microseconds and the canonical answer is beyond doubt.
+func chaosRequests(n int) []api.CertifyRequest {
+	reqs := make([]api.CertifyRequest, n)
+	for i := range reqs {
+		rho := 0.1 + 0.05*float64(i)
+		reqs[i] = api.CertifyRequest{Version: 1, Matrices: [][][]float64{{{rho}}}}
+	}
+	return reqs
+}
+
+// referenceBytes certifies every request against a pristine server —
+// no faults, no admission pressure — and returns the canonical bytes
+// each request must produce under chaos too.
+func referenceBytes(t *testing.T, reqs []api.CertifyRequest) map[int][]byte {
+	t.Helper()
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("reference shutdown: %v", err)
+		}
+	}()
+	c, err := client.New(client.Options{BaseURL: ts.URL, Seed: 1, PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make(map[int][]byte, len(reqs))
+	for i, req := range reqs {
+		body, err := c.CertifyBytes(context.Background(), req)
+		if err != nil {
+			t.Fatalf("reference certify %d: %v", i, err)
+		}
+		ref[i] = body
+	}
+	return ref
+}
+
+func TestServiceInvariantsUnderChaos(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			runChaos(t, workers)
+		})
+	}
+}
+
+func runChaos(t *testing.T, workers int) {
+	const (
+		nRequests = 6
+		queueSize = 4
+		nClients  = 3
+	)
+	reqs := chaosRequests(nRequests)
+	ref := referenceBytes(t, reqs)
+
+	// Service under test: faulty disk from the start, faulty workers
+	// while the window is open, a deliberately tight queue.
+	ffs := NewFaultyFS(nil)
+	cache, err := certcache.New(certcache.Options{
+		Dir:           t.TempDir(),
+		FS:            ffs,
+		ProbeInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := NewWorkerFaults(1)
+	wf.Configure(0.3, 0.2, time.Millisecond)
+	srv, err := server.New(server.Config{
+		Workers:     workers,
+		QueueSize:   queueSize,
+		Cache:       cache,
+		MaxSyncWork: -1, // force every request through the bounded queue
+		MaxInflight: 16,
+		FaultHook:   wf.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	ffs.BreakWrites(nil) // the disk is gone before the first certificate lands
+	wf.Open()
+
+	// Invariant 3 (bounded queue): poll /healthz throughout the storm.
+	stopHealth := make(chan struct{})
+	var healthWG sync.WaitGroup
+	healthWG.Add(1)
+	var maxQueueDepth int
+	go func() {
+		defer healthWG.Done()
+		for {
+			select {
+			case <-stopHealth:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				continue
+			}
+			var h api.Health
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err != nil {
+				continue
+			}
+			if h.QueueDepth > maxQueueDepth {
+				maxQueueDepth = h.QueueDepth
+			}
+		}
+	}()
+
+	// Invariants 1 and 2: every bursty client converges on every
+	// request, and every answer matches the pristine reference bytes.
+	type result struct {
+		client, req int
+		body        []byte
+		err         error
+	}
+	results := make(chan result, nClients*nRequests)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nClients; ci++ {
+		ci := ci
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl, err := client.New(client.Options{
+				BaseURL:      ts.URL,
+				ClientID:     fmt.Sprintf("chaos-%d", ci),
+				Seed:         int64(100 + ci),
+				MaxAttempts:  60,
+				BaseBackoff:  2 * time.Millisecond,
+				MaxBackoff:   20 * time.Millisecond,
+				PollInterval: 2 * time.Millisecond,
+				// The storm makes real faults: keep the breaker wide so
+				// convergence, not fail-fast, is what we measure.
+				BreakerThreshold: 1000,
+			})
+			if err != nil {
+				results <- result{client: ci, err: err}
+				return
+			}
+			// (m, K)-shaped arrivals: at most 2 sends per 4 slots.
+			pattern, err := BurstPattern(int64(ci+1), 4*nRequests, 2, 4)
+			if err != nil {
+				results <- result{client: ci, err: err}
+				return
+			}
+			next := 0
+			for _, send := range pattern {
+				if !send {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if next >= nRequests {
+					break
+				}
+				ri := next
+				next++
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				body, err := cl.CertifyBytes(ctx, reqs[ri])
+				cancel()
+				results <- result{client: ci, req: ri, body: body, err: err}
+			}
+			// Drain any requests the pattern's length didn't reach.
+			for ; next < nRequests; next++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				body, err := cl.CertifyBytes(ctx, reqs[next])
+				cancel()
+				results <- result{client: ci, req: next, body: body, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	close(stopHealth)
+	healthWG.Wait()
+
+	delivered := 0
+	for r := range results {
+		if r.err != nil {
+			t.Errorf("client %d request %d dropped: %v", r.client, r.req, r.err)
+			continue
+		}
+		delivered++
+		if string(r.body) != string(ref[r.req]) {
+			t.Errorf("client %d request %d: bytes differ from pristine reference\n got: %s\nwant: %s",
+				r.client, r.req, r.body, ref[r.req])
+		}
+	}
+	if want := nClients * nRequests; delivered != want {
+		t.Errorf("delivered %d results, want %d (no dropped work)", delivered, want)
+	}
+	if maxQueueDepth > queueSize {
+		t.Errorf("queue depth reached %d, capacity is %d", maxQueueDepth, queueSize)
+	}
+
+	// The storm must actually have stormed, or the test proves nothing.
+	if wFailed, _, _ := ffs.Injected(); wFailed == 0 {
+		t.Error("faulty fs never fired")
+	}
+	if degraded, _ := cache.Degraded(); !degraded {
+		t.Error("cache never demoted to memory-only despite a broken disk")
+	}
+	st := cache.Stats()
+	if st.Demotions == 0 {
+		t.Error("no demotion recorded")
+	}
+
+	// Invariant 4 (clean recovery): close the window, heal the disk,
+	// and the next write re-probes and re-promotes the disk layer.
+	wf.Close()
+	ffs.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		if cache.Probe() {
+			recovered = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("cache did not recover after the fault window closed")
+	}
+	if degraded, reason := cache.Degraded(); degraded {
+		t.Fatalf("cache still degraded after heal: %s", reason)
+	}
+	if st := cache.Stats(); st.Recoveries == 0 {
+		t.Error("no recovery recorded")
+	}
+
+	// And a fresh post-storm request certifies clean, first try.
+	cl, err := client.New(client.Options{BaseURL: ts.URL, Seed: 9, MaxAttempts: 3, PollInterval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	body, err := cl.CertifyBytes(ctx, reqs[0])
+	if err != nil {
+		t.Fatalf("post-storm certify: %v", err)
+	}
+	if string(body) != string(ref[0]) {
+		t.Fatal("post-storm bytes differ from reference")
+	}
+}
+
+// TestShedCarriesRetryAfter drives a server with a one-token bucket and
+// asserts the shed contract the resilient client depends on: 429 with
+// a Retry-After header and a matching JSON hint.
+func TestShedCarriesRetryAfter(t *testing.T) {
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Workers: 1, Cache: cache, RatePerSec: 0.5, Burst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	body := `{"version":1,"matrices":[[[0.5]]]}`
+	do := func() (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/certify", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Client-ID", "shed-test")
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, raw
+	}
+	resp1, _ := do()
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d", resp1.StatusCode)
+	}
+	resp2, raw := do()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RetryAfterSeconds < 1 {
+		t.Fatalf("retry_after_seconds = %d, want ≥ 1", er.RetryAfterSeconds)
+	}
+}

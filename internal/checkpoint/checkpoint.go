@@ -96,23 +96,40 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 	return nil
 }
 
+// Marshal renders payload as the self-validating checkpoint byte
+// format (magic, header, checksummed gob body) without touching the
+// filesystem. Save is Marshal plus an atomic file write; callers with
+// their own storage seam (e.g. internal/certcache's pluggable FS) use
+// Marshal/Unmarshal directly.
+func Marshal(kind string, version int, payload any) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode payload: %w", err)
+	}
+	h := header{Kind: kind, Version: version, Size: int64(body.Len()), Sum: sha256.Sum256(body.Bytes())}
+	var out bytes.Buffer
+	if _, err := io.WriteString(&out, magic); err != nil {
+		return nil, fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	if err := gob.NewEncoder(&out).Encode(h); err != nil {
+		return nil, fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := out.Write(body.Bytes()); err != nil {
+		return nil, fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
 // Save atomically writes payload to path as a checkpoint of the given
 // kind and format version. The payload must be gob-encodable.
 func Save(path, kind string, version int, payload any) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(payload); err != nil {
-		return fmt.Errorf("checkpoint: encode payload: %w", err)
+	data, err := Marshal(kind, version, payload)
+	if err != nil {
+		return err
 	}
-	h := header{Kind: kind, Version: version, Size: int64(body.Len()), Sum: sha256.Sum256(body.Bytes())}
 	return WriteFileAtomic(path, func(w io.Writer) error {
-		if _, err := io.WriteString(w, magic); err != nil {
-			return fmt.Errorf("checkpoint: write magic: %w", err)
-		}
-		if err := gob.NewEncoder(w).Encode(h); err != nil {
-			return fmt.Errorf("checkpoint: write header: %w", err)
-		}
-		if _, err := w.Write(body.Bytes()); err != nil {
-			return fmt.Errorf("checkpoint: write payload: %w", err)
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("checkpoint: write: %w", err)
 		}
 		return nil
 	})
@@ -125,37 +142,51 @@ func Save(path, kind string, version int, payload any) error {
 // fs.ErrNotExist) pass through for the open itself.
 func Load(path, kind string, version int, payload any) error {
 	// Checkpoints are small (words and row summaries, not matrices), so
-	// read whole-file: it keeps the parse exact. bytes.Reader is an
-	// io.ByteReader, so the gob header decoder consumes precisely its
-	// own message bytes and the payload starts at the reader's cursor.
+	// read whole-file: it keeps the parse exact.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	return unmarshal(data, path, kind, version, payload)
+}
+
+// Unmarshal decodes checkpoint bytes produced by Marshal (or read from
+// a file Save wrote), with the same magic/kind/version/checksum
+// verification as Load.
+func Unmarshal(data []byte, kind string, version int, payload any) error {
+	return unmarshal(data, "checkpoint bytes", kind, version, payload)
+}
+
+// unmarshal verifies and decodes data; label names the source in
+// errors (a file path for Load, a generic tag for Unmarshal).
+// bytes.Reader is an io.ByteReader, so the gob header decoder consumes
+// precisely its own message bytes and the payload starts at the
+// reader's cursor.
+func unmarshal(data []byte, label, kind string, version int, payload any) error {
 	br := bytes.NewReader(data)
 	got := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, got); err != nil {
-		return fmt.Errorf("%w: %s: reading magic: %v", ErrCorrupt, path, err)
+		return fmt.Errorf("%w: %s: reading magic: %v", ErrCorrupt, label, err)
 	}
 	if string(got) != magic {
-		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, path, got)
+		return fmt.Errorf("%w: %s: bad magic %q", ErrCorrupt, label, got)
 	}
 	var h header
 	if err := gob.NewDecoder(br).Decode(&h); err != nil {
-		return fmt.Errorf("%w: %s: reading header: %v", ErrCorrupt, path, err)
+		return fmt.Errorf("%w: %s: reading header: %v", ErrCorrupt, label, err)
 	}
 	if h.Kind != kind || h.Version != version {
-		return fmt.Errorf("%w: %s holds %q v%d, want %q v%d", ErrMismatch, path, h.Kind, h.Version, kind, version)
+		return fmt.Errorf("%w: %s holds %q v%d, want %q v%d", ErrMismatch, label, h.Kind, h.Version, kind, version)
 	}
 	if h.Size < 0 || h.Size != int64(br.Len()) {
-		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, path, br.Len(), h.Size)
+		return fmt.Errorf("%w: %s: payload is %d bytes, header says %d", ErrCorrupt, label, br.Len(), h.Size)
 	}
 	body := data[len(data)-br.Len():]
 	if sha256.Sum256(body) != h.Sum {
-		return fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, path)
+		return fmt.Errorf("%w: %s: payload checksum mismatch", ErrCorrupt, label)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(payload); err != nil {
-		return fmt.Errorf("%w: %s: decoding payload: %v", ErrCorrupt, path, err)
+		return fmt.Errorf("%w: %s: decoding payload: %v", ErrCorrupt, label, err)
 	}
 	return nil
 }

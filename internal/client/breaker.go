@@ -1,0 +1,90 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker.
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapses)──▶ half-open (one probe admitted)
+//	half-open ──probe succeeds──▶ closed
+//	half-open ──probe fails──▶ open (cooldown restarts)
+//
+// Only transport errors and server faults count as failures; load
+// sheds (429/503) bypass the breaker entirely — see the package
+// comment. Success from any state resets the failure count.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// allow reports whether a request may proceed at time now. In the open
+// state it returns a wrapped ErrCircuitOpen until cooldown elapses,
+// then admits exactly one half-open probe; concurrent calls during the
+// probe fail fast.
+func (b *breaker) allow(now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		wait := b.cooldown - now.Sub(b.openedAt)
+		if wait > 0 {
+			return fmt.Errorf("%w (retry in %s)", ErrCircuitOpen, wait.Round(time.Millisecond))
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fmt.Errorf("%w (half-open probe in flight)", ErrCircuitOpen)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a successful round trip, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure records a transport/server fault at time now. In half-open
+// it reopens immediately; in closed it opens once the consecutive run
+// reaches threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+	}
+}

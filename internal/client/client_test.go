@@ -1,0 +1,325 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+)
+
+// testReq is a minimal valid request; most tests fake the server, so
+// only the shape matters.
+var testReq = api.CertifyRequest{Version: 1, Matrices: [][][]float64{{{0.5}}}}
+
+// instrument replaces a client's clock and sleep with fakes: sleeps
+// record their durations and advance the fake clock instantly.
+func instrument(c *Client) (sleeps *[]time.Duration, clock *fakeClock) {
+	ds := &[]time.Duration{}
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = fc.Now
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		*ds = append(*ds, d)
+		fc.Advance(d)
+		return nil
+	}
+	return ds, fc
+}
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newClient(t *testing.T, url string, opt Options) *Client {
+	t.Helper()
+	opt.BaseURL = url
+	c, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestImmediateSuccess(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"version":1,"verdict":"stable","lower":0.5,"upper":0.5,"bracket":"[0.500000, 0.500000]","gap":0,"matrices":1,"dim":1}`))
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{})
+	instrument(c)
+	res, err := c.Certify(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != "stable" || hits.Load() != 1 {
+		t.Fatalf("verdict=%q hits=%d", res.Verdict, hits.Load())
+	}
+}
+
+func TestShedHonorsRetryAfterWithoutTrippingBreaker(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"per-client rate limit exceeded","retry_after_seconds":3}`))
+			return
+		}
+		w.Write([]byte(`{"version":1,"verdict":"stable"}`))
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{BreakerThreshold: 1})
+	sleeps, _ := instrument(c)
+	if _, err := c.Certify(context.Background(), testReq); err != nil {
+		t.Fatal(err)
+	}
+	// Both shed responses slept exactly the server's hint.
+	if len(*sleeps) != 2 || (*sleeps)[0] != 3*time.Second || (*sleeps)[1] != 3*time.Second {
+		t.Fatalf("sleeps = %v, want [3s 3s]", *sleeps)
+	}
+	// Threshold is 1, yet the breaker never opened: sheds don't count.
+	if c.breaker.state != breakerClosed {
+		t.Fatalf("breaker state = %d, want closed", c.breaker.state)
+	}
+}
+
+func TestBreakerOpensOnServerFaults(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{MaxAttempts: 3, BreakerThreshold: 3})
+	instrument(c)
+	_, err := c.Certify(context.Background(), testReq)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want 500 StatusError", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d, want 3", hits.Load())
+	}
+	// Three consecutive faults reached the threshold: next call fails
+	// fast without touching the server.
+	_, err = c.Certify(context.Background(), testReq)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("open breaker still hit the server: hits = %d", hits.Load())
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"version":1,"verdict":"stable"}`))
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{MaxAttempts: 2, BreakerThreshold: 2, BreakerCooldown: 10 * time.Second})
+	_, clock := instrument(c)
+
+	if _, err := c.Certify(context.Background(), testReq); err == nil {
+		t.Fatal("expected failure while server is down")
+	}
+	if _, err := c.Certify(context.Background(), testReq); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+
+	healthy.Store(true)
+	clock.Advance(11 * time.Second)
+	res, err := c.Certify(context.Background(), testReq)
+	if err != nil {
+		t.Fatalf("half-open probe should have recovered: %v", err)
+	}
+	if res.Verdict != "stable" || c.breaker.state != breakerClosed {
+		t.Fatalf("verdict=%q state=%d, want stable/closed", res.Verdict, c.breaker.state)
+	}
+}
+
+func TestAsyncJobPollThenCanonicalBytes(t *testing.T) {
+	canonical := []byte(`{"version":1,"verdict":"stable","lower":0.5,"upper":0.5}`)
+	var polls atomic.Int64
+	var posts atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/certify", func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) == 1 {
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"job_id":"abc","status_url":"/v1/jobs/abc"}`))
+			return
+		}
+		w.Write(canonical) // second POST: cache hit, canonical bytes
+	})
+	mux.HandleFunc("GET /v1/jobs/abc", func(w http.ResponseWriter, r *http.Request) {
+		switch polls.Add(1) {
+		case 1:
+			w.Write([]byte(`{"id":"abc","state":"queued"}`))
+		case 2:
+			w.Write([]byte(`{"id":"abc","state":"running"}`))
+		default:
+			w.Write([]byte(`{"id":"abc","state":"done"}`))
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{})
+	instrument(c)
+	body, err := c.CertifyBytes(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(canonical) {
+		t.Fatalf("body = %q, want canonical bytes", body)
+	}
+	if posts.Load() != 2 || polls.Load() < 3 {
+		t.Fatalf("posts=%d polls=%d", posts.Load(), polls.Load())
+	}
+}
+
+func TestPermanentErrorReturnsImmediately(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"api: matrices must be square"}`))
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{})
+	instrument(c)
+	_, err := c.Certify(context.Background(), testReq)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 StatusError", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("a permanent 400 was retried: hits = %d", hits.Load())
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	mk := func() *Client {
+		c, err := New(Options{BaseURL: "http://127.0.0.1:0", Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	for i := 1; i <= 6; i++ {
+		da, db := a.backoff(i), b.backoff(i)
+		if da != db {
+			t.Fatalf("attempt %d: %v != %v — jitter not deterministic for equal seeds", i, da, db)
+		}
+		lo := time.Duration(float64(minDur(a.opts.MaxBackoff, a.opts.BaseBackoff<<uint(i-1))) / 2)
+		hi := minDur(a.opts.MaxBackoff, a.opts.BaseBackoff<<uint(i-1))
+		if da < lo || da >= hi {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", i, da, lo, hi)
+		}
+	}
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTransportErrorsRetryAndTripBreaker(t *testing.T) {
+	// A closed port: every attempt is a transport failure.
+	c, err := New(Options{BaseURL: "http://127.0.0.1:1", MaxAttempts: 4, BreakerThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrument(c)
+	_, err = c.Certify(context.Background(), testReq)
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want transportError", err)
+	}
+	if _, err := c.Certify(context.Background(), testReq); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen after repeated transport faults", err)
+	}
+}
+
+func TestFailedJobRetriesAndConverges(t *testing.T) {
+	var posts atomic.Int64
+	canonical := []byte(`{"version":1,"verdict":"stable"}`)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/certify", func(w http.ResponseWriter, r *http.Request) {
+		if posts.Add(1) == 1 {
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"job_id":"abc","status_url":"/v1/jobs/abc"}`))
+			return
+		}
+		w.Write(canonical)
+	})
+	mux.HandleFunc("GET /v1/jobs/abc", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"id":"abc","state":"failed","error":"injected fault"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{MaxAttempts: 4})
+	instrument(c)
+	body, err := c.CertifyBytes(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(canonical) {
+		t.Fatalf("body = %q", body)
+	}
+	if c.breaker.state != breakerClosed {
+		t.Fatal("a failed job tripped the breaker; it should not")
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := newClient(t, ts.URL, Options{MaxAttempts: 100, BreakerThreshold: 100})
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		calls++
+		if calls >= 2 {
+			cancel()
+		}
+		return ctx.Err()
+	}
+	_, err := c.Certify(ctx, testReq)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -39,6 +39,10 @@ func TestHTTPServer(t *testing.T) {
 	linttest.Run(t, "testdata/httpserver", lint.HTTPServer)
 }
 
+func TestClientTimeout(t *testing.T) {
+	linttest.Run(t, "testdata/clienttimeout", lint.ClientTimeout)
+}
+
 func TestErrCompare(t *testing.T) {
 	linttest.Run(t, "testdata/errcompare", lint.ErrCompare)
 }
@@ -70,6 +74,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"testdata/nakedpanic",
 		"testdata/ctxloop",
 		"testdata/httpserver",
+		"testdata/clienttimeout",
 		"testdata/errcompare",
 		"testdata/maporder",
 		"testdata/ctxpropagate",

@@ -108,6 +108,7 @@ func Checks() []*Check {
 		DroppedErr,
 		CtxLoop,
 		HTTPServer,
+		ClientTimeout,
 		ErrCompare,
 		MapOrder,
 		CtxPropagate,

@@ -1,0 +1,95 @@
+// Fixture for the clienttimeout check: http.Client literals must set
+// Timeout, and the DefaultClient conveniences (http.Get and friends)
+// are always flagged; clients with Timeout, same-named local methods,
+// and suppressed lines are not.
+package clienttimeout
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// bareClient waits forever on a hung server.
+func bareClient() *http.Client {
+	return &http.Client{} // want "http.Client without Timeout"
+}
+
+// transportOnly configures everything except the one field that
+// bounds a round trip.
+func transportOnly(t http.RoundTripper) *http.Client {
+	return &http.Client{ // want "http.Client without Timeout"
+		Transport: t,
+	}
+}
+
+// boundedClient is the correct shape.
+func boundedClient() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// valueLiteral is flagged the same as the pointer form.
+func valueLiteral() http.Client {
+	return http.Client{} // want "http.Client without Timeout"
+}
+
+// conveniences all run on the timeout-less DefaultClient.
+func conveniences() error {
+	resp, err := http.Get("http://example.invalid/") // want "http.Get uses DefaultClient"
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	resp, err = http.Post("http://example.invalid/", "text/plain", nil) // want "http.Post uses DefaultClient"
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	resp, err = http.PostForm("http://example.invalid/", url.Values{}) // want "http.PostForm uses DefaultClient"
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	resp, err = http.Head("http://example.invalid/") // want "http.Head uses DefaultClient"
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// withContext builds the request properly; the call is on a bounded
+// client, so nothing fires.
+func withContext(ctx context.Context) error {
+	c := boundedClient()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://example.invalid/", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// fetcher has methods that shadow the convenience names; method calls
+// are not package-level http calls and must not fire.
+type fetcher struct{}
+
+func (fetcher) Get(string) error  { return nil }
+func (fetcher) Head(string) error { return nil }
+
+func localMethods(f fetcher) error {
+	if err := f.Get("x"); err != nil {
+		return err
+	}
+	return f.Head("x")
+}
+
+// suppressed documents a deliberate context-deadline-only client.
+func suppressed() *http.Client {
+	//lint:ignore clienttimeout every request through this client carries a context deadline from the scheduler
+	return &http.Client{}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Admission control for the certification endpoint, modeled on the
+// paper's own robustness move: instead of assuming the nominal case,
+// the service is explicit about the bounded bursts it tolerates and
+// degrades honestly — a shed request always carries a computed
+// Retry-After, never a silent drop or an unbounded queue.
+//
+// Three gates run in order on POST /v1/certify:
+//
+//  1. a per-client token bucket (rate/burst, keyed on X-Client-ID or
+//     the remote address) answers 429 Too Many Requests when a client
+//     exceeds its budget, with Retry-After = time until its next token;
+//
+//  2. a global in-flight cap sheds with 503 when the handler pool is
+//     saturated, with Retry-After derived from the observed job drain
+//     rate;
+//
+//  3. the bounded job queue (async path) sheds with 503 + Retry-After
+//     when full — the same signal, one layer deeper.
+
+// admission defaults.
+const (
+	defaultBurst      = 8
+	maxTrackedClients = 4096
+	maxRetryAfter     = 300 // seconds; clients should re-resolve after 5 minutes anyway
+)
+
+// bucket is one client's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiter is a per-client token-bucket rate limiter. Buckets refill at
+// rate tokens/second up to burst; a request costs one token. The
+// client map is bounded: when it overflows, full (idle) buckets are
+// evicted first — an active client under limit pressure is never
+// forgotten in favor of an idle one.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if burst <= 0 {
+		burst = defaultBurst
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// admit consumes one token for client if available. When the bucket is
+// empty it returns false and the whole seconds to wait until the next
+// token accrues (≥ 1, so a Retry-After header is always honest).
+func (l *limiter) admit(client string) (bool, int) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		l.evictLocked()
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / l.rate
+	return false, clampRetryAfter(wait)
+}
+
+// evictLocked bounds the bucket map. Full buckets belong to clients
+// that have been idle at least burst/rate seconds; they lose nothing
+// by being forgotten (a fresh bucket starts full). If eviction still
+// cannot make room, the map is cleared — resetting limits for
+// everyone beats unbounded memory from an address-spoofing client.
+func (l *limiter) evictLocked() {
+	if len(l.buckets) < maxTrackedClients {
+		return
+	}
+	for id, b := range l.buckets {
+		if b.tokens >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+	if len(l.buckets) >= maxTrackedClients {
+		l.buckets = make(map[string]*bucket)
+	}
+}
+
+// clampRetryAfter rounds a wait up to whole seconds within [1,
+// maxRetryAfter].
+func clampRetryAfter(seconds float64) int {
+	s := int(math.Ceil(seconds))
+	if s < 1 {
+		s = 1
+	}
+	if s > maxRetryAfter {
+		s = maxRetryAfter
+	}
+	return s
+}
+
+// drainEstimator tracks an exponentially weighted moving average of
+// job service times, from which the 503 Retry-After is computed: a
+// queue of depth d drained by w workers at avg seconds per job clears
+// in about (d+1)·avg/w seconds.
+type drainEstimator struct {
+	mu      sync.Mutex
+	avg     float64 // EWMA of job seconds; 0 until the first sample
+	samples int64
+}
+
+// ewmaAlpha weighs recent jobs heavily: certification times are
+// bimodal (cache hits vs fresh Gripenberg searches) and the recent mix
+// is the relevant one for backpressure.
+const ewmaAlpha = 0.2
+
+// observe records one completed certification's wall-clock seconds.
+func (d *drainEstimator) observe(seconds float64) {
+	if seconds < 0 {
+		return
+	}
+	d.mu.Lock()
+	if d.samples == 0 {
+		d.avg = seconds
+	} else {
+		d.avg += ewmaAlpha * (seconds - d.avg)
+	}
+	d.samples++
+	d.mu.Unlock()
+}
+
+// retryAfter estimates whole seconds until a queue of the given depth
+// drains through workers. Before any sample exists it assumes one
+// second per job — pessimistic enough to spread retries, honest enough
+// to keep clients engaged.
+func (d *drainEstimator) retryAfter(queueDepth, workers int) int {
+	d.mu.Lock()
+	avg := d.avg
+	if d.samples == 0 {
+		avg = 1
+	}
+	d.mu.Unlock()
+	if workers < 1 {
+		workers = 1
+	}
+	return clampRetryAfter(float64(queueDepth+1) * avg / float64(workers))
+}
+
+// clientID identifies the requester for rate limiting: the explicit
+// X-Client-ID header when present (trusted deployments put an API key
+// or tenant id there), otherwise the remote host without its ephemeral
+// port, so one misbehaving host cannot reset its bucket per
+// connection.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -1,0 +1,386 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+)
+
+// smallReq certifies in microseconds through the sync path.
+const smallReq = `{"version":1,"matrices":[[[0.5]]]}`
+
+func postWithHeaders(t *testing.T, url, body string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/certify", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readBodyString(t, resp))
+}
+
+func readBodyString(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func TestRateLimitSheds429WithRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RatePerSec: 0.5, Burst: 1})
+
+	resp, _ := postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Client-ID": "alice"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d, want 200", resp.StatusCode)
+	}
+	resp, body := postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Client-ID": "alice"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RetryAfterSeconds < 1 {
+		t.Errorf("retry_after_seconds = %d, want ≥ 1", er.RetryAfterSeconds)
+	}
+	// A different client has its own bucket.
+	resp, _ = postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Client-ID": "bob"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestLimiterRefillAndRetryAfter(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newLimiter(2, 2, func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.admit("c"); !ok {
+			t.Fatalf("request %d within burst was denied", i)
+		}
+	}
+	ok, retry := l.admit("c")
+	if ok {
+		t.Fatal("third request in the same instant should be denied")
+	}
+	if retry != 1 {
+		t.Fatalf("retry = %d, want 1 (½ s to the next token, rounded up)", retry)
+	}
+	now = now.Add(time.Second) // two tokens accrue
+	if ok, _ := l.admit("c"); !ok {
+		t.Fatal("refilled bucket denied a request")
+	}
+	if ok, _ := l.admit("c"); !ok {
+		t.Fatal("second refilled token missing")
+	}
+	if ok, _ := l.admit("c"); ok {
+		t.Fatal("bucket should be empty again")
+	}
+}
+
+func TestLimiterEvictionBounded(t *testing.T) {
+	now := time.Unix(0, 0)
+	l := newLimiter(1, 1, func() time.Time { return now })
+	for i := 0; i < maxTrackedClients+10; i++ {
+		l.admit(fmt.Sprintf("client-%d", i))
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxTrackedClients {
+		t.Fatalf("tracked %d clients, bound is %d", n, maxTrackedClients)
+	}
+}
+
+func TestDrainEstimatorRetryAfter(t *testing.T) {
+	d := &drainEstimator{}
+	// Before any sample: one second per job assumed.
+	if got := d.retryAfter(4, 2); got != 3 {
+		t.Fatalf("no-sample retryAfter(4, 2) = %d, want 3", got)
+	}
+	d.observe(2.0)
+	if got := d.retryAfter(0, 1); got != 2 {
+		t.Fatalf("retryAfter(0, 1) after one 2s job = %d, want 2", got)
+	}
+	// Clamped to the ceiling.
+	d.observe(10000)
+	if got := d.retryAfter(100, 1); got != maxRetryAfter {
+		t.Fatalf("retryAfter = %d, want clamp at %d", got, maxRetryAfter)
+	}
+	// Negative samples are ignored.
+	d.observe(-5)
+	if d.samples != 2 {
+		t.Fatalf("samples = %d, want 2", d.samples)
+	}
+}
+
+func TestMaxInflightSheds503(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		MaxInflight: 1,
+		FaultHook: func(ctx context.Context) error {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return nil
+		},
+	})
+	defer once.Do(func() { close(release) })
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := http.Post(ts.URL+"/v1/certify", "application/json", strings.NewReader(smallReq))
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	// Wait for the first request to occupy the only inflight slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never became inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postWithHeaders(t, ts.URL, smallReq, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without a Retry-After header")
+	}
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.RetryAfterSeconds < 1 {
+		t.Errorf("retry_after_seconds = %d, want ≥ 1", er.RetryAfterSeconds)
+	}
+
+	once.Do(func() { close(release) })
+	if code := <-firstDone; code != http.StatusOK {
+		t.Fatalf("first request finished %d, want 200", code)
+	}
+}
+
+func TestQueueFullLeavesNoResidue(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		QueueSize:   1,
+		MaxSyncWork: -1, // force everything through the queue
+		FaultHook: func(ctx context.Context) error {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return nil
+		},
+	})
+	defer once.Do(func() { close(release) })
+
+	reqBody := func(rho float64) string {
+		return fmt.Sprintf(`{"version":1,"matrices":[[[%g]]]}`, rho)
+	}
+	// A occupies the worker...
+	resp, _ := postCertify(t, ts, reqBody(0.3))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("request A: %d, want 202", resp.StatusCode)
+	}
+	deadlineA := time.Now().Add(5 * time.Second)
+	for s.busy.Load() < 1 {
+		if time.Now().After(deadlineA) {
+			t.Fatal("worker never picked up job A")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and B fills the one queue slot.
+	resp, _ = postCertify(t, ts, reqBody(0.4))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("request B: %d, want 202", resp.StatusCode)
+	}
+	// C finds the queue full: 503 + Retry-After, and — the regression
+	// this test pins — no job residue: polling C's content-addressed id
+	// must 404, not report a stale failed job.
+	resp, body := postCertify(t, ts, reqBody(0.5))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("queue-full 503 without a Retry-After header")
+	}
+	_ = body
+
+	reqC, err := api.DecodeRequest(strings.NewReader(reqBody(0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqC.Normalize()
+	idC := jobID(reqC.Key())
+	poll, _ := http.Get(ts.URL + "/v1/jobs/" + idC)
+	poll.Body.Close()
+	if poll.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected job still visible: GET /v1/jobs/%s = %d, want 404", idC, poll.StatusCode)
+	}
+
+	// And resubmitting C after the queue drains succeeds outright.
+	once.Do(func() { close(release) })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, _ := postCertify(t, ts, reqBody(0.5))
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resubmission kept failing: %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobIDIsFullContentKey(t *testing.T) {
+	req, err := api.DecodeRequest(strings.NewReader(smallReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Normalize()
+	key := req.Key()
+	id := jobID(key)
+	if len(id) != 64 {
+		t.Fatalf("job id %q has %d hex chars, want the full 64 (truncated ids collide by the birthday bound)", id, len(id))
+	}
+	if id != key.String() {
+		t.Fatalf("job id %q != key %q", id, key.String())
+	}
+}
+
+func TestRequestDeadlineHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, _ := postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Request-Deadline": "soon"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid deadline header: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Request-Deadline": "-3s"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline header: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Request-Deadline": "30s"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid deadline header: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSyncDeadlineExpiresTo504(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		FaultHook: func(ctx context.Context) error {
+			// Stall past the request deadline, honoring cancellation.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(10 * time.Second):
+				return nil
+			}
+		},
+	})
+	resp, _ := postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Request-Deadline": "50ms"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired sync deadline: %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestRelaxDeadline(t *testing.T) {
+	base := time.Unix(1000, 0)
+	j := &job{deadline: base}
+
+	j.relaxDeadline(base.Add(-time.Minute)) // earlier: ignored
+	if !j.getDeadline().Equal(base) {
+		t.Fatal("earlier deadline tightened the job")
+	}
+	j.relaxDeadline(base.Add(time.Minute)) // later: extends
+	if !j.getDeadline().Equal(base.Add(time.Minute)) {
+		t.Fatal("later deadline did not extend the job")
+	}
+	j.relaxDeadline(time.Time{}) // unbounded client clears it
+	if !j.getDeadline().IsZero() {
+		t.Fatal("zero deadline did not clear the bound")
+	}
+	j.relaxDeadline(base) // once unbounded, stays unbounded
+	if !j.getDeadline().IsZero() {
+		t.Fatal("bounded deadline re-tightened an unbounded job")
+	}
+}
+
+func TestClientIDKeying(t *testing.T) {
+	r, _ := http.NewRequest(http.MethodPost, "/v1/certify", nil)
+	r.RemoteAddr = "10.1.2.3:51234"
+	if got := clientID(r); got != "10.1.2.3" {
+		t.Fatalf("clientID = %q, want remote host without port", got)
+	}
+	r.Header.Set("X-Client-ID", "tenant-7")
+	if got := clientID(r); got != "tenant-7" {
+		t.Fatalf("clientID = %q, want the explicit header", got)
+	}
+}
+
+func TestMetricsExposeAdmissionAndCacheHealth(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, RatePerSec: 0.1, Burst: 1})
+	resp, _ := postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Client-ID": "m"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first: %d", resp.StatusCode)
+	}
+	resp, _ = postWithHeaders(t, ts.URL, smallReq, map[string]string{"X-Client-ID": "m"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second: %d", resp.StatusCode)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text := readBodyString(t, mresp)
+	for _, want := range []string{
+		`adaserved_admission_shed_total{reason="rate"} 1`,
+		"adaserved_cache_degraded 0",
+		"adaserved_cache_demotions_total 0",
+		"adaserved_cache_recoveries_total 0",
+		"adaserved_inflight 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

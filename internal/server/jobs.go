@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"adaptivertc/internal/api"
 	"adaptivertc/internal/certcache"
@@ -33,7 +34,7 @@ type jobCkpt struct {
 	State    jsr.GripenbergState
 }
 
-// job is one queued certification. The id is a prefix of the request's
+// job is one queued certification. The id is the request's full
 // content key, so identical requests share a job.
 type job struct {
 	id     string
@@ -41,14 +42,22 @@ type job struct {
 	req    api.CertifyRequest
 	resume *jsr.GripenbergState // set by Recover; read only by the worker
 
-	mu     sync.Mutex
-	state  string
-	body   []byte
-	errMsg string
+	mu       sync.Mutex
+	state    string
+	body     []byte
+	errMsg   string
+	deadline time.Time // zero = no per-request deadline beyond the server timeout
 }
 
-// jobID derives the public job identifier from the content key.
-func jobID(key certcache.Key) string { return key.String()[:16] }
+// jobID derives the public job identifier from the content key: the
+// full hex digest, not a prefix. Truncation would map distinct
+// requests onto one job with probability governed by the birthday
+// bound on the truncated width — a 16-hex-char id collides with ~50%
+// probability around 2^32 jobs, well within reach of a busy service,
+// and a collision silently serves one request the other's
+// certificate. The full 256-bit key makes that impossible in practice
+// (and keeps the id copy-pasteable into the cache's EntryPath).
+func jobID(key certcache.Key) string { return key.String() }
 
 func (j *job) setState(st string) {
 	j.mu.Lock()
@@ -99,14 +108,16 @@ func (st *jobStore) get(id string) *job {
 }
 
 // getOrCreate returns the existing job for id, or registers a new
-// queued one. The boolean reports whether the job already existed.
-func (st *jobStore) getOrCreate(id string, req api.CertifyRequest, key certcache.Key) (*job, bool) {
+// queued one carrying deadline. The boolean reports whether the job
+// already existed (in which case deadline is NOT applied — the caller
+// relaxes it explicitly).
+func (st *jobStore) getOrCreate(id string, req api.CertifyRequest, key certcache.Key, deadline time.Time) (*job, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if j, ok := st.jobs[id]; ok {
 		return j, true
 	}
-	j := &job{id: id, key: key, req: req, state: api.JobQueued}
+	j := &job{id: id, key: key, req: req, state: api.JobQueued, deadline: deadline}
 	st.jobs[id] = j
 	return j, false
 }
@@ -139,11 +150,15 @@ func (st *jobStore) counts() (queued, running, done, failed int) {
 // enqueue registers a job for the request and pushes it on the queue.
 // Identical requests (same content key) share a job; a previously
 // failed job is retried. A full queue is an error — the handler maps
-// it to 503 rather than blocking intake.
-func (s *Server) enqueue(req api.CertifyRequest, key certcache.Key) (*job, error) {
+// it to 503 + Retry-After rather than blocking intake. deadline, when
+// non-zero, bounds the job's computation; a duplicate submission
+// relaxes an existing deadline (the most patient client wins, and the
+// shared certificate serves everyone).
+func (s *Server) enqueue(req api.CertifyRequest, key certcache.Key, deadline time.Time) (*job, error) {
 	id := jobID(key)
-	j, existed := s.jobs.getOrCreate(id, req, key)
+	j, existed := s.jobs.getOrCreate(id, req, key, deadline)
 	if existed {
+		j.relaxDeadline(deadline)
 		st := j.status()
 		if st.State != api.JobFailed {
 			return j, nil
@@ -164,14 +179,40 @@ func (s *Server) enqueue(req api.CertifyRequest, key certcache.Key) (*job, error
 	case s.queue <- j:
 		return j, nil
 	default:
-		if !existed {
-			s.jobs.remove(id)
-			s.removeJobCkpt(id)
-		} else {
-			j.fail(errors.New("job queue full"))
-		}
+		// Reject without leaving residue: a failed-looking job in the
+		// store would be served as a stale failure to the next
+		// identical request (and its checkpoint would resurrect the
+		// rejected job on restart). The 503 is the whole answer.
+		s.jobs.remove(id)
+		s.removeJobCkpt(id)
 		return nil, fmt.Errorf("job queue full (capacity %d)", s.cfg.QueueSize)
 	}
+}
+
+// relaxDeadline widens an existing job's deadline: a zero deadline
+// (this client sets no bound) clears it, a later one extends it, and
+// an earlier one is ignored — a job shared by several clients must
+// honor the most patient request it represents, and can only ever get
+// more patient.
+func (j *job) relaxDeadline(deadline time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.deadline.IsZero():
+		// Already unbounded (beyond the server timeout); stay there.
+	case deadline.IsZero():
+		j.deadline = time.Time{}
+	case deadline.After(j.deadline):
+		j.deadline = deadline
+	}
+}
+
+// getDeadline returns the job's current absolute deadline (zero =
+// none).
+func (j *job) getDeadline() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deadline
 }
 
 // runJob executes one job through the certificate cache. Shutdown
@@ -192,9 +233,21 @@ func (s *Server) runJob(j *job) {
 			})
 		}
 	}
-	body, _, err := s.cache.GetOrCompute(s.baseCtx, j.key, func(ctx context.Context) ([]byte, error) {
+	// A client-requested deadline bounds this job's context on top of
+	// the per-job server timeout certify applies.
+	ctx := s.baseCtx
+	if dl := j.getDeadline(); !dl.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(s.baseCtx, dl)
+		defer cancel()
+	}
+	start := time.Now()
+	body, _, err := s.cache.GetOrCompute(ctx, j.key, func(ctx context.Context) ([]byte, error) {
 		return s.certify(ctx, j.req, opt)
 	})
+	// Every completion — success or failure — occupied a worker for
+	// this long; the drain estimator turns that into Retry-After.
+	s.drain.observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
 		j.finish(body)
@@ -269,7 +322,7 @@ func (s *Server) Recover() (int, error) {
 			os.Remove(path)
 			continue
 		}
-		j, existed := s.jobs.getOrCreate(ck.ID, ck.Req, ck.Key)
+		j, existed := s.jobs.getOrCreate(ck.ID, ck.Req, ck.Key, time.Time{})
 		if existed {
 			continue
 		}

@@ -23,6 +23,8 @@ type metrics struct {
 	counts  []int64
 	sum     float64
 	count   int64
+	// admission sheds by gate ("rate", "inflight", "queue").
+	shedByReason map[string]int64
 
 	ckptErrs atomic.Int64 // job-checkpoint write failures (best-effort persistence)
 }
@@ -38,10 +40,18 @@ var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[reqLabel]int64),
-		buckets:  latencyBuckets,
-		counts:   make([]int64, len(latencyBuckets)),
+		requests:     make(map[reqLabel]int64),
+		buckets:      latencyBuckets,
+		counts:       make([]int64, len(latencyBuckets)),
+		shedByReason: make(map[string]int64),
 	}
+}
+
+// shed records one admission rejection by gate.
+func (m *metrics) shed(reason string) {
+	m.mu.Lock()
+	m.shedByReason[reason]++
+	m.mu.Unlock()
 }
 
 // observe records one served request.
@@ -69,6 +79,7 @@ type gauges struct {
 	jobsRunning int
 	jobsDone    int
 	jobsFailed  int
+	inflight    int
 }
 
 // render writes the full exposition. Families are emitted in a fixed
@@ -100,6 +111,17 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
 	fmt.Fprintf(w, "adaserved_request_duration_seconds_sum %g\n", m.sum)
 	fmt.Fprintf(w, "adaserved_request_duration_seconds_count %d\n", m.count)
+
+	reasons := make([]string, 0, len(m.shedByReason))
+	for r := range m.shedByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	fmt.Fprintln(w, "# HELP adaserved_admission_shed_total Requests rejected by admission control, by gate.")
+	fmt.Fprintln(w, "# TYPE adaserved_admission_shed_total counter")
+	for _, r := range reasons {
+		fmt.Fprintf(w, "adaserved_admission_shed_total{reason=%q} %d\n", r, m.shedByReason[r])
+	}
 	m.mu.Unlock()
 
 	c := g.cache
@@ -119,6 +141,19 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP adaserved_cache_entries In-memory cache entries.")
 	fmt.Fprintln(w, "# TYPE adaserved_cache_entries gauge")
 	fmt.Fprintf(w, "adaserved_cache_entries %d\n", c.Entries)
+	degraded := 0
+	if c.Degraded {
+		degraded = 1
+	}
+	fmt.Fprintln(w, "# HELP adaserved_cache_degraded Whether the disk cache layer is demoted to memory-only (1 = degraded).")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_degraded gauge")
+	fmt.Fprintf(w, "adaserved_cache_degraded %d\n", degraded)
+	fmt.Fprintln(w, "# HELP adaserved_cache_demotions_total Times the disk layer was demoted to memory-only after a fault.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_demotions_total counter")
+	fmt.Fprintf(w, "adaserved_cache_demotions_total %d\n", c.Demotions)
+	fmt.Fprintln(w, "# HELP adaserved_cache_recoveries_total Times a recovery probe restored the disk layer.")
+	fmt.Fprintln(w, "# TYPE adaserved_cache_recoveries_total counter")
+	fmt.Fprintf(w, "adaserved_cache_recoveries_total %d\n", c.Recoveries)
 
 	fmt.Fprintln(w, "# HELP adaserved_queue_depth Jobs waiting on the bounded queue.")
 	fmt.Fprintln(w, "# TYPE adaserved_queue_depth gauge")
@@ -132,6 +167,9 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP adaserved_workers_busy Job workers currently certifying.")
 	fmt.Fprintln(w, "# TYPE adaserved_workers_busy gauge")
 	fmt.Fprintf(w, "adaserved_workers_busy %d\n", g.workersBusy)
+	fmt.Fprintln(w, "# HELP adaserved_inflight Certify requests currently being handled.")
+	fmt.Fprintln(w, "# TYPE adaserved_inflight gauge")
+	fmt.Fprintf(w, "adaserved_inflight %d\n", g.inflight)
 
 	fmt.Fprintln(w, "# HELP adaserved_jobs Jobs known to this process, by state.")
 	fmt.Fprintln(w, "# TYPE adaserved_jobs gauge")

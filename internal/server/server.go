@@ -24,8 +24,10 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +61,25 @@ type Config struct {
 	// handler; 0 selects 4096, negative forces every request through
 	// the job queue.
 	MaxSyncWork int
+	// RatePerSec enables per-client admission control on POST
+	// /v1/certify: each client (X-Client-ID header, or remote host)
+	// accrues RatePerSec tokens per second up to Burst, and a request
+	// with an empty bucket is shed with 429 + Retry-After. ≤ 0
+	// disables rate limiting.
+	RatePerSec float64
+	// Burst is the per-client token-bucket capacity; ≤ 0 selects 8.
+	Burst int
+	// MaxInflight caps the number of /v1/certify requests admitted
+	// concurrently; excess requests are shed with 503 + Retry-After
+	// computed from the observed drain rate. ≤ 0 disables the cap.
+	MaxInflight int
+	// FaultHook, when non-nil, runs at the start of every
+	// certification compute (sync and queued) under the compute
+	// context; an error fails the computation exactly as an engine
+	// error would, and is never cached. It exists for the chaos
+	// harness (internal/chaos) to inject slow or failing workers.
+	// Must be nil in production.
+	FaultHook func(ctx context.Context) error
 }
 
 // defaults for Config zero values.
@@ -80,6 +101,10 @@ type Server struct {
 	queue   chan *job
 	metrics *metrics
 	started time.Time
+
+	limiter  *limiter
+	drain    *drainEstimator
+	inflight atomic.Int64
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -115,6 +140,8 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *job, cfg.QueueSize),
 		metrics: newMetrics(),
 		started: time.Now(),
+		limiter: newLimiter(cfg.RatePerSec, cfg.Burst, time.Now),
+		drain:   &drainEstimator{},
 		baseCtx: ctx,
 		cancel:  cancel,
 		quit:    make(chan struct{}),
@@ -191,6 +218,13 @@ func (s *Server) certify(ctx context.Context, req api.CertifyRequest, opt jsr.Gr
 	}
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.Timeout)
 	defer cancel()
+	if s.cfg.FaultHook != nil {
+		// Chaos seam: injected worker faults fail the computation like
+		// an engine error — never cached, never a false certificate.
+		if err := s.cfg.FaultHook(ctx); err != nil {
+			return nil, err
+		}
+	}
 
 	var bounds jsr.Bounds
 	var serr error
@@ -227,6 +261,32 @@ func (s *Server) syncable(req *api.CertifyRequest, set []*mat.Dense) bool {
 }
 
 func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	// Admission gate 1: per-client rate limit. Shed before reading the
+	// body — a limited client costs the service nothing but this check.
+	if ok, retry := s.limiter.admit(clientID(r)); !ok {
+		s.metrics.shed("rate")
+		s.writeShed(w, http.StatusTooManyRequests, retry, "per-client rate limit exceeded")
+		return
+	}
+	// Admission gate 2: global in-flight cap — queue-depth-aware load
+	// shedding for the synchronous path, honest 503 + Retry-After
+	// derived from the observed drain rate.
+	if max := s.cfg.MaxInflight; max > 0 {
+		if n := s.inflight.Add(1); n > int64(max) {
+			s.inflight.Add(-1)
+			s.metrics.shed("inflight")
+			retry := s.drain.retryAfter(len(s.queue)+max, s.cfg.Workers)
+			s.writeShed(w, http.StatusServiceUnavailable, retry, "server saturated: in-flight request cap reached")
+			return
+		}
+		defer s.inflight.Add(-1)
+	}
+
+	deadline, err := requestDeadline(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	req, err := api.DecodeRequest(r.Body)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
@@ -252,16 +312,28 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 			s.writeBody(w, outcome, body)
 			return
 		}
-		j, err := s.enqueue(req, key)
+		var absDeadline time.Time
+		if deadline > 0 {
+			absDeadline = time.Now().Add(deadline)
+		}
+		j, err := s.enqueue(req, key, absDeadline)
 		if err != nil {
-			s.writeError(w, http.StatusServiceUnavailable, err.Error())
+			s.metrics.shed("queue")
+			retry := s.drain.retryAfter(len(s.queue), s.cfg.Workers)
+			s.writeShed(w, http.StatusServiceUnavailable, retry, err.Error())
 			return
 		}
 		s.writeJSON(w, http.StatusAccepted, api.JobRef{JobID: j.id, StatusURL: "/v1/jobs/" + j.id})
 		return
 	}
 
-	body, outcome, err := s.cache.GetOrCompute(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	body, outcome, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
 		return s.certify(ctx, req, req.GripenbergOptions(0))
 	})
 	if err != nil {
@@ -273,6 +345,22 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeBody(w, outcome, body)
+}
+
+// requestDeadline parses the optional X-Request-Deadline header (a Go
+// duration such as "30s" or "1.5m") bounding this request's
+// certification work. Zero means "no extra bound": the per-job server
+// Timeout still applies as the default deadline either way.
+func requestDeadline(r *http.Request) (time.Duration, error) {
+	h := r.Header.Get("X-Request-Deadline")
+	if h == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("server: invalid X-Request-Deadline %q: want a positive Go duration like \"30s\"", h)
+	}
+	return d, nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -294,16 +382,25 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	q, run, done, failed := s.jobs.counts()
+	degraded, reason := s.cache.Degraded()
+	status := "ok"
+	if degraded {
+		// Degraded is still serving: certificates compute and memory
+		// caching works; only cross-restart persistence is offline.
+		status = "degraded"
+	}
 	s.writeJSON(w, http.StatusOK, api.Health{
-		Status:        "ok",
-		Version:       buildinfo.Version(),
-		UptimeSeconds: int64(time.Since(s.started).Seconds()),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
-		JobsQueued:    q,
-		JobsRunning:   run,
-		JobsDone:      done,
-		JobsFailed:    failed,
+		Status:              status,
+		Version:             buildinfo.Version(),
+		UptimeSeconds:       int64(time.Since(s.started).Seconds()),
+		Workers:             s.cfg.Workers,
+		QueueDepth:          len(s.queue),
+		JobsQueued:          q,
+		JobsRunning:         run,
+		JobsDone:            done,
+		JobsFailed:          failed,
+		CacheDegraded:       degraded,
+		CacheDegradedReason: reason,
 	})
 }
 
@@ -323,6 +420,7 @@ func (s *Server) snapshot() gauges {
 		workers:     s.cfg.Workers,
 		workersBusy: int(s.busy.Load()),
 		jobsQueued:  q, jobsRunning: run, jobsDone: done, jobsFailed: failed,
+		inflight: int(s.inflight.Load()),
 	}
 }
 
@@ -345,6 +443,14 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	s.writeJSON(w, code, api.ErrorResponse{Error: msg})
+}
+
+// writeShed answers a load-shed (429/503) with the same backoff hint
+// in both the Retry-After header and the JSON body — shedding is
+// honest backpressure, never a silent drop.
+func (s *Server) writeShed(w http.ResponseWriter, code, retryAfter int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	s.writeJSON(w, code, api.ErrorResponse{Error: msg, RetryAfterSeconds: retryAfter})
 }
 
 // instrument wraps a handler with request counting (by route pattern

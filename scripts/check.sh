@@ -204,6 +204,200 @@ grep -q '^bye$' "$tmpdir/served.out" || {
     exit 1
 }
 
+echo "== chaos smoke: disk fault degrades the cache, sheds carry Retry-After, resilient client converges"
+go build -o "$tmpdir/adaclient" ./cmd/adaclient
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/chaoscache" \
+    -rate 1 -burst 1 -cache-probe 50ms > "$tmpdir/chaos.out" 2>&1 &
+chaos_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/chaos.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: chaos adaserved never reported its listen address:" >&2
+    cat "$tmpdir/chaos.out" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+# Yank the disk out from under the certificate cache: a plain file
+# where the certs directory should be fails every write with ENOTDIR —
+# even for root, which ignores permission bits, so a chmod-based fault
+# would not fire here.
+rm -rf "$tmpdir/chaoscache/certs"
+touch "$tmpdir/chaoscache/certs"
+# The request still certifies: persistence failure demotes the cache to
+# memory-only instead of failing the caller.
+curl -sS -D "$tmpdir/chh1" -o "$tmpdir/chr1.json" -H 'X-Client-ID: smoke' \
+    -X POST --data @"$tmpdir/req.json" "$base/v1/certify"
+grep -q '"verdict":"stable"' "$tmpdir/chr1.json" || {
+    echo "error: certify on a broken disk did not still certify:" >&2
+    cat "$tmpdir/chr1.json" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+curl -sS "$base/healthz" | grep -q '"cache_degraded":true' || {
+    echo "error: /healthz does not report the degraded cache" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+curl -sS "$base/metrics" | grep -q '^adaserved_cache_demotions_total [1-9]' || {
+    echo "error: /metrics does not count the cache demotion" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+# An immediate second request outruns the 1-token bucket: an honest 429
+# that tells the client when to come back.
+shed_status="$(curl -sS -D "$tmpdir/chh2" -o "$tmpdir/chr2.json" -w '%{http_code}' \
+    -H 'X-Client-ID: smoke' -X POST --data @"$tmpdir/req.json" "$base/v1/certify")"
+if [ "$shed_status" != 429 ]; then
+    echo "error: burst POST got $shed_status, want 429" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -qi '^Retry-After: [0-9]' "$tmpdir/chh2" || {
+    echo "error: 429 shed does not carry a Retry-After header:" >&2
+    cat "$tmpdir/chh2" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q '"retry_after_seconds":' "$tmpdir/chr2.json" || {
+    echo "error: 429 body does not carry retry_after_seconds:" >&2
+    cat "$tmpdir/chr2.json" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+# The resilient client rides out the rate limit (it shares the curl
+# client id, so its first attempt is shed) and converges on bytes
+# identical to the degraded miss — and on the bracket of a fresh
+# jsrtool run on the same matrices.
+"$tmpdir/adaclient" -server "$base" -client-id smoke -deadline 60s \
+    -in "$tmpdir/req.json" > "$tmpdir/chclient.json" || {
+    echo "error: adaclient did not converge against the rate-limited server" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+"$tmpdir/jsrtool" -in "$tmpdir/set.json" > "$tmpdir/chtool.out"
+chaos_tool_bracket="$(sed -n 's/^JSR in \(\[[^]]*\]\).*/\1/p' "$tmpdir/chtool.out")"
+client_bracket="$(sed -n 's/.*"bracket":"\([^"]*\)".*/\1/p' "$tmpdir/chclient.json")"
+if [ -z "$chaos_tool_bracket" ] || [ "$client_bracket" != "$chaos_tool_bracket" ]; then
+    echo "error: client bracket '$client_bracket' != fresh jsrtool bracket '$chaos_tool_bracket'" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+# adaclient writes the canonical body verbatim.
+cmp -s "$tmpdir/chr1.json" "$tmpdir/chclient.json" || {
+    echo "error: client bytes differ from the server's canonical response" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+# Heal the disk. The next certifications trigger the recovery probe
+# (every -cache-probe), which re-promotes the persistent layer.
+rm -f "$tmpdir/chaoscache/certs"
+recovered=""
+for i in 1 2 3 4 5; do
+    sleep 0.2
+    printf '{"version":1,"matrices":[[[0.3%s]]]}' "$i" > "$tmpdir/chheal.json"
+    curl -sS -o /dev/null -H "X-Client-ID: heal$i" \
+        -X POST --data @"$tmpdir/chheal.json" "$base/v1/certify"
+    if curl -sS "$base/healthz" | grep -q '"cache_degraded":false'; then
+        recovered=yes
+        break
+    fi
+done
+if [ -z "$recovered" ]; then
+    echo "error: cache never recovered after the disk healed" >&2
+    curl -sS "$base/healthz" >&2 || true
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sS "$base/metrics" | grep -q '^adaserved_cache_recoveries_total [1-9]' || {
+    echo "error: /metrics does not count the cache recovery" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$chaos_pid"
+set +e
+wait "$chaos_pid"
+chaos_status=$?
+set -e
+if [ "$chaos_status" -ne 0 ]; then
+    echo "error: chaos adaserved exited $chaos_status on SIGTERM, want 0:" >&2
+    cat "$tmpdir/chaos.out" >&2
+    exit 1
+fi
+
+echo "== overload smoke: a saturated queue sheds 503 with Retry-After"
+# One worker, a one-slot queue, and long-grinding jobs: the lifted
+# PMSM scenario (9×9 modes) at a delta far below what the budget
+# reaches runs for ~a second, and its brute-force work puts it on the
+# async path. The third concurrent job has nowhere to go: 503, with a
+# drain-rate Retry-After.
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -workers 1 -queue 1 -timeout 2s \
+    > "$tmpdir/overload.out" 2>&1 &
+over_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/overload.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: overload adaserved never reported its listen address:" >&2
+    cat "$tmpdir/overload.out" >&2
+    kill "$over_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+slow_req() {
+    printf '{"version":1,"scenario":{"name":"pmsm"},"delta":%s,"depth":60,"max_nodes":90000000}' "$1"
+}
+slow_req 1e-12 > "$tmpdir/ov1.json"
+slow_req 2e-12 > "$tmpdir/ov2.json"
+slow_req 3e-12 > "$tmpdir/ov3.json"
+curl -sS -o /dev/null -X POST --data @"$tmpdir/ov1.json" "$base/v1/certify"
+# Wait until the single worker has actually picked the first job up, so
+# the second one deterministically occupies the only queue slot.
+running=""
+for _ in $(seq 1 100); do
+    if curl -sS "$base/healthz" | grep -q '"jobs_running":1'; then
+        running=yes
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$running" ]; then
+    echo "error: first overload job never started running" >&2
+    kill "$over_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sS -o /dev/null -X POST --data @"$tmpdir/ov2.json" "$base/v1/certify"
+over_status="$(curl -sS -D "$tmpdir/ovh3" -o /dev/null -w '%{http_code}' \
+    -X POST --data @"$tmpdir/ov3.json" "$base/v1/certify")"
+if [ "$over_status" != 503 ]; then
+    echo "error: overflow POST got $over_status, want 503" >&2
+    kill "$over_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -qi '^Retry-After: [0-9]' "$tmpdir/ovh3" || {
+    echo "error: 503 shed does not carry a Retry-After header:" >&2
+    cat "$tmpdir/ovh3" >&2
+    kill "$over_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$over_pid"
+set +e
+wait "$over_pid"
+over_exit=$?
+set -e
+if [ "$over_exit" -ne 0 ]; then
+    echo "error: overload adaserved exited $over_exit on SIGTERM, want 0:" >&2
+    cat "$tmpdir/overload.out" >&2
+    exit 1
+fi
+
 echo "== benchmark smoke: JSR worker sweep"
 go test -run '^$' -bench 'BenchmarkJSRWorkers' -benchtime 1x .
 
