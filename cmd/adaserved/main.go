@@ -63,6 +63,7 @@ func run() int {
 	burst := flag.Int("burst", 0, "per-client token-bucket capacity (0 = default 8; only meaningful with -rate)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent certify requests before shedding 503 (0 = unlimited)")
 	cacheProbe := flag.Duration("cache-probe", 0, "recovery-probe interval while the disk cache is degraded (0 = default 30s)")
+	storeSegment := flag.Int64("store-segment", 0, "segment rotation threshold in bytes for the persistent logs (0 = default 64 MiB)")
 	version := flag.Bool("version", false, "print build/version information and exit")
 	flag.Parse()
 
@@ -76,20 +77,21 @@ func run() int {
 		certDir = filepath.Join(*cacheDir, "certs")
 		stateDir = *cacheDir
 	}
-	cache, err := certcache.New(certcache.Options{Dir: certDir, ProbeInterval: *cacheProbe})
+	cache, err := certcache.New(certcache.Options{Dir: certDir, ProbeInterval: *cacheProbe, SegmentBytes: *storeSegment})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaserved:", err)
 		return 2
 	}
 	svc, err := server.New(server.Config{
-		Workers:     *workers,
-		QueueSize:   *queue,
-		Timeout:     *timeout,
-		Cache:       cache,
-		StateDir:    stateDir,
-		RatePerSec:  *rate,
-		Burst:       *burst,
-		MaxInflight: *maxInflight,
+		Workers:           *workers,
+		QueueSize:         *queue,
+		Timeout:           *timeout,
+		Cache:             cache,
+		StateDir:          stateDir,
+		StoreSegmentBytes: *storeSegment,
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		MaxInflight:       *maxInflight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adaserved:", err)

@@ -1,0 +1,58 @@
+// Command mklegacy fabricates a certificate-cache entry in the legacy
+// pre-log one-file-per-entry layout (dir/xx/<hex>.cert).
+//
+//	mklegacy -dir DIR -req REQ.json -body FILE
+//
+// It exists for migration drills: scripts/check.sh plants an entry
+// whose body is a sentinel no computation would ever produce, starts
+// adaserved over the directory, and verifies the sentinel is served
+// back byte-identically after the transparent import into the
+// segmented log — proving migration preserves acknowledged bytes
+// exactly. Production code never writes this layout anymore.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+)
+
+func main() {
+	dir := flag.String("dir", "", "legacy cache directory (the certs dir adaserved will open)")
+	reqPath := flag.String("req", "", "certify request JSON; the entry is stored under its content key")
+	bodyPath := flag.String("body", "", "file holding the bytes to store (served verbatim on a cache hit)")
+	flag.Parse()
+	if *dir == "" || *reqPath == "" || *bodyPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: mklegacy -dir DIR -req REQ.json -body FILE")
+		os.Exit(2)
+	}
+	rf, err := os.Open(*reqPath)
+	if err != nil {
+		die(err)
+	}
+	req, err := api.DecodeRequest(rf)
+	rf.Close()
+	if err != nil {
+		die(err)
+	}
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		die(err)
+	}
+	body, err := os.ReadFile(*bodyPath)
+	if err != nil {
+		die(err)
+	}
+	if err := certcache.WriteLegacyEntry(*dir, req.Key(), body); err != nil {
+		die(err)
+	}
+	fmt.Println(req.Key().String())
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mklegacy:", err)
+	os.Exit(1)
+}

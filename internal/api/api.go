@@ -147,6 +147,13 @@ type Health struct {
 	JobsFailed          int    `json:"jobs_failed"`
 	CacheDegraded       bool   `json:"cache_degraded"`
 	CacheDegradedReason string `json:"cache_degraded_reason,omitempty"`
+	// StoreCompactionDegraded reports a persistent store (certificate
+	// or job log) whose background compaction is failing while appends
+	// still work: degraded-not-dead — records keep persisting, space
+	// reclamation retries with backoff, and the reason names the store
+	// and its last error.
+	StoreCompactionDegraded bool   `json:"store_compaction_degraded"`
+	StoreCompactionReason   string `json:"store_compaction_reason,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx JSON reply.

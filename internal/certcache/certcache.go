@@ -9,16 +9,19 @@
 //   - An in-memory LRU front bounds resident memory and serves repeat
 //     requests without touching the disk.
 //
-//   - An optional on-disk store (one file per key, written through
-//     internal/checkpoint's atomic temp+rename+checksum writer behind
-//     the pluggable FS seam) survives restarts. A corrupt or
-//     mismatching entry is evicted and recomputed — checkpoint.
-//     ErrCorrupt is a cache miss, never a request failure. A *failing*
-//     disk (ENOSPC, permission loss, IO errors) demotes the cache to
-//     memory-only: requests keep being served from memory and fresh
-//     computation, a health flag records the demotion, and a periodic
-//     recovery probe re-enables the disk once it heals. Disk trouble
-//     degrades the cache, never the service.
+//   - An optional persistent layer (internal/store's crash-safe
+//     segmented log) survives restarts. Every persisted record is
+//     CRC-framed and fsync-acknowledged; a corrupt entry is evicted
+//     and recomputed — corruption is a cache miss, never a request
+//     failure. A *failing* disk (ENOSPC, permission loss, IO errors)
+//     demotes the cache to memory-only: requests keep being served
+//     from memory and fresh computation, a health flag records the
+//     demotion, and a periodic recovery probe re-enables the store
+//     once it heals. Disk trouble degrades the cache, never the
+//     service. A store whose background compaction fails but whose
+//     appends still work is degraded-not-dead: entries keep
+//     persisting, health reports the condition, and compaction
+//     retries with backoff.
 //
 //   - Singleflight deduplication: N concurrent requests for the same
 //     key perform exactly one computation; the followers block on the
@@ -29,6 +32,12 @@
 // the service does) rather than a decoded struct is what makes the
 // byte-identical-responses guarantee trivial: a hit literally replays
 // the leader's bytes.
+//
+// Caches created before the segmented log used one checkpoint file per
+// entry (dir/xx/<hex>.cert). New transparently migrates such a legacy
+// directory into the log on first open: each entry is verified,
+// imported, and its file removed; the count is visible in
+// StoreStats().Migrated.
 package certcache
 
 import (
@@ -37,26 +46,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
 	"adaptivertc/internal/checkpoint"
 	"adaptivertc/internal/inputhash"
+	"adaptivertc/internal/store"
 )
 
 // Key addresses one cached certification result.
 type Key = inputhash.Sum
 
-// entryKind/entryVersion identify the on-disk entry format.
+// entryKind/entryVersion identify the legacy one-file-per-entry
+// on-disk format, retained only so migration can verify old entries.
 const (
 	entryKind    = "adaserved/cert"
 	entryVersion = 1
 )
 
-// entry is the persisted payload: the key is stored alongside the body
-// so a renamed or copied file cannot serve bytes for the wrong request.
+// entry is the legacy persisted payload: the key was stored alongside
+// the body so a renamed or copied file could not serve bytes for the
+// wrong request. (The segmented log gets the same property from the
+// key embedded in each record's frame.)
 type entry struct {
 	Key  Key
 	Body []byte
@@ -99,9 +111,9 @@ type Stats struct {
 	DiskHits   int64 // disk hits (promoted to memory)
 	Misses     int64 // computations actually run
 	Shared     int64 // calls served by someone else's in-flight computation
-	Corrupt    int64 // on-disk entries evicted as corrupt/mismatching
+	Corrupt    int64 // persisted entries evicted as corrupt
 	WriteErrs  int64 // best-effort persistence failures
-	ReadErrs   int64 // disk read failures other than not-exist/corrupt
+	ReadErrs   int64 // store read failures other than not-exist/corrupt
 	Demotions  int64 // times the cache fell back to memory-only
 	Recoveries int64 // times a probe restored the persistent layer
 	Entries    int   // current in-memory entries
@@ -119,12 +131,17 @@ type Options struct {
 	// Capacity is the maximum number of in-memory entries; ≤ 0 selects
 	// 1024. Eviction is least-recently-used.
 	Capacity int
-	// Dir, when non-empty, persists every computed entry to this
-	// directory (created if absent) and consults it on memory misses.
+	// Dir, when non-empty, persists every computed entry to a segmented
+	// log in this directory (created if absent) and consults it on
+	// memory misses. A legacy one-file-per-entry directory is migrated
+	// into the log on open.
 	Dir string
-	// FS is the filesystem the persistent layer writes through; nil
-	// selects OSFS. Tests and the chaos harness substitute a faulty FS.
+	// FS is the filesystem the persistent layer runs on; nil selects
+	// OSFS. Tests and the chaos harness substitute a faulty FS.
 	FS FS
+	// SegmentBytes is the log's segment rotation threshold; ≤ 0 selects
+	// the store default (64 MiB).
+	SegmentBytes int64
 	// ProbeInterval bounds how often a degraded cache re-probes the
 	// disk; ≤ 0 selects 30 seconds. Probes run lazily from cache
 	// operations, so an idle degraded cache costs nothing.
@@ -138,7 +155,7 @@ const defaultProbeInterval = 30 * time.Second
 type Cache struct {
 	capacity      int
 	dir           string
-	fs            FS
+	log           *store.Log // nil for a memory-only cache
 	probeInterval time.Duration
 	now           func() time.Time // swapped in tests
 
@@ -163,9 +180,12 @@ type flight struct {
 	err  error
 }
 
-// New creates a cache, creating Options.Dir if requested. A Dir that
-// cannot be created at construction time is an operator error and
-// fails New; faults after construction demote instead.
+// New creates a cache. With a Dir, the segmented log is opened (or
+// created) there and any legacy one-file-per-entry layout is migrated
+// in. A Dir whose log cannot be opened at construction time is an
+// operator error and fails New — in particular, a log whose sealed
+// segments rotted refuses to open rather than silently dropping
+// acknowledged entries; faults after construction demote instead.
 func New(opt Options) (*Cache, error) {
 	if opt.Capacity <= 0 {
 		opt.Capacity = 1024
@@ -176,21 +196,96 @@ func New(opt Options) (*Cache, error) {
 	if opt.ProbeInterval <= 0 {
 		opt.ProbeInterval = defaultProbeInterval
 	}
-	if opt.Dir != "" {
-		if err := opt.FS.MkdirAll(opt.Dir); err != nil {
-			return nil, fmt.Errorf("certcache: creating %s: %w", opt.Dir, err)
-		}
-	}
-	return &Cache{
+	c := &Cache{
 		capacity:      opt.Capacity,
 		dir:           opt.Dir,
-		fs:            opt.FS,
 		probeInterval: opt.ProbeInterval,
 		now:           time.Now,
 		lru:           list.New(),
 		index:         make(map[Key]*list.Element),
 		inflight:      make(map[Key]*flight),
-	}, nil
+	}
+	if opt.Dir != "" {
+		l, err := store.Open(opt.Dir, store.Options{FS: opt.FS, SegmentBytes: opt.SegmentBytes})
+		if err != nil {
+			return nil, fmt.Errorf("certcache: opening store in %s: %w", opt.Dir, err)
+		}
+		c.log = l
+		if err := c.migrateLegacy(opt.FS); err != nil {
+			// Migration is restartable (remaining legacy files are picked
+			// up next open); a fault mid-way degrades rather than failing
+			// construction.
+			c.mu.Lock()
+			c.demoteLocked("migrating legacy entries", err)
+			c.mu.Unlock()
+		}
+	}
+	return c, nil
+}
+
+// migrateLegacy imports a pre-log one-file-per-entry cache directory
+// (dir/xx/<hex>.cert, checkpoint-enveloped) into the segmented log.
+// Each entry is verified before import; corrupt files are dropped —
+// they would have been evicted on first read anyway. Files and shard
+// dirs are removed as they migrate, so a crash mid-migration simply
+// resumes on the next open.
+func (c *Cache) migrateLegacy(fs FS) error {
+	names, err := fs.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("certcache: scanning %s: %w", c.dir, err)
+	}
+	var migrated int64
+	defer func() {
+		if migrated > 0 {
+			c.log.AddMigrated(migrated)
+		}
+	}()
+	for _, shard := range names {
+		if len(shard) != 2 || !isHex(shard) {
+			continue
+		}
+		shardDir := filepath.Join(c.dir, shard)
+		files, err := fs.ReadDir(shardDir)
+		if err != nil {
+			// Not a directory (a stray file named like a shard) — skip.
+			continue
+		}
+		for _, name := range files {
+			p := filepath.Join(shardDir, name)
+			if filepath.Ext(name) != ".cert" {
+				continue
+			}
+			data, err := fs.ReadFile(p)
+			if err != nil {
+				return fmt.Errorf("certcache: migrating %s: %w", p, err)
+			}
+			var e entry
+			if uerr := checkpoint.Unmarshal(data, entryKind, entryVersion, &e); uerr == nil {
+				if err := c.log.Put(e.Key.String(), e.Body); err != nil {
+					return fmt.Errorf("certcache: migrating %s: %w", p, err)
+				}
+				migrated++
+			}
+			// Imported or corrupt: either way the file is done.
+			if err := fs.Remove(p); err != nil {
+				return fmt.Errorf("certcache: removing migrated %s: %w", p, err)
+			}
+		}
+		// A shard dir that is empty now disappears; one that still holds
+		// foreign files is left alone.
+		//lint:ignore droppederr removal fails when foreign files remain, which is the intended behavior
+		fs.Remove(shardDir)
+	}
+	return nil
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns a snapshot of the counters.
@@ -201,6 +296,31 @@ func (c *Cache) Stats() Stats {
 	s.Entries = c.lru.Len()
 	s.Degraded = c.degraded
 	return s
+}
+
+// Persistent reports whether the cache has a persistent layer at all
+// (a memory-only cache never will, regardless of degraded state).
+func (c *Cache) Persistent() bool { return c.log != nil }
+
+// StoreStats returns the persistent layer's counters and health; the
+// zero value for a memory-only cache. The server folds
+// CompactionDegraded into /healthz: failed compaction with working
+// appends is degraded-not-dead.
+func (c *Cache) StoreStats() store.Stats {
+	if c.log == nil {
+		return store.Stats{}
+	}
+	return c.log.Stats()
+}
+
+// Close flushes and releases the persistent layer. The in-memory cache
+// remains usable (memory-only) after Close; it exists so shutdown can
+// seal the log cleanly.
+func (c *Cache) Close() error {
+	if c.log == nil {
+		return nil
+	}
+	return c.log.Close()
 }
 
 // Degraded reports whether the persistent layer is currently offline
@@ -228,7 +348,7 @@ func (c *Cache) demoteLocked(op string, err error) {
 // While degraded, at most one caller per probe interval attempts a
 // recovery probe; everyone else skips the disk immediately.
 func (c *Cache) diskUsable() bool {
-	if c.dir == "" {
+	if c.log == nil {
 		return false
 	}
 	c.mu.Lock()
@@ -245,17 +365,21 @@ func (c *Cache) diskUsable() bool {
 	return c.Probe()
 }
 
-// probePayload is written and read back by recovery probes; corruption
-// injected by a faulty FS therefore also fails the probe.
+// probeKey/probePayload are written and read back by recovery probes;
+// corruption injected by a faulty FS therefore also fails the probe.
+const probeKey = ".probe"
+
 var probePayload = []byte("adaserved certcache recovery probe\n")
 
-// Probe attempts a full write-read-remove round trip on the persistent
-// directory and, on success, restores disk operation. It returns the
+// Probe attempts a full put-get-delete round trip on the persistent
+// store and, on success, restores disk operation. It returns the
 // resulting health (true = persistent layer usable). Probes are cheap
 // and safe to call at any time; a healthy cache returns true
-// immediately.
+// immediately. A probe through the log also repairs a torn tail left
+// by the fault that demoted the cache: the store truncates the partial
+// frame before the probe's append.
 func (c *Cache) Probe() bool {
-	if c.dir == "" {
+	if c.log == nil {
 		return false
 	}
 	c.mu.Lock()
@@ -265,18 +389,16 @@ func (c *Cache) Probe() bool {
 	}
 	c.mu.Unlock()
 
-	p := filepath.Join(c.dir, ".probe")
-	ok := c.fs.MkdirAll(c.dir) == nil &&
-		c.fs.WriteFile(p, probePayload) == nil
+	ok := c.log.Put(probeKey, probePayload) == nil
 	if ok {
-		got, err := c.fs.ReadFile(p)
-		ok = err == nil && bytes.Equal(got, probePayload)
+		got, present, err := c.log.Get(probeKey)
+		ok = err == nil && present && bytes.Equal(got, probePayload)
 	}
 	if !ok {
 		return false
 	}
-	//lint:ignore droppederr best-effort cleanup: a lingering probe file is harmless and the next probe overwrites it
-	c.fs.Remove(p)
+	//lint:ignore droppederr best-effort cleanup: a lingering probe record is harmless and the next probe overwrites it
+	c.log.Delete(probeKey)
 	c.mu.Lock()
 	if c.degraded {
 		c.degraded = false
@@ -375,7 +497,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func(context.
 		if werr := c.persist(key, body); werr != nil {
 			c.mu.Lock()
 			c.stats.WriteErrs++
-			c.demoteLocked("write "+c.path(key), werr)
+			c.demoteLocked("put "+key.String(), werr)
 			c.mu.Unlock()
 		}
 	}
@@ -403,56 +525,38 @@ func (c *Cache) insertLocked(key Key, body []byte) {
 	}
 }
 
-// EntryPath returns the on-disk location for key (sharded by the
-// leading byte so a long-lived cache directory stays listable), or ""
-// for a memory-only cache. Exposed for operations and tests; the file
-// format is internal/checkpoint's.
-func (c *Cache) EntryPath(key Key) string {
-	if c.dir == "" {
-		return ""
-	}
-	return c.path(key)
-}
-
-func (c *Cache) path(key Key) string {
-	hex := key.String()
-	return filepath.Join(c.dir, hex[:2], hex+".cert")
-}
-
 // loadDisk reads and verifies the persisted entry for key; nil means
-// miss. A corrupt, mismatching, or misfiled entry is removed and
-// reported as a miss — recompute, never fail. A failing disk
-// (permission loss, IO errors) demotes the cache to memory-only,
-// which is also a miss: degraded operation keeps serving requests, it
-// just stops consulting the disk until a probe restores it.
+// miss. A corrupt entry is removed and reported as a miss — recompute,
+// never fail. A failing disk (permission loss, IO errors) demotes the
+// cache to memory-only, which is also a miss: degraded operation keeps
+// serving requests, it just stops consulting the store until a probe
+// restores it.
 func (c *Cache) loadDisk(key Key) []byte {
 	if !c.diskUsable() {
 		return nil
 	}
-	p := c.path(key)
-	data, err := c.fs.ReadFile(p)
+	body, ok, err := c.log.Get(key.String())
 	switch {
-	case errors.Is(err, os.ErrNotExist):
+	case err == nil && !ok:
+		return nil
+	case errors.Is(err, store.ErrCorrupt):
+		// Bit rot under a record the index still points at: evict and
+		// recompute. The store refuses to serve it, so a half-rotted
+		// certificate can never reach a client.
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.mu.Unlock()
+		//lint:ignore droppederr eviction is best-effort: the entry is already being treated as a miss
+		c.log.Delete(key.String())
 		return nil
 	case err != nil:
 		c.mu.Lock()
 		c.stats.ReadErrs++
-		c.demoteLocked("read "+p, err)
+		c.demoteLocked("get "+key.String(), err)
 		c.mu.Unlock()
 		return nil
 	}
-	var e entry
-	if uerr := checkpoint.Unmarshal(data, entryKind, entryVersion, &e); uerr == nil && e.Key == key {
-		return e.Body
-	}
-	// Corrupt, mismatching, or misfiled (checksum passed but the
-	// embedded key disagrees with the file name): evict and recompute.
-	c.mu.Lock()
-	c.stats.Corrupt++
-	c.mu.Unlock()
-	//lint:ignore droppederr eviction is best-effort: the entry is already being treated as a miss
-	c.fs.Remove(p)
-	return nil
+	return body
 }
 
 // persist writes the entry for key. Best-effort: the caller records
@@ -462,13 +566,5 @@ func (c *Cache) persist(key Key, body []byte) error {
 	if !c.diskUsable() {
 		return nil
 	}
-	data, err := checkpoint.Marshal(entryKind, entryVersion, entry{Key: key, Body: body})
-	if err != nil {
-		return err
-	}
-	p := c.path(key)
-	if err := c.fs.MkdirAll(filepath.Dir(p)); err != nil {
-		return err
-	}
-	return c.fs.WriteFile(p, data)
+	return c.log.Put(key.String(), body)
 }

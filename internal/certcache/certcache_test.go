@@ -9,10 +9,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"adaptivertc/internal/store"
 )
 
 func keyOf(s string) Key { return sha256.Sum256([]byte(s)) }
@@ -31,7 +34,28 @@ func mustNew(t *testing.T, opt Options) *Cache {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { c.Close() })
 	return c
+}
+
+// newestSegment returns the path of the highest-sequence segment file
+// in a cache directory — where the most recent record's frame lives.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			newest = filepath.Join(dir, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatal("no segment files in cache dir")
+	}
+	return newest
 }
 
 // The central concurrency contract: N concurrent identical requests
@@ -171,7 +195,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 // Disk persistence: a second cache over the same directory serves the
-// first cache's entry without recomputing.
+// first cache's entry without recomputing, byte-identically.
 func TestDiskRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	key := keyOf("persist")
@@ -182,6 +206,9 @@ func TestDiskRoundTrip(t *testing.T) {
 		return []byte("stored"), nil
 	}); err != nil || outcome != Miss {
 		t.Fatalf("first: outcome=%v err=%v", outcome, err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 
 	c2 := mustNew(t, Options{Dir: dir})
@@ -201,81 +228,62 @@ func TestDiskRoundTrip(t *testing.T) {
 	}
 }
 
-// A corrupted disk entry is evicted and recomputed — never an error.
+// Bit rot under a live record is evicted and recomputed — never an
+// error, and never a demotion (it is a per-entry event, not a disk
+// fault).
 func TestCorruptDiskEntryRecomputed(t *testing.T) {
 	dir := t.TempDir()
 	key := keyOf("corrupt-me")
 	ctx := context.Background()
 
-	c1 := mustNew(t, Options{Dir: dir})
-	if _, _, err := c1.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+	// Capacity 1 so a second entry evicts the first from memory,
+	// forcing the next Get back to the store.
+	c := mustNew(t, Options{Dir: dir, Capacity: 1})
+	if _, _, err := c.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
 		return []byte("original"), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	p := c1.path(key)
-	raw, err := os.ReadFile(p)
+	// Rot the freshest frame in place — the record just persisted.
+	seg := newestSegment(t, dir)
+	raw, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[len(raw)-1] ^= 0xFF // flip a byte inside the gob payload
-	if err := os.WriteFile(p, raw, 0o644); err != nil {
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetOrCompute(ctx, keyOf("evictor"), func(context.Context) ([]byte, error) {
+		return []byte("x"), nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 
-	c2 := mustNew(t, Options{Dir: dir})
 	var calls atomic.Int64
-	body, outcome, err := c2.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
+	body, outcome, err := c.GetOrCompute(ctx, key, func(context.Context) ([]byte, error) {
 		calls.Add(1)
 		return []byte("recomputed"), nil
 	})
 	if err != nil || outcome != Miss || string(body) != "recomputed" || calls.Load() != 1 {
 		t.Fatalf("corrupt path: body=%q outcome=%v err=%v calls=%d", body, outcome, err, calls.Load())
 	}
-	if st := c2.Stats(); st.Corrupt != 1 {
+	st := c.Stats()
+	if st.Corrupt != 1 {
 		t.Fatalf("stats = %+v, want Corrupt=1", st)
 	}
-	// The rewritten entry must be good again on a fresh cache.
-	c3 := mustNew(t, Options{Dir: dir})
-	body, outcome, err = c3.GetOrCompute(ctx, key, nil)
-	if err != nil || outcome != HitDisk || string(body) != "recomputed" {
-		t.Fatalf("after repair: body=%q outcome=%v err=%v", body, outcome, err)
+	if st.Degraded {
+		t.Fatalf("per-entry corruption demoted the cache: %+v", st)
 	}
-}
-
-// A checksum-valid file whose embedded key disagrees with its name
-// (e.g. a copied file) is treated exactly like corruption.
-func TestMisfiledEntryRecomputed(t *testing.T) {
-	dir := t.TempDir()
-	ctx := context.Background()
-	c := mustNew(t, Options{Dir: dir})
-	if _, _, err := c.GetOrCompute(ctx, keyOf("a"), func(context.Context) ([]byte, error) {
-		return []byte("a-body"), nil
+	// The rewritten entry serves again from disk after a memory evict.
+	if _, _, err := c.GetOrCompute(ctx, keyOf("evictor-2"), func(context.Context) ([]byte, error) {
+		return []byte("y"), nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Copy a's file into b's slot.
-	bKey := keyOf("b")
-	src, err := os.ReadFile(c.path(keyOf("a")))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.MkdirAll(filepath.Dir(c.path(bKey)), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(c.path(bKey), src, 0o644); err != nil {
-		t.Fatal(err)
-	}
-
-	c2 := mustNew(t, Options{Dir: dir})
-	body, outcome, err := c2.GetOrCompute(ctx, bKey, func(context.Context) ([]byte, error) {
-		return []byte("b-body"), nil
-	})
-	if err != nil || outcome != Miss || string(body) != "b-body" {
-		t.Fatalf("misfiled: body=%q outcome=%v err=%v", body, outcome, err)
-	}
-	if st := c2.Stats(); st.Corrupt != 1 {
-		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	body, outcome, err = c.GetOrCompute(ctx, key, nil)
+	if err != nil || outcome != HitDisk || string(body) != "recomputed" {
+		t.Fatalf("after repair: body=%q outcome=%v err=%v", body, outcome, err)
 	}
 }
 
@@ -307,6 +315,78 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 }
 
+// --- legacy layout migration ---
+
+// A pre-log one-file-per-entry directory is transparently imported on
+// open: entries serve from the store, the files are gone, and the
+// migration count is visible. A second open is a no-op.
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	want := map[string][]byte{}
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("legacy-%d", i)
+		body := []byte(fmt.Sprintf("legacy-body-%d", i))
+		if err := WriteLegacyEntry(dir, keyOf(name), body); err != nil {
+			t.Fatal(err)
+		}
+		want[name] = body
+	}
+	// One rotted legacy file: dropped, not imported, not fatal.
+	rotted := keyOf("rotted")
+	if err := WriteLegacyEntry(dir, rotted, []byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	hex := rotted.String()
+	rottedPath := filepath.Join(dir, hex[:2], hex+".cert")
+	raw, err := os.ReadFile(rottedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(rottedPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := mustNew(t, Options{Dir: dir})
+	if got := c.StoreStats().Migrated; got != 5 {
+		t.Fatalf("Migrated = %d, want 5", got)
+	}
+	for name, body := range want {
+		got, outcome, ok := c.Get(keyOf(name))
+		if !ok || outcome != HitDisk || !bytes.Equal(got, body) {
+			t.Fatalf("migrated %q: ok=%v outcome=%v body=%q", name, ok, outcome, got)
+		}
+	}
+	if _, _, ok := c.Get(rotted); ok {
+		t.Fatal("rotted legacy entry was imported")
+	}
+	// Every legacy file (and its shard dir) is gone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("legacy shard dir %q survived migration", e.Name())
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: nothing left to migrate, data still serves.
+	c2 := mustNew(t, Options{Dir: dir})
+	if got := c2.StoreStats().Migrated; got != 0 {
+		t.Fatalf("second open migrated %d entries, want 0", got)
+	}
+	for name, body := range want {
+		got, _, ok := c2.Get(keyOf(name))
+		if !ok || !bytes.Equal(got, body) {
+			t.Fatalf("post-migration reopen %q: ok=%v body=%q", name, ok, got)
+		}
+	}
+}
+
 // --- degraded-mode (faulty disk) behaviour ---
 
 // faultFS wraps the real filesystem with switchable read/write faults,
@@ -333,32 +413,92 @@ func (f *faultFS) failing(read bool) bool {
 	return f.failWrites
 }
 
+var errInjected = errors.New("faultFS: injected failure")
+
 func (f *faultFS) MkdirAll(dir string) error {
 	if f.failing(false) {
-		return errors.New("faultFS: injected mkdir failure")
+		return errInjected
 	}
 	return f.base.MkdirAll(dir)
 }
 
+func (f *faultFS) OpenAppend(path string) (store.File, int64, error) {
+	if f.failing(false) {
+		return nil, 0, errInjected
+	}
+	file, size, err := f.base.OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultFile{File: file, fs: f}, size, nil
+}
+
+func (f *faultFS) ReadDir(dir string) ([]string, error) {
+	if f.failing(true) {
+		return nil, errInjected
+	}
+	return f.base.ReadDir(dir)
+}
+
 func (f *faultFS) ReadFile(path string) ([]byte, error) {
 	if f.failing(true) {
-		return nil, errors.New("faultFS: injected read failure")
+		return nil, errInjected
 	}
 	return f.base.ReadFile(path)
 }
 
-func (f *faultFS) WriteFile(path string, data []byte) error {
-	if f.failing(false) {
-		return errors.New("faultFS: injected write failure (ENOSPC)")
+func (f *faultFS) ReadAt(path string, p []byte, off int64) error {
+	if f.failing(true) {
+		return errInjected
 	}
-	return f.base.WriteFile(path, data)
+	return f.base.ReadAt(path, p, off)
+}
+
+func (f *faultFS) Rename(oldpath, newpath string) error {
+	if f.failing(false) {
+		return errInjected
+	}
+	return f.base.Rename(oldpath, newpath)
 }
 
 func (f *faultFS) Remove(path string) error {
 	if f.failing(false) {
-		return errors.New("faultFS: injected remove failure")
+		return errInjected
 	}
 	return f.base.Remove(path)
+}
+
+func (f *faultFS) Truncate(path string, size int64) error {
+	if f.failing(false) {
+		return errInjected
+	}
+	return f.base.Truncate(path, size)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if f.failing(false) {
+		return errInjected
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	store.File
+	fs *faultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.fs.failing(false) {
+		return 0, errInjected
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.failing(false) {
+		return errInjected
+	}
+	return ff.File.Sync()
 }
 
 func computeBody(s string) func(context.Context) ([]byte, error) {
@@ -406,6 +546,9 @@ func TestReadFaultDemotesAndRecomputes(t *testing.T) {
 	if _, _, err := healthy.GetOrCompute(context.Background(), keyOf("k"), computeBody("v")); err != nil {
 		t.Fatal(err)
 	}
+	if err := healthy.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	ffs := &faultFS{}
 	c := mustNew(t, Options{Dir: dir, FS: ffs})
@@ -422,7 +565,8 @@ func TestReadFaultDemotesAndRecomputes(t *testing.T) {
 
 // Once the disk heals, the next probe after the probe interval
 // restores persistence: the health flag clears and entries flow to
-// disk again.
+// disk again. The probe's append also repairs any torn tail the
+// original fault left behind.
 func TestProbeRecoversHealedDisk(t *testing.T) {
 	dir := t.TempDir()
 	ffs := &faultFS{}
@@ -460,15 +604,23 @@ func TestProbeRecoversHealedDisk(t *testing.T) {
 	if reason := st.DegradedReason; reason != "" {
 		t.Fatalf("recovered cache still carries reason %q", reason)
 	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// The post-recovery entry is actually on disk: a fresh cache over
 	// the same directory serves it without computing.
 	fresh := mustNew(t, Options{Dir: dir})
 	if _, outcome, ok := fresh.Get(keyOf("c")); !ok || outcome != HitDisk {
 		t.Fatalf("post-recovery entry not persisted: ok=%v outcome=%v", ok, outcome)
 	}
-	// Probe on a healthy cache is a cheap no-op true.
-	if !c.Probe() {
-		t.Fatal("Probe on healthy cache returned false")
+	// The probe record itself must not leak into the store.
+	if _, _, ok := fresh.Get(Key{}); ok {
+		t.Fatal("unexpected zero-key entry")
+	}
+	// Only "c" ever persisted ("a" hit the write fault, "b" was computed
+	// while degraded), and the probe record must not have leaked.
+	if keys := fresh.log.Keys(); len(keys) != 1 || keys[0] != keyOf("c").String() {
+		t.Fatalf("store keys after probe = %v, want only %q", keys, keyOf("c").String())
 	}
 }
 
@@ -494,29 +646,19 @@ func TestProbeFailsWhileDiskStillBroken(t *testing.T) {
 	}
 }
 
-// Corrupt entries are a per-entry eviction, not a disk fault: the
-// cache must not demote over them.
-func TestCorruptEntryDoesNotDemote(t *testing.T) {
-	dir := t.TempDir()
-	c := mustNew(t, Options{Dir: dir})
-	key := keyOf("k")
-	if _, _, err := c.GetOrCompute(context.Background(), key, computeBody("v")); err != nil {
+// StoreStats surfaces the persistent layer's health; memory-only
+// caches report the zero value.
+func TestStoreStatsSurface(t *testing.T) {
+	mem := mustNew(t, Options{})
+	if st := mem.StoreStats(); st != (store.Stats{}) {
+		t.Fatalf("memory-only StoreStats = %+v, want zero", st)
+	}
+	c := mustNew(t, Options{Dir: t.TempDir()})
+	if _, _, err := c.GetOrCompute(context.Background(), keyOf("a"), computeBody("va")); err != nil {
 		t.Fatal(err)
 	}
-	raw, err := os.ReadFile(c.EntryPath(key))
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw[len(raw)-1] ^= 0xFF
-	if err := os.WriteFile(c.EntryPath(key), raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	fresh := mustNew(t, Options{Dir: dir})
-	if _, outcome, err := fresh.GetOrCompute(context.Background(), key, computeBody("v")); err != nil || outcome != Miss {
-		t.Fatalf("corrupt entry: outcome=%v err=%v, want recomputed miss", outcome, err)
-	}
-	st := fresh.Stats()
-	if st.Degraded || st.Corrupt != 1 {
-		t.Fatalf("stats after corrupt eviction: %+v, want Corrupt=1 not degraded", st)
+	st := c.StoreStats()
+	if st.Appends != 1 || st.Syncs == 0 || st.Records != 1 {
+		t.Fatalf("StoreStats = %+v, want one acknowledged append", st)
 	}
 }

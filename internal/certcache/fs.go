@@ -1,51 +1,14 @@
 package certcache
 
-import (
-	"io"
-	"os"
+import "adaptivertc/internal/store"
 
-	"adaptivertc/internal/checkpoint"
-)
+// FS is the filesystem seam the persistent layer runs on — re-exported
+// from internal/store, because the cache's disk layer *is* the
+// segmented log and faults must be injectable at the log's granularity
+// (individual segment writes and fsyncs), not whole files at a time.
+// OSFS is the production implementation; internal/chaos substitutes a
+// fault- and crash-injecting FS.
+type FS = store.FS
 
-// FS is the filesystem seam the persistent layer writes through. It
-// exists so infrastructure faults are injectable (internal/chaos wraps
-// an FS with seeded failures and corruption) and so the cache can keep
-// serving when the real disk misbehaves: any error from these methods
-// other than os.ErrNotExist demotes the cache to memory-only instead
-// of failing the request.
-//
-// WriteFile must be atomic (readers never observe a partial file) and
-// durable on return; OSFS routes it through internal/checkpoint's
-// temp+fsync+rename writer.
-type FS interface {
-	// MkdirAll creates dir and any missing parents.
-	MkdirAll(dir string) error
-	// ReadFile returns the full contents of path; a missing file must
-	// return an error satisfying errors.Is(err, os.ErrNotExist).
-	ReadFile(path string) ([]byte, error)
-	// WriteFile atomically replaces path with data.
-	WriteFile(path string, data []byte) error
-	// Remove deletes path.
-	Remove(path string) error
-}
-
-// OSFS is the production FS: the real filesystem with atomic writes.
-type OSFS struct{}
-
-// MkdirAll implements FS.
-func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
-
-// ReadFile implements FS.
-func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
-
-// WriteFile implements FS via the atomic temp+fsync+rename writer, so
-// a crash mid-write leaves either the old entry or the new one.
-func (OSFS) WriteFile(path string, data []byte) error {
-	return checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
-		_, err := w.Write(data)
-		return err
-	})
-}
-
-// Remove implements FS.
-func (OSFS) Remove(path string) error { return os.Remove(path) }
+// OSFS is the production FS: the real filesystem.
+type OSFS = store.OSFS

@@ -1,0 +1,31 @@
+package certcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"adaptivertc/internal/checkpoint"
+)
+
+// WriteLegacyEntry writes one cache entry in the pre-log
+// one-file-per-entry layout (dir/xx/<hex>.cert, checkpoint-enveloped).
+// It exists for migration drills and tests: fabricate a legacy
+// directory, open a Cache over it, and verify the transparent import.
+// Production code never writes this layout anymore.
+func WriteLegacyEntry(dir string, key Key, body []byte) error {
+	data, err := checkpoint.Marshal(entryKind, entryVersion, entry{Key: key, Body: body})
+	if err != nil {
+		return err
+	}
+	hex := key.String()
+	shard := filepath.Join(dir, hex[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return err
+	}
+	p := filepath.Join(shard, hex+".cert")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("certcache: writing legacy entry %s: %w", p, err)
+	}
+	return nil
+}

@@ -27,8 +27,6 @@ import (
 	"math/rand"
 	"sync"
 	"time"
-
-	"adaptivertc/internal/certcache"
 )
 
 // ErrInjectedWorker is the error a worker-fault hook returns; it fails
@@ -36,139 +34,6 @@ import (
 // marked failed), which is the transient failure a resilient client
 // must retry through.
 var ErrInjectedWorker = errors.New("chaos: injected worker fault")
-
-// ErrDiskFault is the default error a broken FaultyFS returns — it
-// stands in for ENOSPC, yanked volumes, and permission loss.
-var ErrDiskFault = errors.New("chaos: injected disk fault")
-
-// FaultyFS wraps a certcache.FS with switchable fault injection. The
-// zero-value fault state passes everything through. Safe for
-// concurrent use; toggles apply to operations that start after the
-// toggle.
-type FaultyFS struct {
-	inner certcache.FS
-
-	mu         sync.Mutex
-	failWrites bool
-	failReads  bool
-	corrupt    bool // reads succeed but return flipped bytes
-	err        error
-
-	writesFailed int64
-	readsFailed  int64
-	corrupted    int64
-}
-
-// NewFaultyFS wraps inner (nil selects the real filesystem).
-func NewFaultyFS(inner certcache.FS) *FaultyFS {
-	if inner == nil {
-		inner = certcache.OSFS{}
-	}
-	return &FaultyFS{inner: inner, err: ErrDiskFault}
-}
-
-// BreakWrites makes WriteFile (and MkdirAll) fail with err until Heal;
-// nil keeps ErrDiskFault.
-func (f *FaultyFS) BreakWrites(err error) {
-	f.mu.Lock()
-	f.failWrites = true
-	if err != nil {
-		f.err = err
-	}
-	f.mu.Unlock()
-}
-
-// BreakReads makes ReadFile fail with err until Heal; nil keeps
-// ErrDiskFault.
-func (f *FaultyFS) BreakReads(err error) {
-	f.mu.Lock()
-	f.failReads = true
-	if err != nil {
-		f.err = err
-	}
-	f.mu.Unlock()
-}
-
-// CorruptReads makes ReadFile return the true contents with the last
-// byte flipped — the bit-rot case the cache's checksums must catch.
-func (f *FaultyFS) CorruptReads() {
-	f.mu.Lock()
-	f.corrupt = true
-	f.mu.Unlock()
-}
-
-// Heal clears every fault: the disk behaves again.
-func (f *FaultyFS) Heal() {
-	f.mu.Lock()
-	f.failWrites, f.failReads, f.corrupt = false, false, false
-	f.err = ErrDiskFault
-	f.mu.Unlock()
-}
-
-// Injected reports how many operations were failed or corrupted.
-func (f *FaultyFS) Injected() (writesFailed, readsFailed, corrupted int64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.writesFailed, f.readsFailed, f.corrupted
-}
-
-// MkdirAll implements certcache.FS.
-func (f *FaultyFS) MkdirAll(dir string) error {
-	f.mu.Lock()
-	broken, err := f.failWrites, f.err
-	if broken {
-		f.writesFailed++
-	}
-	f.mu.Unlock()
-	if broken {
-		return fmt.Errorf("mkdir %s: %w", dir, err)
-	}
-	return f.inner.MkdirAll(dir)
-}
-
-// ReadFile implements certcache.FS.
-func (f *FaultyFS) ReadFile(path string) ([]byte, error) {
-	f.mu.Lock()
-	broken, corrupt, err := f.failReads, f.corrupt, f.err
-	if broken {
-		f.readsFailed++
-	}
-	f.mu.Unlock()
-	if broken {
-		return nil, fmt.Errorf("read %s: %w", path, err)
-	}
-	data, rerr := f.inner.ReadFile(path)
-	if rerr != nil {
-		return nil, rerr
-	}
-	if corrupt && len(data) > 0 {
-		f.mu.Lock()
-		f.corrupted++
-		f.mu.Unlock()
-		flipped := append([]byte(nil), data...)
-		flipped[len(flipped)-1] ^= 0xFF
-		return flipped, nil
-	}
-	return data, nil
-}
-
-// WriteFile implements certcache.FS.
-func (f *FaultyFS) WriteFile(path string, data []byte) error {
-	f.mu.Lock()
-	broken, err := f.failWrites, f.err
-	if broken {
-		f.writesFailed++
-	}
-	f.mu.Unlock()
-	if broken {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	return f.inner.WriteFile(path, data)
-}
-
-// Remove implements certcache.FS. Removes always pass through: a disk
-// that can't delete doesn't block the degraded-mode ladder.
-func (f *FaultyFS) Remove(path string) error { return f.inner.Remove(path) }
 
 // WorkerFaults injects slow and failing certification workers through
 // server.Config.FaultHook. Faults fire only while the window is open

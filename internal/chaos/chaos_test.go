@@ -8,16 +8,31 @@ import (
 	"testing"
 	"time"
 
-	"adaptivertc/internal/certcache"
 	"adaptivertc/internal/sched"
 )
 
+func writeVia(f *FaultyFS, p string, data []byte) error {
+	file, _, err := f.OpenAppend(p)
+	if err != nil {
+		return err
+	}
+	if _, err := file.Write(data); err != nil {
+		file.Close()
+		return err
+	}
+	if err := file.Sync(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
 func TestFaultyFSTogglesAndCounts(t *testing.T) {
 	dir := t.TempDir()
-	f := NewFaultyFS(certcache.OSFS{})
+	f := NewFaultyFS(nil)
 	p := filepath.Join(dir, "x")
 
-	if err := f.WriteFile(p, []byte("hello")); err != nil {
+	if err := writeVia(f, p, []byte("hello")); err != nil {
 		t.Fatalf("healthy write failed: %v", err)
 	}
 	got, err := f.ReadFile(p)
@@ -26,7 +41,7 @@ func TestFaultyFSTogglesAndCounts(t *testing.T) {
 	}
 
 	f.BreakWrites(nil)
-	if err := f.WriteFile(p, []byte("nope")); !errors.Is(err, ErrDiskFault) {
+	if err := writeVia(f, p, []byte("nope")); !errors.Is(err, ErrDiskFault) {
 		t.Fatalf("broken write err = %v, want ErrDiskFault", err)
 	}
 	if err := f.MkdirAll(filepath.Join(dir, "sub")); !errors.Is(err, ErrDiskFault) {
@@ -36,6 +51,9 @@ func TestFaultyFSTogglesAndCounts(t *testing.T) {
 	f.BreakReads(os.ErrPermission)
 	if _, err := f.ReadFile(p); !errors.Is(err, os.ErrPermission) {
 		t.Fatalf("broken read err = %v, want ErrPermission", err)
+	}
+	if err := f.ReadAt(p, make([]byte, 1), 0); !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("broken ReadAt err = %v, want ErrPermission", err)
 	}
 
 	f.Heal()
@@ -50,15 +68,102 @@ func TestFaultyFSTogglesAndCounts(t *testing.T) {
 	if got[len(got)-1] != 'o'^0xFF {
 		t.Fatalf("corruption should flip the last byte, got %q", got)
 	}
+	buf := make([]byte, 5)
+	if err := f.ReadAt(p, buf, 0); err != nil {
+		t.Fatalf("corrupt ReadAt should succeed: %v", err)
+	}
+	if buf[4] != 'o'^0xFF {
+		t.Fatalf("corrupt ReadAt should flip the last byte, got %q", buf)
+	}
 
 	f.Heal()
 	if got, err = f.ReadFile(p); err != nil || string(got) != "hello" {
 		t.Fatalf("healed read = %q, %v", got, err)
 	}
 	w, r, c := f.Injected()
-	if w != 2 || r != 1 || c != 1 {
-		t.Fatalf("injected counts = (%d, %d, %d), want (2, 1, 1)", w, r, c)
+	if w != 2 || r != 2 || c != 2 {
+		t.Fatalf("injected counts = (%d, %d, %d), want (2, 2, 2)", w, r, c)
 	}
+}
+
+func TestFaultyFSCrashPlan(t *testing.T) {
+	dir := t.TempDir()
+	t.Run("stop-after-write", func(t *testing.T) {
+		f := NewFaultyFS(nil)
+		p := filepath.Join(dir, "stop")
+		f.SetCrashPlan(CrashPlan{AfterWrites: 2, Mode: CrashStop})
+		if err := writeVia(f, p, []byte("one")); err != nil {
+			t.Fatalf("write before crash point: %v", err)
+		}
+		if err := writeVia(f, p, []byte("two")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("write at crash point = %v, want ErrCrashed", err)
+		}
+		if !f.Crashed() {
+			t.Fatal("crash point did not latch")
+		}
+		// The process is dead: everything fails from here on.
+		if err := writeVia(f, p, []byte("three")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("write after crash = %v, want ErrCrashed", err)
+		}
+		if _, err := f.ReadFile(p); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("read after crash = %v, want ErrCrashed", err)
+		}
+		// The on-disk bytes hold only what preceded the crash point.
+		data, err := os.ReadFile(p)
+		if err != nil || string(data) != "one" {
+			t.Fatalf("on-disk bytes after crash = %q, %v", data, err)
+		}
+	})
+	t.Run("fail-is-transient", func(t *testing.T) {
+		f := NewFaultyFS(nil)
+		p := filepath.Join(dir, "fail")
+		f.SetCrashPlan(CrashPlan{AfterWrites: 1, Mode: CrashFail})
+		if err := writeVia(f, p, []byte("lost")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("write at crash point = %v, want ErrCrashed", err)
+		}
+		if err := writeVia(f, p, []byte("kept")); err != nil {
+			t.Fatalf("write after transient crash: %v", err)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil || string(data) != "kept" {
+			t.Fatalf("on-disk bytes = %q, %v", data, err)
+		}
+	})
+	t.Run("partial-write", func(t *testing.T) {
+		f := NewFaultyFS(nil)
+		p := filepath.Join(dir, "partial")
+		f.SetCrashPlan(CrashPlan{AfterWrites: 1, Mode: CrashStop, Partial: true})
+		if err := writeVia(f, p, []byte("abcdef")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("write at crash point = %v, want ErrCrashed", err)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil || string(data) != "abc" {
+			t.Fatalf("torn prefix = %q, %v, want first half", data, err)
+		}
+	})
+	t.Run("bit-flip", func(t *testing.T) {
+		f := NewFaultyFS(nil)
+		p := filepath.Join(dir, "flip")
+		f.SetCrashPlan(CrashPlan{AfterWrites: 1, Mode: CrashStop, BitFlip: true})
+		if err := writeVia(f, p, []byte("abc")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("write at crash point = %v, want ErrCrashed", err)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil || string(data) != "ab"+string([]byte{'c' ^ 0xFF}) {
+			t.Fatalf("flipped bytes = %q, %v", data, err)
+		}
+	})
+	t.Run("stop-after-sync", func(t *testing.T) {
+		f := NewFaultyFS(nil)
+		p := filepath.Join(dir, "sync")
+		f.SetCrashPlan(CrashPlan{AfterSyncs: 1, Mode: CrashStop})
+		if err := writeVia(f, p, []byte("w")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("sync at crash point = %v, want ErrCrashed", err)
+		}
+		if w, s := f.Counts(); w != 1 || s != 1 {
+			t.Fatalf("counts = (%d, %d), want (1, 1)", w, s)
+		}
+	})
 }
 
 func TestWorkerFaultsWindowAndDeterminism(t *testing.T) {

@@ -1,0 +1,258 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"adaptivertc/internal/store"
+)
+
+// The store-level crash matrix: a fixed workload (puts, overwrites,
+// deletes, rotations, one compaction) is replayed once per injectable
+// crash point — every Nth segment write (clean, torn-partial, and
+// bit-flipped) and every Nth fsync — in process-death mode. After each
+// crash the directory is reopened with a clean filesystem, like a
+// restart after SIGKILL, and the recovered state must satisfy:
+//
+//  1. every fsync-acknowledged record reads back byte-identical;
+//  2. no unacknowledged record is half-visible — the one op in flight
+//     at the crash either happened entirely or not at all;
+//  3. the store reopens without error and accepts appends.
+
+// crashOp is one scripted store operation.
+type crashOp struct {
+	kind  byte // 'p' put, 'd' delete, 'c' compact
+	key   string
+	value []byte
+}
+
+// crashWorkload returns a deterministic script that exercises every
+// write path: multi-segment appends, overwrites (so compaction has
+// dead bytes), deletes, and an explicit compaction.
+func crashWorkload() []crashOp {
+	var ops []crashOp
+	val := func(tag string, n int) []byte {
+		return []byte(tag + ":" + strings.Repeat("x", n))
+	}
+	for i := 0; i < 4; i++ {
+		ops = append(ops, crashOp{'p', fmt.Sprintf("k%d", i), val(fmt.Sprintf("v0-%d", i), 40)})
+	}
+	ops = append(ops,
+		crashOp{'p', "k1", val("v1-overwrite", 48)},
+		crashOp{'d', "k2", nil},
+		crashOp{'p', "k4", val("v0-4", 56)},
+		crashOp{'c', "", nil},
+		crashOp{'p', "k5", val("post-compact", 32)},
+		crashOp{'d', "k0", nil},
+		crashOp{'p', "k1", val("v2-overwrite", 24)},
+	)
+	return ops
+}
+
+// crashOutcome is what a crashed run promises about the directory.
+type crashOutcome struct {
+	acked map[string][]byte // key -> last acknowledged value; missing = acknowledged-absent
+	// maybeKey/maybeVal describe the single operation that was in
+	// flight when the crash fired: its effect may or may not have
+	// persisted, but nothing in between. maybeVal == nil means the op
+	// was a delete.
+	maybeKey string
+	maybeVal []byte
+	hasMaybe bool
+}
+
+// runCrashWorkload replays the script against dir through ffs,
+// tracking acknowledged state. Operation errors are expected once the
+// crash fires.
+func runCrashWorkload(t *testing.T, dir string, ffs *FaultyFS) crashOutcome {
+	t.Helper()
+	out := crashOutcome{acked: map[string][]byte{}}
+	l, err := store.Open(dir, store.Options{FS: ffs, SegmentBytes: 192, NoAutoCompact: true})
+	if err != nil {
+		// The crash point landed inside Open's segment creation: nothing
+		// was ever acknowledged.
+		return out
+	}
+	for _, op := range crashWorkload() {
+		wasCrashed := ffs.Crashed()
+		var err error
+		switch op.kind {
+		case 'p':
+			err = l.Put(op.key, op.value)
+		case 'd':
+			err = l.Delete(op.key)
+		case 'c':
+			err = l.Compact()
+		}
+		switch {
+		case err == nil:
+			switch op.kind {
+			case 'p':
+				out.acked[op.key] = op.value
+			case 'd':
+				delete(out.acked, op.key)
+			}
+		case !wasCrashed && ffs.Crashed() && op.kind != 'c':
+			// The op the crash interrupted: may or may not have
+			// persisted. (A crashed compaction moves no live data, so it
+			// creates no per-key uncertainty.)
+			out.maybeKey, out.maybeVal, out.hasMaybe = op.key, op.value, true
+		}
+	}
+	//lint:ignore droppederr the simulated process is dead; Close failing through the crashed FS is expected
+	l.Close()
+	return out
+}
+
+// verifyRecovery reopens dir with a clean filesystem and checks the
+// crash-consistency contract against the recorded outcome.
+func verifyRecovery(t *testing.T, dir string, out crashOutcome) {
+	t.Helper()
+	l, err := store.Open(dir, store.Options{NoAutoCompact: true})
+	if err != nil {
+		t.Fatalf("recovery open failed: %v", err)
+	}
+	defer l.Close()
+
+	for key, want := range out.acked {
+		got, ok, err := l.Get(key)
+		if err != nil {
+			t.Fatalf("acked key %q unreadable after recovery: %v", key, err)
+		}
+		if out.hasMaybe && key == out.maybeKey {
+			// The interrupted op targeted this key: either the acked
+			// state or the attempted one, nothing in between.
+			switch {
+			case ok && bytes.Equal(got, want):
+			case out.maybeVal == nil && !ok: // interrupted delete applied
+			case out.maybeVal != nil && ok && bytes.Equal(got, out.maybeVal):
+			default:
+				t.Fatalf("key %q half-visible after crash: ok=%v got=%q (acked %q, attempted %q)",
+					key, ok, got, want, out.maybeVal)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("acked key %q lost by crash recovery", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("acked key %q not byte-identical: got %q want %q", key, got, want)
+		}
+	}
+	// No phantom keys: everything live must trace to an acked value or
+	// the single interrupted put.
+	for _, key := range l.Keys() {
+		if _, ok := out.acked[key]; ok {
+			continue
+		}
+		if out.hasMaybe && key == out.maybeKey && out.maybeVal != nil {
+			got, ok, err := l.Get(key)
+			if err != nil || !ok || !bytes.Equal(got, out.maybeVal) {
+				t.Fatalf("interrupted put %q half-visible: ok=%v err=%v got=%q", key, ok, err, got)
+			}
+			continue
+		}
+		t.Fatalf("phantom key %q surfaced by recovery", key)
+	}
+	// Recovery must leave the store writable.
+	if err := l.Put("post-crash", []byte("alive")); err != nil {
+		t.Fatalf("recovered store rejects appends: %v", err)
+	}
+}
+
+// TestStoreCrashRecoveryEveryPoint is the e2e crash matrix. The
+// reference run counts the workload's writes and syncs; then every
+// (counter, flavor) pair gets its own directory, crash, and recovery.
+func TestStoreCrashRecoveryEveryPoint(t *testing.T) {
+	ref := NewFaultyFS(nil)
+	refDir := t.TempDir()
+	refOut := runCrashWorkload(t, refDir, ref)
+	writes, syncs := ref.Counts()
+	if writes < 10 || syncs < 10 {
+		t.Fatalf("workload too small to be interesting: %d writes, %d syncs", writes, syncs)
+	}
+	if refOut.hasMaybe {
+		t.Fatal("reference run reported a crash")
+	}
+	verifyRecovery(t, refDir, refOut)
+
+	flavors := []struct {
+		name string
+		plan func(n int64) CrashPlan
+	}{
+		{"write-fail", func(n int64) CrashPlan { return CrashPlan{AfterWrites: n, Mode: CrashStop} }},
+		{"torn-tail", func(n int64) CrashPlan { return CrashPlan{AfterWrites: n, Mode: CrashStop, Partial: true} }},
+		{"bit-flip", func(n int64) CrashPlan { return CrashPlan{AfterWrites: n, Mode: CrashStop, BitFlip: true} }},
+		{"sync-fail", func(n int64) CrashPlan { return CrashPlan{AfterSyncs: n, Mode: CrashStop} }},
+	}
+	for _, fl := range flavors {
+		fl := fl
+		t.Run(fl.name, func(t *testing.T) {
+			limit := writes
+			if fl.name == "sync-fail" {
+				limit = syncs
+			}
+			for n := int64(1); n <= limit; n++ {
+				n := n
+				t.Run(fmt.Sprintf("point-%d", n), func(t *testing.T) {
+					dir := t.TempDir()
+					ffs := NewFaultyFS(nil)
+					ffs.SetCrashPlan(fl.plan(n))
+					out := runCrashWorkload(t, dir, ffs)
+					if !ffs.Crashed() {
+						t.Fatalf("crash point %d never fired", n)
+					}
+					verifyRecovery(t, dir, out)
+				})
+			}
+		})
+	}
+}
+
+// TestStoreCrashFailModeRepairsInProcess covers the transient-fault
+// flavor: the op fails but the process lives, and the store must
+// repair its own torn tail before the next append.
+func TestStoreCrashFailModeRepairsInProcess(t *testing.T) {
+	for n := int64(1); n <= 8; n++ {
+		n := n
+		t.Run(fmt.Sprintf("torn-at-write-%d", n), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultyFS(nil)
+			ffs.SetCrashPlan(CrashPlan{AfterWrites: n, Mode: CrashFail, Partial: true})
+			l, err := store.Open(dir, store.Options{FS: ffs, SegmentBytes: 192, NoAutoCompact: true})
+			if err != nil {
+				// The fault hit Open's header write; a fresh Open must work.
+				if !errors.Is(err, ErrCrashed) && !strings.Contains(err.Error(), "crash") {
+					t.Fatalf("unexpected open failure: %v", err)
+				}
+				l, err = store.Open(dir, store.Options{FS: ffs, SegmentBytes: 192, NoAutoCompact: true})
+				if err != nil {
+					t.Fatalf("reopen after transient open fault: %v", err)
+				}
+			}
+			defer l.Close()
+			acked := map[string][]byte{}
+			for i := 0; i < 6; i++ {
+				key := fmt.Sprintf("k%d", i)
+				val := []byte(strings.Repeat(fmt.Sprintf("v%d", i), 12))
+				if err := l.Put(key, val); err == nil {
+					acked[key] = val
+				}
+			}
+			// The process lived through the fault: everything acked reads
+			// back, and the store takes new appends.
+			for key, want := range acked {
+				got, ok, err := l.Get(key)
+				if err != nil || !ok || !bytes.Equal(got, want) {
+					t.Fatalf("acked %q after in-process repair: ok=%v err=%v got=%q", key, ok, err, got)
+				}
+			}
+			if err := l.Put("final", []byte("alive")); err != nil {
+				t.Fatalf("store not writable after repair: %v", err)
+			}
+		})
+	}
+}

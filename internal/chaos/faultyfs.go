@@ -1,0 +1,375 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"adaptivertc/internal/store"
+)
+
+// ErrDiskFault is the default error a broken FaultyFS returns — it
+// stands in for ENOSPC, yanked volumes, and permission loss.
+var ErrDiskFault = errors.New("chaos: injected disk fault")
+
+// ErrCrashed is returned by every operation at and after an injected
+// crash point in CrashStop mode: the simulated process is dead. The
+// test then discards the in-memory store and reopens the directory
+// with a clean FS, exactly like a restart after SIGKILL.
+var ErrCrashed = errors.New("chaos: crashed at injected crash point")
+
+// CrashMode selects what happens at a crash point.
+type CrashMode int
+
+const (
+	// CrashFail fails the one operation and then behaves normally — a
+	// transient fault the running process must repair around (the store
+	// truncates the torn tail before its next append).
+	CrashFail CrashMode = iota
+	// CrashStop fails the operation and every subsequent one — process
+	// death. Recovery happens on reopen, not in-process.
+	CrashStop
+)
+
+// CrashPlan schedules one crash at the Nth segment write or the Nth
+// fsync observed through the FS. Every boundary the store cares about
+// is enumerable this way: run a workload once to count its writes and
+// syncs, then replay it once per (counter, point) pair.
+type CrashPlan struct {
+	// AfterWrites, when > 0, crashes the Nth File.Write (1-based).
+	AfterWrites int64
+	// AfterSyncs, when > 0, crashes the Nth File.Sync (1-based).
+	AfterSyncs int64
+	// Mode selects transient-fault vs process-death semantics.
+	Mode CrashMode
+	// Partial makes the crashing write persist only the first half of
+	// its bytes — a torn append, the classic power-cut signature.
+	Partial bool
+	// BitFlip makes the crashing write persist all its bytes with the
+	// final byte flipped — media corruption of an unacknowledged write.
+	// The write still reports failure: flipped bytes are never acked.
+	BitFlip bool
+}
+
+// FaultyFS wraps a store.FS with switchable fault injection and
+// scheduled crash points. The zero-value fault state passes everything
+// through. Safe for concurrent use; toggles apply to operations that
+// start after the toggle.
+type FaultyFS struct {
+	inner store.FS
+
+	mu         sync.Mutex
+	failWrites bool
+	failReads  bool
+	corrupt    bool // reads succeed but return flipped bytes
+	err        error
+
+	plan    CrashPlan
+	planSet bool
+	writes  int64
+	syncs   int64
+	crashed bool
+
+	writesFailed int64
+	readsFailed  int64
+	corrupted    int64
+}
+
+// NewFaultyFS wraps inner (nil selects the real filesystem).
+func NewFaultyFS(inner store.FS) *FaultyFS {
+	if inner == nil {
+		inner = store.OSFS{}
+	}
+	return &FaultyFS{inner: inner, err: ErrDiskFault}
+}
+
+// BreakWrites makes every mutation (segment writes, fsyncs, mkdir,
+// rename, truncate) fail with err until Heal; nil keeps ErrDiskFault.
+func (f *FaultyFS) BreakWrites(err error) {
+	f.mu.Lock()
+	f.failWrites = true
+	if err != nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// BreakReads makes every read fail with err until Heal; nil keeps
+// ErrDiskFault.
+func (f *FaultyFS) BreakReads(err error) {
+	f.mu.Lock()
+	f.failReads = true
+	if err != nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// CorruptReads makes reads return the true contents with the last byte
+// flipped — the bit-rot case the store's frame checksums must catch.
+func (f *FaultyFS) CorruptReads() {
+	f.mu.Lock()
+	f.corrupt = true
+	f.mu.Unlock()
+}
+
+// Heal clears every fault toggle (not a scheduled crash plan): the
+// disk behaves again.
+func (f *FaultyFS) Heal() {
+	f.mu.Lock()
+	f.failWrites, f.failReads, f.corrupt = false, false, false
+	f.err = ErrDiskFault
+	f.mu.Unlock()
+}
+
+// SetCrashPlan arms plan and resets the write/sync counters. A zero
+// plan disarms.
+func (f *FaultyFS) SetCrashPlan(plan CrashPlan) {
+	f.mu.Lock()
+	f.plan = plan
+	f.planSet = plan.AfterWrites > 0 || plan.AfterSyncs > 0
+	f.writes, f.syncs = 0, 0
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// Counts reports how many segment writes and fsyncs have passed
+// through since the last SetCrashPlan — the reference run uses it to
+// enumerate every crash point a workload offers.
+func (f *FaultyFS) Counts() (writes, syncs int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs
+}
+
+// Crashed reports whether an armed crash point has fired.
+func (f *FaultyFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Injected reports how many operations were failed or corrupted by the
+// fault toggles (crash points are not counted here).
+func (f *FaultyFS) Injected() (writesFailed, readsFailed, corrupted int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writesFailed, f.readsFailed, f.corrupted
+}
+
+// gateWrite is the common prologue for mutating operations: dead after
+// a CrashStop point, failing while BreakWrites is set.
+func (f *FaultyFS) gateWrite(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed && f.plan.Mode == CrashStop {
+		return ErrCrashed
+	}
+	if f.failWrites {
+		f.writesFailed++
+		return fmt.Errorf("%s %s: %w", op, path, f.err)
+	}
+	return nil
+}
+
+// gateRead is the read prologue; the corrupt flag is returned for the
+// caller to apply.
+func (f *FaultyFS) gateRead(op, path string) (corrupt bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed && f.plan.Mode == CrashStop {
+		return false, ErrCrashed
+	}
+	if f.failReads {
+		f.readsFailed++
+		return false, fmt.Errorf("%s %s: %w", op, path, f.err)
+	}
+	return f.corrupt, nil
+}
+
+// MkdirAll implements store.FS.
+func (f *FaultyFS) MkdirAll(dir string) error {
+	if err := f.gateWrite("mkdir", dir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// OpenAppend implements store.FS.
+func (f *FaultyFS) OpenAppend(path string) (store.File, int64, error) {
+	if err := f.gateWrite("open", path); err != nil {
+		return nil, 0, err
+	}
+	file, size, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &faultyFile{inner: file, fs: f}, size, nil
+}
+
+// ReadDir implements store.FS.
+func (f *FaultyFS) ReadDir(dir string) ([]string, error) {
+	if _, err := f.gateRead("readdir", dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// ReadFile implements store.FS.
+func (f *FaultyFS) ReadFile(path string) ([]byte, error) {
+	corrupt, err := f.gateRead("read", path)
+	if err != nil {
+		return nil, err
+	}
+	data, rerr := f.inner.ReadFile(path)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if corrupt && len(data) > 0 {
+		f.mu.Lock()
+		f.corrupted++
+		f.mu.Unlock()
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-1] ^= 0xFF
+		return flipped, nil
+	}
+	return data, nil
+}
+
+// ReadAt implements store.FS.
+func (f *FaultyFS) ReadAt(path string, p []byte, off int64) error {
+	corrupt, err := f.gateRead("read", path)
+	if err != nil {
+		return err
+	}
+	if err := f.inner.ReadAt(path, p, off); err != nil {
+		return err
+	}
+	if corrupt && len(p) > 0 {
+		f.mu.Lock()
+		f.corrupted++
+		f.mu.Unlock()
+		p[len(p)-1] ^= 0xFF
+	}
+	return nil
+}
+
+// Rename implements store.FS.
+func (f *FaultyFS) Rename(oldpath, newpath string) error {
+	if err := f.gateWrite("rename", oldpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS. Removes pass the fault toggles through:
+// a disk that can't delete doesn't block the degraded-mode ladder —
+// but a crashed process can't delete either.
+func (f *FaultyFS) Remove(path string) error {
+	f.mu.Lock()
+	dead := f.crashed && f.plan.Mode == CrashStop
+	f.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	return f.inner.Remove(path)
+}
+
+// Truncate implements store.FS.
+func (f *FaultyFS) Truncate(path string, size int64) error {
+	if err := f.gateWrite("truncate", path); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+// SyncDir implements store.FS.
+func (f *FaultyFS) SyncDir(dir string) error {
+	if err := f.gateWrite("syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultyFile counts writes and syncs against the crash plan.
+type faultyFile struct {
+	inner store.File
+	fs    *FaultyFS
+}
+
+func (file *faultyFile) Write(p []byte) (int, error) {
+	f := file.fs
+	f.mu.Lock()
+	if f.crashed && f.plan.Mode == CrashStop {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.failWrites {
+		f.writesFailed++
+		err := f.err
+		f.mu.Unlock()
+		return 0, fmt.Errorf("write: %w", err)
+	}
+	f.writes++
+	fire := f.planSet && f.plan.AfterWrites > 0 && f.writes == f.plan.AfterWrites
+	plan := f.plan
+	if fire {
+		f.crashed = true
+	}
+	f.mu.Unlock()
+	if !fire {
+		return file.inner.Write(p)
+	}
+	// Crash point: persist nothing, a torn prefix, or a bit-flipped
+	// copy — then report failure. Crashing bytes are never acked.
+	switch {
+	case plan.BitFlip && len(p) > 0:
+		flipped := append([]byte(nil), p...)
+		flipped[len(flipped)-1] ^= 0xFF
+		//lint:ignore droppederr the crash already fails the op; how much garbage landed is the recovery test's input, not a result
+		file.inner.Write(flipped)
+	case plan.Partial && len(p) > 1:
+		//lint:ignore droppederr the crash already fails the op; how much garbage landed is the recovery test's input, not a result
+		file.inner.Write(p[:len(p)/2])
+	}
+	return 0, ErrCrashed
+}
+
+func (file *faultyFile) Sync() error {
+	f := file.fs
+	f.mu.Lock()
+	if f.crashed && f.plan.Mode == CrashStop {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.failWrites {
+		f.writesFailed++
+		err := f.err
+		f.mu.Unlock()
+		return fmt.Errorf("sync: %w", err)
+	}
+	f.syncs++
+	fire := f.planSet && f.plan.AfterSyncs > 0 && f.syncs == f.plan.AfterSyncs
+	if fire {
+		f.crashed = true
+	}
+	f.mu.Unlock()
+	if fire {
+		// The bytes may well be on their way to the platter — a crashed
+		// fsync promises nothing either way. Reporting failure without
+		// syncing models the strictest case.
+		return ErrCrashed
+	}
+	return file.inner.Sync()
+}
+
+func (file *faultyFile) Close() error {
+	f := file.fs
+	f.mu.Lock()
+	dead := f.crashed && f.plan.Mode == CrashStop
+	f.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	return file.inner.Close()
+}

@@ -93,7 +93,28 @@ func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
+	// The rename is a directory-entry update; it becomes durable only
+	// once the parent directory is flushed. Without this, a crash after
+	// a reported success can roll the file back to its previous
+	// contents — exactly the acked-but-lost window the atomic write
+	// exists to close.
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making the renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Marshal renders payload as the self-validating checkpoint byte

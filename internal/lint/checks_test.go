@@ -84,3 +84,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		linttest.Run(t, dir, lint.Checks()...)
 	}
 }
+
+func TestSyncRename(t *testing.T) {
+	linttest.Run(t, "testdata/syncrename", lint.SyncRename)
+}

@@ -114,6 +114,7 @@ func Checks() []*Check {
 		CtxPropagate,
 		LockCopy,
 		GoroLeak,
+		SyncRename,
 		UnusedIgnore,
 	}
 }

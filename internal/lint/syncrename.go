@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncRename flags the torn atomic-write pattern: an os.Rename that
+// publishes a file whose bytes were written in the same function but
+// never fsynced. Write-then-rename only guarantees readers never see a
+// partial file *in a running process*; across a crash, the rename (a
+// metadata operation) can reach the disk before the data does, and the
+// final name then reveals an empty or truncated file. The store and
+// checkpoint layers' durability contracts ("acknowledged means it
+// survives a crash") rest on the discipline this check enforces: flush
+// the file, rename it, then fsync the parent directory so the rename
+// itself — a directory-entry update — is durable too.
+var SyncRename = &Check{
+	Name: "syncrename",
+	Doc:  "os.Rename publishing a file written without fsync — atomic in name only; a crash can reveal an empty or torn file",
+	Run:  runSyncRename,
+}
+
+// renameSrc tracks one file produced inside the function under
+// analysis: how it was written, through which handle, and whether that
+// handle was fsynced.
+type renameSrc struct {
+	fileVar *types.Var // handle variable; nil when written via os.WriteFile
+	synced  bool
+}
+
+func runSyncRename(p *Pass) {
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				syncRenameScope(p, fd.Body)
+			}
+		}
+	}
+}
+
+// syncRenameScope walks one function body in source order, tracking
+// the files it creates, Sync calls on their handles, and renames of
+// their paths. Nested function literals share the scope, so a helper
+// closure that syncs the handle counts. The path match is syntactic
+// (identical source expressions), which keeps the check precise:
+// renaming a path this function never wrote says nothing about
+// durability here and is out of scope.
+func syncRenameScope(p *Pass, body *ast.BlockStmt) {
+	byPath := map[string]*renameSrc{}
+	byVar := map[*types.Var]*renameSrc{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Create(path) / os.OpenFile(...) / os.CreateTemp(...)
+			if len(st.Rhs) != 1 || len(st.Lhs) == 0 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "Create", "OpenFile", "CreateTemp":
+				s := &renameSrc{}
+				if fn.Name() != "CreateTemp" && len(call.Args) > 0 {
+					byPath[types.ExprString(call.Args[0])] = s
+				}
+				if v := identVar(p, st.Lhs[0]); v != nil {
+					s.fileVar = v
+					byVar[v] = s
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(p, st)
+			if fn == nil {
+				return true
+			}
+			// f.Sync() makes everything written through f durable.
+			if fn.Name() == "Sync" && len(st.Args) == 0 {
+				if v := receiverVar(p, st); v != nil {
+					if s, ok := byVar[v]; ok {
+						s.synced = true
+					}
+				}
+				return true
+			}
+			if fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+				return true
+			}
+			switch fn.Name() {
+			case "WriteFile":
+				// os.WriteFile offers no handle to fsync: a file written
+				// this way can never be durably renamed in-function.
+				if len(st.Args) > 0 {
+					byPath[types.ExprString(st.Args[0])] = &renameSrc{}
+				}
+			case "Rename":
+				if len(st.Args) != 2 {
+					return true
+				}
+				s := lookupRenameSrc(p, st.Args[0], byPath, byVar)
+				if s == nil || s.synced {
+					return true
+				}
+				old := types.ExprString(st.Args[0])
+				if s.fileVar == nil {
+					p.Reportf(st.Pos(), "os.Rename publishes %s, written by os.WriteFile, which never fsyncs: a crash can reveal an empty or torn file under the final name; write through a handle, Sync it, rename, then fsync the parent directory", old)
+				} else {
+					p.Reportf(st.Pos(), "os.Rename publishes %s without a Sync on its handle: the rename can reach the disk before the data, so a crash reveals an empty or torn file; Sync before renaming, then fsync the parent directory so the rename itself is durable", old)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lookupRenameSrc resolves a rename's old-path argument to a tracked
+// file: either the same source expression that created it, or
+// f.Name() on a tracked handle (the os.CreateTemp idiom).
+func lookupRenameSrc(p *Pass, old ast.Expr, byPath map[string]*renameSrc, byVar map[*types.Var]*renameSrc) *renameSrc {
+	if s, ok := byPath[types.ExprString(old)]; ok {
+		return s
+	}
+	if call, ok := ast.Unparen(old).(*ast.CallExpr); ok && len(call.Args) == 0 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Name" {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if v, ok := p.Info().Uses[id].(*types.Var); ok {
+					return byVar[v]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// receiverVar returns the variable a method call's receiver resolves
+// to, when the receiver is a plain identifier.
+func receiverVar(p *Pass, call *ast.CallExpr) *types.Var {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := p.Info().Uses[id].(*types.Var)
+	return v
+}
+
+// identVar resolves an identifier expression to its variable object,
+// whether the identifier defines it (:=) or reuses it (=).
+func identVar(p *Pass, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := p.Info().Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info().Uses[id].(*types.Var)
+	return v
+}

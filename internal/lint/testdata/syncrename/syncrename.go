@@ -1,0 +1,106 @@
+// Fixture for the syncrename check: publishing a freshly written file
+// via os.Rename is crash-safe only if the data was fsynced first.
+// Unsynced handles and os.WriteFile-sourced paths are flagged; synced
+// handles, foreign paths, and suppressed lines are not.
+package syncrename
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func unsyncedCreate(dir string) error {
+	tmp := filepath.Join(dir, "x.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "x")) // want "without a Sync on its handle"
+}
+
+func unsyncedOpenFile(dir string) error {
+	tmp := filepath.Join(dir, "o.tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "o")) // want "without a Sync on its handle"
+}
+
+func viaWriteFile(dir string) error {
+	tmp := filepath.Join(dir, "y.tmp")
+	if err := os.WriteFile(tmp, []byte("data"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "y")) // want "os.WriteFile, which never fsyncs"
+}
+
+func unsyncedCreateTemp(dir, path string) error {
+	tmp, err := os.CreateTemp(dir, "ckpt*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte("data")); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want "without a Sync on its handle"
+}
+
+func syncedCreate(dir string) error {
+	tmp := filepath.Join(dir, "z.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "z")) // flushed before publishing: not flagged
+}
+
+func syncedCreateTemp(dir, path string) error {
+	tmp, err := os.CreateTemp(dir, "ckpt*")
+	if err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // flushed before publishing: not flagged
+}
+
+// foreign renames a path this function never wrote; whether it was
+// synced is the writer's business, so the check stays silent.
+func foreign(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath)
+}
+
+func suppressedRename(dir string) error {
+	tmp := filepath.Join(dir, "s.tmp")
+	if err := os.WriteFile(tmp, nil, 0o644); err != nil {
+		return err
+	}
+	//lint:ignore syncrename hint file only; losing it on crash is harmless
+	return os.Rename(tmp, filepath.Join(dir, "s"))
+}

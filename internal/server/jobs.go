@@ -14,6 +14,7 @@ import (
 	"adaptivertc/internal/certcache"
 	"adaptivertc/internal/checkpoint"
 	"adaptivertc/internal/jsr"
+	"adaptivertc/internal/store"
 )
 
 // jobCkptKind/jobCkptVersion identify the per-job checkpoint format.
@@ -23,9 +24,15 @@ const (
 )
 
 // jobCkpt is the persisted job: the full request (so a restarted
-// process can rebuild the job from the file alone) plus the latest
+// process can rebuild the job from the record alone) plus the latest
 // Gripenberg frontier when the search has started. Resuming from the
 // frontier finishes with bounds bit-identical to an uninterrupted run.
+//
+// Records live in the crash-safe segmented log under StateDir/jobs,
+// keyed by job id, each value a checkpoint envelope (magic, kind,
+// version, checksum). Servers from before the log wrote one
+// StateDir/jobs/<id>.job file per job; Recover migrates those
+// transparently.
 type jobCkpt struct {
 	ID       string
 	Key      certcache.Key
@@ -42,6 +49,8 @@ type job struct {
 	req    api.CertifyRequest
 	resume *jsr.GripenbergState // set by Recover; read only by the worker
 
+	enqueuedAt time.Time // when the job entered the queue (for the wait histogram)
+
 	mu       sync.Mutex
 	state    string
 	body     []byte
@@ -56,7 +65,8 @@ type job struct {
 // probability around 2^32 jobs, well within reach of a busy service,
 // and a collision silently serves one request the other's
 // certificate. The full 256-bit key makes that impossible in practice
-// (and keeps the id copy-pasteable into the cache's EntryPath).
+// (and matches the key the certificate store records the result
+// under).
 func jobID(key certcache.Key) string { return key.String() }
 
 func (j *job) setState(st string) {
@@ -117,7 +127,7 @@ func (st *jobStore) getOrCreate(id string, req api.CertifyRequest, key certcache
 	if j, ok := st.jobs[id]; ok {
 		return j, true
 	}
-	j := &job{id: id, key: key, req: req, state: api.JobQueued, deadline: deadline}
+	j := &job{id: id, key: key, req: req, state: api.JobQueued, deadline: deadline, enqueuedAt: time.Now()}
 	st.jobs[id] = j
 	return j, false
 }
@@ -217,19 +227,20 @@ func (j *job) getDeadline() time.Time {
 
 // runJob executes one job through the certificate cache. Shutdown
 // (baseCtx cancelled) puts the job back to queued and leaves its
-// checkpoint on disk for Recover; every other failure is final.
+// checkpoint in the store for Recover; every other failure is final.
 func (s *Server) runJob(j *job) {
 	s.busy.Add(1)
 	defer s.busy.Add(-1)
+	s.metrics.observeQueueWait(time.Since(j.enqueuedAt).Seconds())
 	j.setState(api.JobRunning)
 
 	opt := j.req.GripenbergOptions(0)
 	opt.Resume = j.resume
-	if path := s.jobCkptPath(j.id); path != "" {
-		req := j.req
+	if s.jobLog != nil {
+		id, key, req := j.id, j.key, j.req
 		opt.Snapshot = func(st jsr.GripenbergState) error {
-			return checkpoint.Save(path, jobCkptKind, jobCkptVersion, jobCkpt{
-				ID: j.id, Key: j.key, Req: req, HasState: true, State: st,
+			return s.putJobCkpt(jobCkpt{
+				ID: id, Key: key, Req: req, HasState: true, State: st,
 			})
 		}
 	}
@@ -250,76 +261,126 @@ func (s *Server) runJob(j *job) {
 	s.drain.observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
-		j.finish(body)
+		// Delete the checkpoint before publishing the terminal state:
+		// the certificate is already durable in the cache, so a crash
+		// in between merely re-runs the job into a cache hit. Deleting
+		// after would let an observer see "done" while the record still
+		// exists.
 		s.removeJobCkpt(j.id)
+		j.finish(body)
 	case s.baseCtx.Err() != nil:
 		// Forced shutdown: the frontier checkpoint (if any) is the
 		// job's future. Recover in the next process re-enqueues it.
 		j.setState(api.JobQueued)
 	default:
-		j.fail(err)
 		s.removeJobCkpt(j.id)
+		j.fail(err)
 	}
 }
 
-// jobCkptPath returns the checkpoint file for a job id, or "" when
-// persistence is disabled.
-func (s *Server) jobCkptPath(id string) string {
-	if s.cfg.StateDir == "" {
-		return ""
+// putJobCkpt marshals ck into a checkpoint envelope and appends it to
+// the job log under its id. The log's Put fsyncs before returning, so
+// a nil error means the checkpoint survives a crash.
+func (s *Server) putJobCkpt(ck jobCkpt) error {
+	data, err := checkpoint.Marshal(jobCkptKind, jobCkptVersion, ck)
+	if err != nil {
+		return err
 	}
-	return filepath.Join(s.cfg.StateDir, "jobs", id+".job")
+	return s.jobLog.Put(ck.ID, data)
 }
 
 func (s *Server) writeJobCkpt(j *job, state *jsr.GripenbergState) error {
-	path := s.jobCkptPath(j.id)
-	if path == "" {
+	if s.jobLog == nil {
 		return nil
-	}
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return err
 	}
 	ck := jobCkpt{ID: j.id, Key: j.key, Req: j.req}
 	if state != nil {
 		ck.HasState, ck.State = true, *state
 	}
-	return checkpoint.Save(path, jobCkptKind, jobCkptVersion, ck)
+	return s.putJobCkpt(ck)
 }
 
 func (s *Server) removeJobCkpt(id string) {
-	if path := s.jobCkptPath(id); path != "" {
-		os.Remove(path)
+	if s.jobLog != nil {
+		//lint:ignore droppederr removal is best-effort: a stale record is re-checked (and dropped) by the next Recover
+		s.jobLog.Delete(id)
 	}
 }
 
-// Recover scans the state directory for job checkpoints left by a
-// previous process and re-enqueues them — with their Gripenberg
-// frontier when one was snapshotted, so the resumed search finishes
-// bit-identical to an uninterrupted one. Corrupt checkpoint files are
-// deleted (the request itself lives inside the file; nothing can be
-// salvaged from a bad one). Returns the number of jobs re-enqueued.
-// Call before Start.
-func (s *Server) Recover() (int, error) {
-	if s.cfg.StateDir == "" {
-		return 0, nil
-	}
-	dir := filepath.Join(s.cfg.StateDir, "jobs")
-	entries, err := os.ReadDir(dir)
+// jobsDir is the state subdirectory holding job checkpoints — the
+// segmented log now, one .job file per job in the legacy layout.
+func (s *Server) jobsDir() string {
+	return filepath.Join(s.cfg.StateDir, "jobs")
+}
+
+// migrateLegacyJobs imports pre-log StateDir/jobs/<id>.job checkpoint
+// files into the job log and removes them. Corrupt files are deleted —
+// the request lives inside the file, so nothing can be salvaged from a
+// bad one. The import is restartable: a crash mid-way leaves the
+// remaining files for the next Recover, and re-importing an
+// already-migrated id is an idempotent overwrite.
+func (s *Server) migrateLegacyJobs() error {
+	entries, err := os.ReadDir(s.jobsDir())
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil
+		return nil
 	}
 	if err != nil {
-		return 0, fmt.Errorf("server: scanning job checkpoints: %w", err)
+		return fmt.Errorf("server: scanning legacy job checkpoints: %w", err)
 	}
-	n := 0
+	var migrated int64
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
 			continue
 		}
-		path := filepath.Join(dir, e.Name())
+		path := filepath.Join(s.jobsDir(), e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("server: migrating %s: %w", path, err)
+		}
 		var ck jobCkpt
-		if err := checkpoint.Load(path, jobCkptKind, jobCkptVersion, &ck); err != nil {
-			os.Remove(path)
+		if uerr := checkpoint.Unmarshal(data, jobCkptKind, jobCkptVersion, &ck); uerr == nil && ck.ID != "" {
+			if err := s.jobLog.Put(ck.ID, data); err != nil {
+				return fmt.Errorf("server: migrating %s: %w", path, err)
+			}
+			migrated++
+		}
+		// Imported or corrupt: either way the file is done.
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("server: removing migrated %s: %w", path, err)
+		}
+	}
+	if migrated > 0 {
+		s.jobLog.AddMigrated(migrated)
+	}
+	return nil
+}
+
+// Recover re-enqueues the job checkpoints a previous process left in
+// the store — with their Gripenberg frontier when one was snapshotted,
+// so the resumed search finishes bit-identical to an uninterrupted
+// one. Legacy one-file-per-job checkpoints (StateDir/jobs/<id>.job)
+// are migrated into the log first. Corrupt records are deleted (the
+// request itself lives inside the record; nothing can be salvaged from
+// a bad one). Returns the number of jobs re-enqueued. Call before
+// Start.
+func (s *Server) Recover() (int, error) {
+	if s.jobLog == nil {
+		return 0, nil
+	}
+	if err := s.migrateLegacyJobs(); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, id := range s.jobLog.Keys() {
+		data, ok, err := s.jobLog.Get(id)
+		if err != nil || !ok {
+			// Corrupt or vanished underneath us: evict, don't resurrect.
+			s.removeJobCkpt(id)
+			continue
+		}
+		var ck jobCkpt
+		if err := checkpoint.Unmarshal(data, jobCkptKind, jobCkptVersion, &ck); err != nil || ck.ID != id {
+			s.removeJobCkpt(id)
 			continue
 		}
 		j, existed := s.jobs.getOrCreate(ck.ID, ck.Req, ck.Key, time.Time{})
@@ -334,9 +395,20 @@ func (s *Server) Recover() (int, error) {
 		case s.queue <- j:
 			n++
 		default:
+			// The record stays in the log for the next Recover;
+			// dropping it would silently lose a job.
 			s.jobs.remove(ck.ID)
 			return n, fmt.Errorf("server: job queue full while recovering %s (capacity %d)", ck.ID, s.cfg.QueueSize)
 		}
 	}
 	return n, nil
+}
+
+// JobStoreStats returns the job log's counters and health; the zero
+// value when job persistence is disabled.
+func (s *Server) JobStoreStats() store.Stats {
+	if s.jobLog == nil {
+		return store.Stats{}
+	}
+	return s.jobLog.Stats()
 }

@@ -8,21 +8,22 @@ import (
 	"sync/atomic"
 
 	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/store"
 )
 
-// metrics accumulates the service counters and the request latency
-// histogram, and renders them in the Prometheus text exposition
-// format (version 0.0.4) — hand-rolled, because the whole service is
-// stdlib-only by design.
+// metrics accumulates the service counters and the latency histograms,
+// and renders them in the Prometheus text exposition format (version
+// 0.0.4) — hand-rolled, because the whole service is stdlib-only by
+// design.
 type metrics struct {
 	mu       sync.Mutex
 	requests map[reqLabel]int64
-	// latency histogram over all routes: cumulative bucket counts in
-	// the Prometheus "le" convention, plus sum and count.
-	buckets []float64
-	counts  []int64
-	sum     float64
-	count   int64
+	// latency per route pattern, in the Prometheus "le" convention.
+	latency map[string]*hist
+	// queueWait is how long async jobs sat queued before a worker
+	// picked them up — the honest measure of service backlog that
+	// request latency (which only sees the 202) cannot show.
+	queueWait hist
 	// admission sheds by gate ("rate", "inflight", "queue").
 	shedByReason map[string]int64
 
@@ -35,14 +36,33 @@ type reqLabel struct {
 }
 
 // latencyBuckets spans sub-millisecond cache hits to multi-minute
-// Gripenberg searches.
+// Gripenberg searches; queue waits live in the same range.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// hist is one cumulative histogram over latencyBuckets.
+type hist struct {
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+func newHist() *hist { return &hist{counts: make([]int64, len(latencyBuckets))} }
+
+func (h *hist) observe(seconds float64) {
+	for i, le := range latencyBuckets {
+		if seconds <= le {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests:     make(map[reqLabel]int64),
-		buckets:      latencyBuckets,
-		counts:       make([]int64, len(latencyBuckets)),
+		latency:      make(map[string]*hist),
+		queueWait:    *newHist(),
 		shedByReason: make(map[string]int64),
 	}
 }
@@ -59,18 +79,25 @@ func (m *metrics) observe(route string, code int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.requests[reqLabel{route, code}]++
-	for i, le := range m.buckets {
-		if seconds <= le {
-			m.counts[i]++
-		}
+	h, ok := m.latency[route]
+	if !ok {
+		h = newHist()
+		m.latency[route] = h
 	}
-	m.sum += seconds
-	m.count++
+	h.observe(seconds)
+}
+
+// observeQueueWait records how long one job waited on the queue.
+func (m *metrics) observeQueueWait(seconds float64) {
+	m.mu.Lock()
+	m.queueWait.observe(seconds)
+	m.mu.Unlock()
 }
 
 // gauges carries the point-in-time values sampled outside metrics.
 type gauges struct {
 	cache       certcache.Stats
+	stores      []storeGauges
 	queueDepth  int
 	queueCap    int
 	workers     int
@@ -80,6 +107,12 @@ type gauges struct {
 	jobsDone    int
 	jobsFailed  int
 	inflight    int
+}
+
+// storeGauges is one persistent log's counters, labeled by role.
+type storeGauges struct {
+	name  string // "certs" or "jobs"
+	stats store.Stats
 }
 
 // render writes the full exposition. Families are emitted in a fixed
@@ -103,14 +136,31 @@ func (m *metrics) render(w io.Writer, g gauges) {
 		fmt.Fprintf(w, "adaserved_requests_total{route=%q,code=\"%d\"} %d\n", l.route, l.code, m.requests[l])
 	}
 
-	fmt.Fprintln(w, "# HELP adaserved_request_duration_seconds Request latency.")
-	fmt.Fprintln(w, "# TYPE adaserved_request_duration_seconds histogram")
-	for i, le := range m.buckets {
-		fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{le=\"%g\"} %d\n", le, m.counts[i])
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
 	}
-	fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
-	fmt.Fprintf(w, "adaserved_request_duration_seconds_sum %g\n", m.sum)
-	fmt.Fprintf(w, "adaserved_request_duration_seconds_count %d\n", m.count)
+	sort.Strings(routes)
+	fmt.Fprintln(w, "# HELP adaserved_request_duration_seconds Request latency, by route pattern.")
+	fmt.Fprintln(w, "# TYPE adaserved_request_duration_seconds histogram")
+	for _, r := range routes {
+		h := m.latency[r]
+		for i, le := range latencyBuckets {
+			fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, le, h.counts[i])
+		}
+		fmt.Fprintf(w, "adaserved_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.count)
+		fmt.Fprintf(w, "adaserved_request_duration_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "adaserved_request_duration_seconds_count{route=%q} %d\n", r, h.count)
+	}
+
+	fmt.Fprintln(w, "# HELP adaserved_job_queue_wait_seconds Time async jobs spent queued before a worker picked them up.")
+	fmt.Fprintln(w, "# TYPE adaserved_job_queue_wait_seconds histogram")
+	for i, le := range latencyBuckets {
+		fmt.Fprintf(w, "adaserved_job_queue_wait_seconds_bucket{le=\"%g\"} %d\n", le, m.queueWait.counts[i])
+	}
+	fmt.Fprintf(w, "adaserved_job_queue_wait_seconds_bucket{le=\"+Inf\"} %d\n", m.queueWait.count)
+	fmt.Fprintf(w, "adaserved_job_queue_wait_seconds_sum %g\n", m.queueWait.sum)
+	fmt.Fprintf(w, "adaserved_job_queue_wait_seconds_count %d\n", m.queueWait.count)
 
 	reasons := make([]string, 0, len(m.shedByReason))
 	for r := range m.shedByReason {
@@ -155,6 +205,8 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE adaserved_cache_recoveries_total counter")
 	fmt.Fprintf(w, "adaserved_cache_recoveries_total %d\n", c.Recoveries)
 
+	renderStores(w, g.stores)
+
 	fmt.Fprintln(w, "# HELP adaserved_queue_depth Jobs waiting on the bounded queue.")
 	fmt.Fprintln(w, "# TYPE adaserved_queue_depth gauge")
 	fmt.Fprintf(w, "adaserved_queue_depth %d\n", g.queueDepth)
@@ -181,4 +233,58 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP adaserved_job_checkpoint_errors_total Best-effort job checkpoint writes that failed.")
 	fmt.Fprintln(w, "# TYPE adaserved_job_checkpoint_errors_total counter")
 	fmt.Fprintf(w, "adaserved_job_checkpoint_errors_total %d\n", m.ckptErrs.Load())
+}
+
+// renderStores emits the segmented-log counters for every persistent
+// store the server runs, labeled store="certs"/"jobs". Families are
+// skipped entirely when no store is configured (memory-only service).
+func renderStores(w io.Writer, stores []storeGauges) {
+	if len(stores) == 0 {
+		return
+	}
+	counter := func(family, help string, value func(store.Stats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", family, help, family)
+		for _, sg := range stores {
+			fmt.Fprintf(w, "%s{store=%q} %d\n", family, sg.name, value(sg.stats))
+		}
+	}
+	gauge := func(family, help string, value func(store.Stats) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", family, help, family)
+		for _, sg := range stores {
+			fmt.Fprintf(w, "%s{store=%q} %d\n", family, sg.name, value(sg.stats))
+		}
+	}
+	counter("adaserved_store_appends_total", "Record frames appended to the segmented log.",
+		func(s store.Stats) int64 { return s.Appends })
+	counter("adaserved_store_append_bytes_total", "Bytes appended to the segmented log, framing included.",
+		func(s store.Stats) int64 { return s.AppendBytes })
+	counter("adaserved_store_syncs_total", "fsyncs issued on segment files.",
+		func(s store.Stats) int64 { return s.Syncs })
+	counter("adaserved_store_reads_total", "Record reads served from segment files.",
+		func(s store.Stats) int64 { return s.Reads })
+	counter("adaserved_store_rotations_total", "Segment rotations at the size threshold.",
+		func(s store.Stats) int64 { return s.Rotations })
+	counter("adaserved_store_compactions_total", "Completed log compactions.",
+		func(s store.Stats) int64 { return s.Compactions })
+	counter("adaserved_store_compaction_errors_total", "Failed log compaction attempts (retried with backoff).",
+		func(s store.Stats) int64 { return s.CompactionErrs })
+	counter("adaserved_store_torn_bytes_total", "Unacknowledged tail bytes truncated during crash recovery.",
+		func(s store.Stats) int64 { return s.TornBytes })
+	counter("adaserved_store_migrated_total", "Records imported from a legacy one-file-per-entry layout.",
+		func(s store.Stats) int64 { return s.Migrated })
+	gauge("adaserved_store_segments", "Current segment files.",
+		func(s store.Stats) int64 { return int64(s.Segments) })
+	gauge("adaserved_store_records", "Live records the index references.",
+		func(s store.Stats) int64 { return int64(s.Records) })
+	gauge("adaserved_store_live_bytes", "Bytes of frames the index references.",
+		func(s store.Stats) int64 { return s.LiveBytes })
+	gauge("adaserved_store_total_bytes", "Bytes across all segment files.",
+		func(s store.Stats) int64 { return s.TotalBytes })
+	gauge("adaserved_store_compaction_degraded", "Whether compaction is failing while appends still work (1 = degraded-not-dead).",
+		func(s store.Stats) int64 {
+			if s.CompactionDegraded {
+				return 1
+			}
+			return 0
+		})
 }

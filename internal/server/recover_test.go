@@ -70,15 +70,18 @@ func TestRecoverPartiallyFullQueue(t *testing.T) {
 		t.Fatalf("err = %v, want a queue-full diagnostic", err)
 	}
 
-	// Every checkpoint file survives: the two enqueued ones are removed
-	// only on completion, and the overflowed one must stay for the next
-	// Recover — dropping it would silently lose a job.
-	entries, rerr := os.ReadDir(filepath.Join(stateDir, "jobs"))
-	if rerr != nil {
-		t.Fatal(rerr)
+	// Recover migrated every legacy file into the log, and every record
+	// survives: the two enqueued ones are removed only on completion,
+	// and the overflowed one must stay for the next Recover — dropping
+	// it would silently lose a job.
+	if n := countJobFiles(t, stateDir); n != 0 {
+		t.Fatalf("%d legacy .job files survive Recover, want 0 (migrated)", n)
 	}
-	if len(entries) != 3 {
-		t.Fatalf("state dir holds %d checkpoints after Recover, want 3", len(entries))
+	if keys := s.jobLog.Keys(); len(keys) != 3 {
+		t.Fatalf("job log holds %d records after Recover, want 3 (got %v)", len(keys), keys)
+	}
+	if st := s.JobStoreStats(); st.Migrated != 3 {
+		t.Fatalf("store stats %+v, want Migrated=3", st)
 	}
 
 	// Drain the two recovered jobs; both certify.
@@ -102,22 +105,32 @@ func TestRecoverPartiallyFullQueue(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	// Completed jobs cleaned their checkpoints; the overflowed one
-	// remains. Recover scans the directory in lexical filename order,
-	// so the overflowed job is the lexically last of the three ids.
+	// Completed jobs cleaned their records; the overflowed one remains.
+	// Recover walks the log's keys in lexical order, so the overflowed
+	// job is the lexically last of the three ids.
 	sorted := append([]string(nil), ids...)
 	sort.Strings(sorted)
-	entries, rerr = os.ReadDir(filepath.Join(stateDir, "jobs"))
-	if rerr != nil {
-		t.Fatal(rerr)
+	keys := s.jobLog.Keys()
+	if len(keys) != 1 || keys[0] != sorted[2] {
+		t.Fatalf("surviving records = %v, want exactly the overflowed job %s", keys, sorted[2])
 	}
-	if len(entries) != 1 || entries[0].Name() != sorted[2]+".job" {
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name()
+}
+
+// countJobFiles counts legacy .job files under stateDir/jobs (the log's
+// segment files live in the same directory and don't count).
+func countJobFiles(t *testing.T, stateDir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(stateDir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".job") {
+			n++
 		}
-		t.Fatalf("surviving checkpoints = %v, want exactly the overflowed job %s", names, sorted[2])
 	}
+	return n
 }
 
 func TestRecoverCorruptCheckpointBody(t *testing.T) {
@@ -144,10 +157,13 @@ func TestRecoverCorruptCheckpointBody(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("recovered %d jobs, want 1 (the intact one)", n)
 	}
-	// Evict, don't resurrect: the corrupt file is gone, and no job was
-	// registered under its id.
+	// Evict, don't resurrect: the corrupt file is gone, it was not
+	// imported into the log, and no job was registered under its id.
 	if _, serr := os.Stat(badPath); !os.IsNotExist(serr) {
 		t.Fatalf("corrupt checkpoint still on disk: %v", serr)
+	}
+	if _, ok, gerr := s.jobLog.Get(badID); gerr != nil || ok {
+		t.Fatalf("corrupt checkpoint was imported into the log (ok=%v, err=%v)", ok, gerr)
 	}
 	if j := s.jobs.get(badID); j != nil {
 		t.Fatalf("corrupt checkpoint produced a job in state %q", j.status().State)

@@ -37,6 +37,7 @@ import (
 	"adaptivertc/internal/certcache"
 	"adaptivertc/internal/jsr"
 	"adaptivertc/internal/mat"
+	"adaptivertc/internal/store"
 )
 
 // Config configures a Server. Cache is required; everything else has
@@ -53,9 +54,17 @@ type Config struct {
 	// Cache is the content-addressed certificate store (required).
 	Cache *certcache.Cache
 	// StateDir, when non-empty, persists per-job checkpoints (request +
-	// Gripenberg frontier) so queued and in-flight jobs survive a
-	// restart; Recover re-enqueues them.
+	// Gripenberg frontier) in a crash-safe segmented log under
+	// StateDir/jobs so queued and in-flight jobs survive a restart;
+	// Recover re-enqueues them (migrating any legacy one-file-per-job
+	// layout first).
 	StateDir string
+	// StateFS is the filesystem the job log runs on; nil selects the
+	// real one. Tests and the chaos harness substitute a faulty FS.
+	StateFS store.FS
+	// StoreSegmentBytes is the job log's segment rotation threshold;
+	// ≤ 0 selects the store default (64 MiB).
+	StoreSegmentBytes int64
 	// MaxSyncWork is the largest brute-force enumeration (k^brute) a
 	// request may demand and still be certified synchronously in the
 	// handler; 0 selects 4096, negative forces every request through
@@ -98,6 +107,8 @@ type Server struct {
 	mux     *http.ServeMux
 	cache   *certcache.Cache
 	jobs    *jobStore
+	jobLog  *store.Log // nil when StateDir is empty
+	logOnce sync.Once  // guards closing jobLog
 	queue   chan *job
 	metrics *metrics
 	started time.Time
@@ -146,6 +157,14 @@ func New(cfg Config) (*Server, error) {
 		cancel:  cancel,
 		quit:    make(chan struct{}),
 	}
+	if cfg.StateDir != "" {
+		l, err := store.Open(s.jobsDir(), store.Options{FS: cfg.StateFS, SegmentBytes: cfg.StoreSegmentBytes})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: opening job store in %s: %w", s.jobsDir(), err)
+		}
+		s.jobLog = l
+	}
 	s.mux.HandleFunc("POST /v1/certify", s.instrument("/v1/certify", s.handleCertify))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
@@ -177,12 +196,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancel()
+		s.closeJobLog()
 		return nil
 	case <-ctx.Done():
 		s.cancel() // interrupt at the next level boundary; checkpoints persist
 		<-done
+		s.closeJobLog()
 		return ctx.Err()
 	}
+}
+
+// closeJobLog seals the job log once all workers have stopped, so the
+// last frontier snapshots are fsynced and the active segment closes
+// cleanly. Idempotent; a nil log is a no-op.
+func (s *Server) closeJobLog() {
+	s.logOnce.Do(func() {
+		if s.jobLog != nil {
+			//lint:ignore droppederr every Put already fsynced; a failing close loses nothing Recover needs
+			s.jobLog.Close()
+		}
+	})
 }
 
 func (s *Server) worker() {
@@ -383,24 +416,38 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	q, run, done, failed := s.jobs.counts()
 	degraded, reason := s.cache.Degraded()
+	// Fold the stores' compaction health in: a log whose appends work
+	// but whose compaction keeps failing is degraded-not-dead — every
+	// record still persists, garbage just stops being reclaimed until
+	// the backoff retries succeed.
+	compDegraded, compReason := false, ""
+	if cs := s.cache.StoreStats(); cs.CompactionDegraded {
+		compDegraded, compReason = true, "certs: "+cs.CompactionReason
+	}
+	if js := s.JobStoreStats(); js.CompactionDegraded && !compDegraded {
+		compDegraded, compReason = true, "jobs: "+js.CompactionReason
+	}
 	status := "ok"
-	if degraded {
+	if degraded || compDegraded {
 		// Degraded is still serving: certificates compute and memory
-		// caching works; only cross-restart persistence is offline.
+		// caching works; only cross-restart persistence (or space
+		// reclamation) is impaired.
 		status = "degraded"
 	}
 	s.writeJSON(w, http.StatusOK, api.Health{
-		Status:              status,
-		Version:             buildinfo.Version(),
-		UptimeSeconds:       int64(time.Since(s.started).Seconds()),
-		Workers:             s.cfg.Workers,
-		QueueDepth:          len(s.queue),
-		JobsQueued:          q,
-		JobsRunning:         run,
-		JobsDone:            done,
-		JobsFailed:          failed,
-		CacheDegraded:       degraded,
-		CacheDegradedReason: reason,
+		Status:                  status,
+		Version:                 buildinfo.Version(),
+		UptimeSeconds:           int64(time.Since(s.started).Seconds()),
+		Workers:                 s.cfg.Workers,
+		QueueDepth:              len(s.queue),
+		JobsQueued:              q,
+		JobsRunning:             run,
+		JobsDone:                done,
+		JobsFailed:              failed,
+		CacheDegraded:           degraded,
+		CacheDegradedReason:     reason,
+		StoreCompactionDegraded: compDegraded,
+		StoreCompactionReason:   compReason,
 	})
 }
 
@@ -413,7 +460,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // struct (cache, queue, jobs, workers).
 func (s *Server) snapshot() gauges {
 	q, run, done, failed := s.jobs.counts()
-	return gauges{
+	g := gauges{
 		cache:       s.cache.Stats(),
 		queueDepth:  len(s.queue),
 		queueCap:    s.cfg.QueueSize,
@@ -422,6 +469,13 @@ func (s *Server) snapshot() gauges {
 		jobsQueued:  q, jobsRunning: run, jobsDone: done, jobsFailed: failed,
 		inflight: int(s.inflight.Load()),
 	}
+	if s.cache.Persistent() {
+		g.stores = append(g.stores, storeGauges{name: "certs", stats: s.cache.StoreStats()})
+	}
+	if s.jobLog != nil {
+		g.stores = append(g.stores, storeGauges{name: "jobs", stats: s.jobLog.Stats()})
+	}
+	return g
 }
 
 func (s *Server) writeBody(w http.ResponseWriter, outcome certcache.Outcome, body []byte) {

@@ -242,36 +242,48 @@ func TestWorkerCountByteIdentity(t *testing.T) {
 	}
 }
 
-// A corrupted persistent cache entry is evicted and recomputed to the
-// same bytes by a fresh server over the same directory.
+// A corrupted persistent cache entry is discarded on reopen and
+// recomputed to the same bytes by a fresh server over the same
+// directory. The flipped byte lands in the log's final frame, so the
+// store treats it as a torn tail: truncated at startup, served as a
+// miss, never as wrong bytes.
 func TestCorruptDiskEntryRecomputedByServer(t *testing.T) {
 	dir := t.TempDir()
-	mk := func() (Config, *certcache.Cache) {
-		c, err := certcache.New(certcache.Options{Dir: dir})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return Config{Workers: 1, Cache: c}, c
+	c1, err := certcache.New(certcache.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
 	}
-	cfg1, c1 := mk()
-	_, ts1 := newTestServer(t, cfg1)
+	s1, err := New(Config{Workers: 1, Cache: c1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httptest.NewServer(s1.Handler())
 	_, body1 := postCertify(t, ts1, paperReqJSON)
 	if st := c1.Stats(); st.Misses != 1 {
 		t.Fatalf("first server stats %+v", st)
 	}
+	// Shut the first server down completely (and seal its log) before
+	// corrupting the directory: two live logs over one dir is operator
+	// error, not the scenario under test.
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s1.Shutdown(ctx)
+	cancel()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
-	// Corrupt the single persisted entry.
-	req, err := api.DecodeRequest(strings.NewReader(paperReqJSON))
+	// Corrupt the persisted entry: the last frame of the newest segment.
+	if err := flipLastByte(newestSegment(t, dir)); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := certcache.New(certcache.Options{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Normalize()
-	if err := flipLastByte(c1.EntryPath(req.Key())); err != nil {
-		t.Fatal(err)
-	}
-
-	cfg2, c2 := mk()
-	_, ts2 := newTestServer(t, cfg2)
+	_, ts2 := newTestServer(t, Config{Workers: 1, Cache: c2})
 	resp2, body2 := postCertify(t, ts2, paperReqJSON)
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("recompute status %d", resp2.StatusCode)
@@ -279,8 +291,11 @@ func TestCorruptDiskEntryRecomputedByServer(t *testing.T) {
 	if !bytes.Equal(body1, body2) {
 		t.Fatal("recomputed body differs from original")
 	}
-	if st := c2.Stats(); st.Corrupt != 1 || st.Misses != 1 {
-		t.Fatalf("second server stats %+v, want Corrupt=1 Misses=1", st)
+	if st := c2.Stats(); st.Misses != 1 {
+		t.Fatalf("second server stats %+v, want Misses=1 (recomputed)", st)
+	}
+	if st := c2.StoreStats(); st.TornBytes == 0 {
+		t.Fatalf("store stats %+v: corrupted tail frame was not truncated on reopen", st)
 	}
 }
 
@@ -373,13 +388,23 @@ func TestJobCheckpointResume(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatalf("resumed result differs from uninterrupted run:\n%s\nvs\n%s", got, want)
 	}
-	if _, err := readCkptProbe(ckptPath); err == nil {
-		t.Fatal("completed job left its checkpoint behind")
+	// Recover migrated the legacy file into the log; completion deleted
+	// the record. Neither layout should still claim the job.
+	if _, serr := os.Stat(ckptPath); !os.IsNotExist(serr) {
+		t.Fatalf("legacy checkpoint file not migrated away: %v", serr)
+	}
+	if _, ok, gerr := s.jobLog.Get(id); gerr != nil || ok {
+		t.Fatalf("completed job left its checkpoint in the store (ok=%v, err=%v)", ok, gerr)
 	}
 }
 
 func TestHealthAndMetrics(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 3})
+	stateDir := t.TempDir()
+	c, err := certcache.New(certcache.Options{Dir: filepath.Join(stateDir, "certs")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 3, Cache: c, StateDir: stateDir})
 	postCertify(t, ts, paperReqJSON)
 	postCertify(t, ts, paperReqJSON)
 
@@ -396,6 +421,9 @@ func TestHealthAndMetrics(t *testing.T) {
 	if h.Status != "ok" || h.Version == "" || h.Workers != 3 {
 		t.Fatalf("health %+v", h)
 	}
+	if h.StoreCompactionDegraded || h.StoreCompactionReason != "" {
+		t.Fatalf("healthy stores reported compaction-degraded: %+v", h)
+	}
 
 	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -409,7 +437,13 @@ func TestHealthAndMetrics(t *testing.T) {
 		`adaserved_requests_total{route="/v1/certify",code="200"} 2`,
 		"adaserved_cache_misses_total 1",
 		`adaserved_cache_hits_total{layer="memory"} 1`,
-		"adaserved_request_duration_seconds_count",
+		`adaserved_request_duration_seconds_bucket{route="/v1/certify",le="+Inf"} 2`,
+		`adaserved_request_duration_seconds_count{route="/v1/certify"} 2`,
+		"adaserved_job_queue_wait_seconds_count 0",
+		`adaserved_store_appends_total{store="certs"} 1`,
+		`adaserved_store_appends_total{store="jobs"} 0`,
+		`adaserved_store_records{store="certs"} 1`,
+		`adaserved_store_compaction_degraded{store="certs"} 0`,
 		"adaserved_queue_depth 0",
 		"adaserved_workers 3",
 	} {
@@ -460,7 +494,7 @@ func writeCkptFile(path string, ck jobCkpt) error {
 	return checkpoint.Save(path, jobCkptKind, jobCkptVersion, ck)
 }
 
-// flipLastByte corrupts a checkpoint file in place.
+// flipLastByte corrupts a file in place.
 func flipLastByte(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -470,8 +504,22 @@ func flipLastByte(path string) error {
 	return os.WriteFile(path, raw, 0o644)
 }
 
-func readCkptProbe(path string) (jobCkpt, error) {
-	var ck jobCkpt
-	err := checkpoint.Load(path, jobCkptKind, jobCkptVersion, &ck)
-	return ck, err
+// newestSegment returns the path of the highest-numbered segment file
+// in a store directory — where the most recent append lives.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".seg") && e.Name() > newest {
+			newest = e.Name()
+		}
+	}
+	if newest == "" {
+		t.Fatalf("no segment files in %s", dir)
+	}
+	return filepath.Join(dir, newest)
 }

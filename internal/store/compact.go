@@ -1,0 +1,279 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// Compaction. The live records of every sealed segment are rewritten
+// into one new segment file whose header says "I cover sequence
+// numbers [first..last]", and that file is published by atomically
+// renaming it over the first sealed segment. The rename is the commit
+// point:
+//
+//   - crash before it: the temporary (.cmp) file is ignored and
+//     deleted by the next open; the old segments are authoritative.
+//   - crash after it: the remaining old segments have seq numbers the
+//     new header covers, so the next open identifies them as
+//     superseded and deletes them. Their contents are stale copies of
+//     records the compacted segment already carries (or records that
+//     were since overwritten in the active segment, which replays
+//     later and wins), so dropping them loses nothing.
+//
+// Only sealed segments compact; the active segment keeps taking
+// appends throughout, and lookups of records being moved stay valid
+// because the old files are removed only under the log's mutex, after
+// the index has been repointed.
+
+// maybeCompactLocked starts a background compaction when the dead
+// fraction among sealed segments crosses the threshold. Failures put
+// the compactor in a degraded state with exponential backoff —
+// subsequent appends retry it once the backoff expires, so a disk that
+// heals gets compaction back without operator action.
+func (l *Log) maybeCompactLocked() {
+	if l.opt.NoAutoCompact || l.compacting || l.closed {
+		return
+	}
+	if !l.compactNotBefore.IsZero() && l.opt.Now().Before(l.compactNotBefore) {
+		return
+	}
+	if !l.compactNeededLocked() {
+		return
+	}
+	l.compacting = true
+	l.compactWG.Add(1)
+	go func() {
+		defer l.compactWG.Done()
+		l.finishCompact(l.compactOnce())
+	}()
+}
+
+// compactNeededLocked applies the dead-bytes policy to the sealed
+// segments.
+func (l *Log) compactNeededLocked() bool {
+	if len(l.segs) < 2 {
+		return false
+	}
+	var dead, total int64
+	for _, s := range l.segs[:len(l.segs)-1] {
+		dead += s.size - s.live
+		total += s.size
+	}
+	return total > 0 && dead >= l.opt.CompactMinBytes &&
+		float64(dead)/float64(total) >= l.opt.CompactFraction
+}
+
+// Compact runs one synchronous compaction of all sealed segments,
+// regardless of the dead-bytes policy. It shares the degraded-state
+// bookkeeping with the background path, so a failing explicit
+// compaction surfaces in Stats the same way.
+func (l *Log) Compact() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if l.compacting {
+		l.mu.Unlock()
+		l.compactWG.Wait()
+		l.mu.Lock()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.compacting = true
+	l.compactWG.Add(1)
+	l.mu.Unlock()
+	defer l.compactWG.Done()
+	err := l.compactOnce()
+	l.finishCompact(err)
+	return err
+}
+
+// finishCompact records the outcome: success clears the degraded
+// state; failure degrades the store (appends continue!) and doubles
+// the retry backoff up to a cap.
+func (l *Log) finishCompact(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.compacting = false
+	if err == nil {
+		l.stats.CompactionDegraded = false
+		l.stats.CompactionReason = ""
+		l.compactBackoff = 0
+		l.compactNotBefore = l.opt.Now() // zero value would disable backoff gating; any past time works
+		return
+	}
+	l.stats.CompactionErrs++
+	l.stats.CompactionDegraded = true
+	l.stats.CompactionReason = err.Error()
+	if l.compactBackoff == 0 {
+		l.compactBackoff = compactBackoffInitial
+	} else {
+		l.compactBackoff *= 2
+		if l.compactBackoff > compactBackoffMax {
+			l.compactBackoff = compactBackoffMax
+		}
+	}
+	l.compactNotBefore = l.opt.Now().Add(l.compactBackoff)
+}
+
+// compactOnce rewrites the live records of all sealed segments into
+// one new segment and atomically swaps it in. Returns nil when there
+// is nothing to compact.
+func (l *Log) compactOnce() error {
+	// Phase 1 (under the lock): snapshot the sealed set and the live
+	// records inside it. Sealed segments are immutable, so the
+	// snapshot stays valid while we copy bytes without the lock.
+	l.mu.Lock()
+	if len(l.segs) < 2 {
+		l.mu.Unlock()
+		return nil
+	}
+	sealed := make([]*segment, len(l.segs)-1)
+	copy(sealed, l.segs[:len(l.segs)-1])
+	sealedSet := make(map[*segment]bool, len(sealed))
+	for _, s := range sealed {
+		sealedSet[s] = true
+	}
+	type moveRec struct {
+		key string
+		old loc
+	}
+	var moves []moveRec
+	for key, at := range l.index {
+		if sealedSet[at.seg] {
+			//lint:ignore maporder sortMoves below orders moves by (segment, offset) before anything is emitted
+			moves = append(moves, moveRec{key: key, old: at})
+		}
+	}
+	first, last := sealed[0].seq, sealed[len(sealed)-1].seq
+	l.mu.Unlock()
+
+	// Deterministic copy order: by original (segment, offset).
+	sortMoves(moves, func(a, b moveRec) bool {
+		if a.old.seg.seq != b.old.seg.seq {
+			return a.old.seg.seq < b.old.seg.seq
+		}
+		return a.old.off < b.old.off
+	})
+
+	// Phase 2 (no lock): stream the live frames into a temporary file.
+	tmp := filepath.Join(l.dir, fmt.Sprintf("%016x%s", first, tmpSuffix))
+	//lint:ignore droppederr a stale temporary from a crashed compaction is overwritten or re-deleted; removal here is only hygiene
+	l.fs.Remove(tmp)
+	f, size, err := l.fs.OpenAppend(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compaction temp %s: %w", tmp, err)
+	}
+	if size != 0 {
+		//lint:ignore droppederr error path: the non-empty temp is the diagnostic; a close failure adds nothing
+		f.Close()
+		return fmt.Errorf("store: compaction temp %s not empty (%d bytes)", tmp, size)
+	}
+	cleanup := func(err error) error {
+		//lint:ignore droppederr error path: err is the diagnostic and the temp is deleted right after
+		f.Close()
+		//lint:ignore droppederr the temp is advisory garbage; the next open deletes leftovers
+		l.fs.Remove(tmp)
+		return err
+	}
+	hdr := encodeMeta(first, last)
+	if _, err := f.Write(hdr); err != nil {
+		return cleanup(fmt.Errorf("store: compaction header: %w", err))
+	}
+	written := int64(len(hdr))
+	newOff := make(map[string]int64, len(moves))
+	for _, m := range moves {
+		buf := make([]byte, m.old.frameLen())
+		if err := l.fs.ReadAt(m.old.seg.path, buf, m.old.off); err != nil {
+			return cleanup(fmt.Errorf("store: compaction read %q: %w", m.key, err))
+		}
+		// Copying the frame verbatim preserves its checksum; verify it
+		// here so compaction can never launder a rotted record into a
+		// fresh-looking segment.
+		if payload, _, err := parseFrame(buf); err != nil {
+			return cleanup(fmt.Errorf("%w: compaction found key %q rotted at %s+%d", ErrCorrupt, m.key, m.old.seg.path, m.old.off))
+		} else if rec, err := parseRecord(payload); err != nil || rec.op != opPut || rec.key != m.key {
+			return cleanup(fmt.Errorf("%w: compaction found key %q inconsistent at %s+%d", ErrCorrupt, m.key, m.old.seg.path, m.old.off))
+		}
+		if n, err := f.Write(buf); err != nil || n != len(buf) {
+			if err == nil {
+				err = fmt.Errorf("short write (%d of %d bytes)", n, len(buf))
+			}
+			return cleanup(fmt.Errorf("store: compaction write %q: %w", m.key, err))
+		}
+		newOff[m.key] = written
+		written += int64(len(buf))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: compaction sync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		//lint:ignore droppederr the temp is advisory garbage; the next open deletes leftovers
+		l.fs.Remove(tmp)
+		return fmt.Errorf("store: compaction close: %w", err)
+	}
+
+	// Phase 3 (under the lock): publish. Rename is the commit point;
+	// everything after it is recoverable cleanup.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		//lint:ignore droppederr closing raced the swap; the unpublished temp is deleted by the next open anyway
+		l.fs.Remove(tmp)
+		return nil
+	}
+	newSeg := &segment{seq: first, covers: last, path: filepath.Join(l.dir, segName(first)), size: written}
+	if err := l.fs.Rename(tmp, newSeg.path); err != nil {
+		//lint:ignore droppederr the temp is advisory garbage; the next open deletes leftovers
+		l.fs.Remove(tmp)
+		return fmt.Errorf("store: compaction publish: %w", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		// The rename happened; a crash here is the crash-after-commit
+		// case the header's covers field already handles. Degrade
+		// rather than pretend the swap is fully durable.
+		return fmt.Errorf("store: compaction publish sync: %w", err)
+	}
+	// Old segments: the first was just replaced by the rename; the
+	// rest are now superseded. Removal failures are tolerable — the
+	// next open deletes them by the covers rule.
+	removeFailed := false
+	for _, s := range sealed[1:] {
+		if err := l.fs.Remove(s.path); err != nil {
+			removeFailed = true
+		}
+	}
+	if !removeFailed {
+		//lint:ignore droppederr entry-table durability for the removals is an optimization; covers-based cleanup handles a crash
+		l.fs.SyncDir(l.dir)
+	}
+	// Repoint the index. A key that was overwritten or deleted while
+	// we copied has moved out of the sealed set; its stale copy in the
+	// new segment is dead weight the next compaction reclaims.
+	for _, m := range moves {
+		cur, ok := l.index[m.key]
+		if ok && cur.seg == m.old.seg && cur.off == m.old.off {
+			at := loc{seg: newSeg, off: newOff[m.key], n: cur.n}
+			l.index[m.key] = at
+			newSeg.live += at.frameLen()
+		}
+	}
+	l.segs = append([]*segment{newSeg}, l.segs[len(sealed):]...)
+	l.stats.Compactions++
+	return nil
+}
+
+// sortMoves is sort.Slice without the interface allocation noise in
+// the hot path; compaction is rare, this is just tidier.
+func sortMoves[T any](s []T, less func(a, b T) bool) {
+	// insertion sort is fine: moves is small relative to IO cost, and
+	// the input is already mostly ordered (index iteration aside).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

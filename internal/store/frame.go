@@ -1,0 +1,153 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk frame format. Every segment is a sequence of frames:
+//
+//	offset 0  u32 LE  payload length n
+//	offset 4  u32 LE  CRC32C (Castagnoli) of the payload bytes
+//	offset 8  payload (n bytes)
+//
+// and every payload starts with a one-byte opcode:
+//
+//	opMeta   (first frame of every segment)
+//	         8-byte magic "ADASEGv1", u64 LE seq, u64 LE covers
+//	opPut    u32 LE key length k, key (k bytes), value (rest)
+//	opDelete u32 LE key length k, key (k bytes)
+//
+// The CRC is the torn-write detector: a frame whose stored checksum
+// does not match its bytes — truncated mid-frame, zero-filled by a
+// journal replay, bit-flipped by the medium — is not a frame at all.
+// Startup truncates such a tail from the final segment (the only place
+// an honest crash can produce one) and refuses to open when it appears
+// anywhere else, because that would mean acknowledged data rotted.
+
+const (
+	frameHeaderSize = 8
+	segMagic        = "ADASEGv1"
+	metaPayloadSize = 1 + len(segMagic) + 8 + 8
+
+	opPut    byte = 1
+	opDelete byte = 2
+	opMeta   byte = 3
+
+	// maxKeyLen and maxValueLen bound a single record; both are far
+	// beyond anything the certificate cache or job checkpoints store,
+	// and small enough that a corrupt length field cannot drive a
+	// multi-gigabyte allocation during a scan.
+	maxKeyLen   = 1 << 12
+	maxValueLen = 1 << 28
+	maxPayload  = 1 + 4 + maxKeyLen + maxValueLen
+)
+
+// castagnoli is the CRC32C table (iSCSI polynomial), hardware
+// accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the framed payload to dst and returns it.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// encodePut renders a put record frame.
+func encodePut(key string, value []byte) []byte {
+	payload := make([]byte, 0, 1+4+len(key)+len(value))
+	payload = append(payload, opPut)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(key)))
+	payload = append(payload, key...)
+	payload = append(payload, value...)
+	return appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
+}
+
+// encodeDelete renders a tombstone frame.
+func encodeDelete(key string) []byte {
+	payload := make([]byte, 0, 1+4+len(key))
+	payload = append(payload, opDelete)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(key)))
+	payload = append(payload, key...)
+	return appendFrame(make([]byte, 0, frameHeaderSize+len(payload)), payload)
+}
+
+// encodeMeta renders a segment's leading meta frame.
+func encodeMeta(seq, covers uint64) []byte {
+	payload := make([]byte, 0, metaPayloadSize)
+	payload = append(payload, opMeta)
+	payload = append(payload, segMagic...)
+	payload = binary.LittleEndian.AppendUint64(payload, seq)
+	payload = binary.LittleEndian.AppendUint64(payload, covers)
+	return appendFrame(make([]byte, 0, frameHeaderSize+metaPayloadSize), payload)
+}
+
+// errTorn marks bytes that do not parse as a complete, checksummed
+// frame — the scan's "stop here" signal, distinguished from a frame
+// that parses but holds nonsense.
+var errTorn = fmt.Errorf("torn or corrupt frame")
+
+// parseFrame reads one frame from b. It returns the payload (aliasing
+// b) and the total frame length, or errTorn when b does not begin with
+// a complete frame whose checksum matches.
+func parseFrame(b []byte) (payload []byte, frameLen int64, err error) {
+	if len(b) < frameHeaderSize {
+		return nil, 0, errTorn
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	if n == 0 || n > maxPayload || int64(n) > int64(len(b)-frameHeaderSize) {
+		return nil, 0, errTorn
+	}
+	payload = b[frameHeaderSize : frameHeaderSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return nil, 0, errTorn
+	}
+	return payload, frameHeaderSize + int64(n), nil
+}
+
+// record is one decoded put/delete payload.
+type record struct {
+	op    byte
+	key   string
+	value []byte // aliases the scanned buffer; copy before retaining
+}
+
+// parseRecord decodes a put or delete payload.
+func parseRecord(payload []byte) (record, error) {
+	if len(payload) < 1+4 {
+		return record{}, errTorn
+	}
+	op := payload[0]
+	if op != opPut && op != opDelete {
+		return record{}, errTorn
+	}
+	k := binary.LittleEndian.Uint32(payload[1:5])
+	if k == 0 || k > maxKeyLen || int(k) > len(payload)-5 {
+		return record{}, errTorn
+	}
+	r := record{op: op, key: string(payload[5 : 5+k])}
+	if op == opPut {
+		r.value = payload[5+k:]
+	} else if len(payload) != 5+int(k) {
+		return record{}, errTorn
+	}
+	return r, nil
+}
+
+// parseMeta decodes a segment's leading meta payload.
+func parseMeta(payload []byte) (seq, covers uint64, err error) {
+	if len(payload) != metaPayloadSize || payload[0] != opMeta ||
+		string(payload[1:1+len(segMagic)]) != segMagic {
+		return 0, 0, errTorn
+	}
+	seq = binary.LittleEndian.Uint64(payload[1+len(segMagic):])
+	covers = binary.LittleEndian.Uint64(payload[1+len(segMagic)+8:])
+	if seq == 0 || covers < seq {
+		return 0, 0, errTorn
+	}
+	return seq, covers, nil
+}

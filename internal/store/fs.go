@@ -1,0 +1,128 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File is an append-only file handle the log writes segments through.
+// The interface is deliberately tiny — write, make durable, close — so
+// the chaos harness can count and fail individual writes and syncs,
+// which is exactly the granularity at which real crashes happen.
+type File interface {
+	// Write appends p. A short write (n < len(p)) leaves a torn frame
+	// the log repairs by truncation before the next append.
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage; a record is acknowledged
+	// only after Sync returns nil.
+	Sync() error
+	// Close releases the handle. Close does not imply Sync.
+	Close() error
+}
+
+// FS is the filesystem seam the segmented log runs on. OSFS is the
+// production implementation; internal/chaos wraps an FS with seeded
+// faults and crash points (fail or die after the Nth write or sync,
+// truncated appends, bit-flipped frames) so crash recovery is testable
+// at every instruction boundary the log cares about.
+//
+// Durability contract: OpenAppend+Write+Sync make record bytes
+// durable; Rename must be atomic (POSIX rename semantics); SyncDir
+// makes directory entries (created, renamed, removed files) durable.
+type FS interface {
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending, creating it if absent, and
+	// returns the current file size.
+	OpenAppend(path string) (File, int64, error)
+	// ReadDir returns the names (not paths) of dir's entries in
+	// lexical order. A missing dir returns os.ErrNotExist.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of path.
+	ReadFile(path string) ([]byte, error)
+	// ReadAt fills p from path starting at off; a partial read is an
+	// error.
+	ReadAt(path string, p []byte, off int64) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes (torn-tail repair).
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory entry table for dir.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(path string) (File, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadAt implements FS.
+func (OSFS) ReadAt(path string, p []byte, off int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("store: read %s @%d+%d: %w", path, off, len(p), err)
+	}
+	return nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// SyncDir implements FS. Directory fsync is what makes a created,
+// renamed, or removed segment survive a power cut; on filesystems that
+// reject fsync on directories the error is surfaced to the caller.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", filepath.Clean(dir), err)
+	}
+	return nil
+}

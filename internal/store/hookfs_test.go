@@ -1,0 +1,83 @@
+package store
+
+import "errors"
+
+// hookFS wraps OSFS with per-operation hooks so tests can fail one
+// precise filesystem step. A nil hook is a passthrough. The fuller
+// crash-point injector lives in internal/chaos; this one stays here so
+// the store's own tests need no import.
+type hookFS struct {
+	OSFS
+	onWrite   func(p []byte) (int, error) // non-nil return intercepts the write
+	onSync    func() error
+	onRename  func(oldpath, newpath string) error
+	onRemove  func(path string) error
+	onSyncDir func(dir string) error
+}
+
+var errHook = errors.New("injected fault")
+
+func (h *hookFS) OpenAppend(path string) (File, int64, error) {
+	f, size, err := h.OSFS.OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &hookFile{File: f, fs: h}, size, nil
+}
+
+func (h *hookFS) Rename(oldpath, newpath string) error {
+	if h.onRename != nil {
+		if err := h.onRename(oldpath, newpath); err != nil {
+			return err
+		}
+	}
+	return h.OSFS.Rename(oldpath, newpath)
+}
+
+func (h *hookFS) Remove(path string) error {
+	if h.onRemove != nil {
+		if err := h.onRemove(path); err != nil {
+			return err
+		}
+	}
+	return h.OSFS.Remove(path)
+}
+
+func (h *hookFS) SyncDir(dir string) error {
+	if h.onSyncDir != nil {
+		if err := h.onSyncDir(dir); err != nil {
+			return err
+		}
+	}
+	return h.OSFS.SyncDir(dir)
+}
+
+type hookFile struct {
+	File
+	fs *hookFS
+}
+
+func (f *hookFile) Write(p []byte) (int, error) {
+	if f.fs.onWrite != nil {
+		if n, err := f.fs.onWrite(p); err != nil {
+			if n > 0 {
+				// A short write leaves the prefix on disk, exactly like a
+				// crashed kernel buffer flush would.
+				if wn, werr := f.File.Write(p[:n]); werr != nil {
+					return wn, werr
+				}
+			}
+			return n, err
+		}
+	}
+	return f.File.Write(p)
+}
+
+func (f *hookFile) Sync() error {
+	if f.fs.onSync != nil {
+		if err := f.fs.onSync(); err != nil {
+			return err
+		}
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tornFixture builds a log whose final frame has a known location, so
+// corruption tests can surgically damage exactly that frame. Layout:
+// one segment holding "alpha" and "beta" (both fsync-acknowledged),
+// then a final "tail" record whose frame spans [tailOff, fileSize).
+type tornFixture struct {
+	dir      string
+	segPath  string
+	tailOff  int64
+	fileSize int64
+	acked    map[string][]byte
+	tailVal  []byte
+}
+
+func makeTornFixture(t *testing.T) tornFixture {
+	t.Helper()
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{NoAutoCompact: true})
+	fx := tornFixture{
+		dir:     dir,
+		acked:   map[string][]byte{"alpha": []byte("alpha-value-0123456789"), "beta": []byte("beta-value")},
+		tailVal: []byte("tail-record-value"),
+	}
+	mustPut(t, l, "alpha", fx.acked["alpha"])
+	mustPut(t, l, "beta", fx.acked["beta"])
+	mustPut(t, l, "tail", fx.tailVal)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("fixture wants one segment, got %v", segs)
+	}
+	fx.segPath = filepath.Join(dir, segs[0])
+	st, err := os.Stat(fx.segPath)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	fx.fileSize = st.Size()
+	tailFrame := int64(len(encodePut("tail", fx.tailVal)))
+	fx.tailOff = fx.fileSize - tailFrame
+	return fx
+}
+
+// assertAckedSurvive reopens the fixture and checks that every record
+// acknowledged before the damage is byte-identical, the tail record's
+// presence matches wantTail, and no partial value is ever visible.
+func (fx tornFixture) assertAckedSurvive(t *testing.T, wantTail bool, wantTorn int64) {
+	t.Helper()
+	l := mustOpen(t, fx.dir, Options{NoAutoCompact: true})
+	defer l.Close()
+	for key, val := range fx.acked {
+		if got := mustGet(t, l, key); !bytes.Equal(got, val) {
+			t.Fatalf("acked record %q = %q, want %q", key, got, val)
+		}
+	}
+	v, ok, err := l.Get("tail")
+	if err != nil {
+		t.Fatalf("Get(tail): %v", err)
+	}
+	if ok != wantTail {
+		t.Fatalf("tail present = %v, want %v", ok, wantTail)
+	}
+	if ok && !bytes.Equal(v, fx.tailVal) {
+		// The one thing recovery may never do: surface a record whose
+		// bytes differ from what was written.
+		t.Fatalf("tail half-visible: %q", v)
+	}
+	if torn := l.Stats().TornBytes; torn != wantTorn {
+		t.Fatalf("TornBytes = %d, want %d", torn, wantTorn)
+	}
+	// Recovery must leave the store appendable.
+	mustPut(t, l, "post-recovery", []byte("writable"))
+}
+
+func corrupt(t *testing.T, path string, mutate func(data []byte) []byte) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+// TestTornTailTruncateEveryByte cuts the file at every byte of the
+// final frame: each prefix must recover to "acked records intact, tail
+// gone" with the partial bytes counted as torn.
+func TestTornTailTruncateEveryByte(t *testing.T) {
+	base := makeTornFixture(t)
+	raw, err := os.ReadFile(base.segPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	for cut := base.tailOff; cut < base.fileSize; cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut@%d", cut-base.tailOff), func(t *testing.T) {
+			fx := makeTornFixture(t)
+			// Same workload, deterministic encoding ⇒ identical layout.
+			if fx.fileSize != base.fileSize {
+				t.Fatalf("fixture layout drifted: %d vs %d bytes", fx.fileSize, base.fileSize)
+			}
+			if err := os.WriteFile(fx.segPath, raw[:cut], 0o644); err != nil {
+				t.Fatalf("truncating copy: %v", err)
+			}
+			fx.assertAckedSurvive(t, false, cut-fx.tailOff)
+		})
+	}
+}
+
+func TestTornTailCleanCutAtFrameBoundary(t *testing.T) {
+	fx := makeTornFixture(t)
+	if err := os.Truncate(fx.segPath, fx.tailOff); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	// The cut lands exactly on a frame boundary: nothing is torn, the
+	// tail record simply never made it.
+	fx.assertAckedSurvive(t, false, 0)
+}
+
+func TestTornTailCRCFlip(t *testing.T) {
+	fx := makeTornFixture(t)
+	corrupt(t, fx.segPath, func(data []byte) []byte {
+		data[fx.tailOff+4] ^= 0x01 // one bit of the stored CRC
+		return data
+	})
+	fx.assertAckedSurvive(t, false, fx.fileSize-fx.tailOff)
+}
+
+func TestTornTailPayloadBitFlip(t *testing.T) {
+	fx := makeTornFixture(t)
+	corrupt(t, fx.segPath, func(data []byte) []byte {
+		data[fx.fileSize-1] ^= 0x80 // last payload byte
+		return data
+	})
+	fx.assertAckedSurvive(t, false, fx.fileSize-fx.tailOff)
+}
+
+func TestTornTailZeroFill(t *testing.T) {
+	t.Run("appended-zeros", func(t *testing.T) {
+		// Journal replay on some filesystems extends a file with zeros.
+		fx := makeTornFixture(t)
+		corrupt(t, fx.segPath, func(data []byte) []byte {
+			return append(data, make([]byte, 512)...)
+		})
+		fx.assertAckedSurvive(t, true, 512)
+	})
+	t.Run("tail-overwritten-with-zeros", func(t *testing.T) {
+		fx := makeTornFixture(t)
+		corrupt(t, fx.segPath, func(data []byte) []byte {
+			for i := fx.tailOff; i < fx.fileSize; i++ {
+				data[i] = 0
+			}
+			return data
+		})
+		fx.assertAckedSurvive(t, false, fx.fileSize-fx.tailOff)
+	})
+}
+
+func TestTornTailLengthFieldGarbage(t *testing.T) {
+	// A length field pointing far past EOF must not drive a huge
+	// allocation or a false record; it is torn, full stop.
+	fx := makeTornFixture(t)
+	corrupt(t, fx.segPath, func(data []byte) []byte {
+		data[fx.tailOff+0] = 0xff
+		data[fx.tailOff+1] = 0xff
+		data[fx.tailOff+2] = 0xff
+		data[fx.tailOff+3] = 0x7f
+		return data
+	})
+	fx.assertAckedSurvive(t, false, fx.fileSize-fx.tailOff)
+}
+
+// TestCorruptionInSealedSegmentRefusesOpen: damage anywhere but the
+// final segment's tail means fsync-acknowledged data rotted; the store
+// must refuse to open rather than silently drop records.
+func TestCorruptionInSealedSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 128, NoAutoCompact: true})
+	for i := 0; l.Stats().Rotations < 2; i++ {
+		mustPut(t, l, fmt.Sprintf("k%d", i), bytes.Repeat([]byte("v"), 48))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs := segFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want ≥ 3 segments, got %v", segs)
+	}
+	first := filepath.Join(dir, segs[0])
+	corrupt(t, first, func(data []byte) []byte {
+		data[len(data)-1] ^= 0x01 // inside the sealed segment's last frame
+		return data
+	})
+	if _, err := Open(dir, Options{NoAutoCompact: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over rotted sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestHeaderlessNewestSegmentRemoved: rotation can crash between
+// creating the next segment file and making its header durable; the
+// empty shell must be discarded and the previous segment resumed.
+func TestHeaderlessNewestSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{NoAutoCompact: true})
+	mustPut(t, l, "k", []byte("v"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	shell := filepath.Join(dir, segName(2))
+	if err := os.WriteFile(shell, []byte{0x01, 0x02}, 0o644); err != nil {
+		t.Fatalf("planting shell: %v", err)
+	}
+	l2 := mustOpen(t, dir, Options{NoAutoCompact: true})
+	defer l2.Close()
+	if got := mustGet(t, l2, "k"); string(got) != "v" {
+		t.Fatalf("Get(k) = %q", got)
+	}
+	if _, err := os.Stat(shell); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("headerless shell survived: %v", err)
+	}
+	mustPut(t, l2, "k2", []byte("v2"))
+}
+
+// TestGetVerifiesChecksumOnRead: bit rot after open surfaces as
+// ErrCorrupt on Get, never as silently wrong bytes.
+func TestGetVerifiesChecksumOnRead(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{NoAutoCompact: true})
+	defer l.Close()
+	mustPut(t, l, "rot", bytes.Repeat([]byte("r"), 64))
+	segs := segFiles(t, dir)
+	corrupt(t, filepath.Join(dir, segs[0]), func(data []byte) []byte {
+		data[len(data)-1] ^= 0xff
+		return data
+	})
+	_, ok, err := l.Get("rot")
+	if !ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get over rotted bytes = ok=%v err=%v, want ok && ErrCorrupt", ok, err)
+	}
+}

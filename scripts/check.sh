@@ -206,8 +206,14 @@ grep -q '^bye$' "$tmpdir/served.out" || {
 
 echo "== chaos smoke: disk fault degrades the cache, sheds carry Retry-After, resilient client converges"
 go build -o "$tmpdir/adaclient" ./cmd/adaclient
+# -store-segment 32 makes every put after the first rotate the
+# segmented log, so the yanked directory below is felt on the very
+# next record — appends to the already-open segment file descriptor
+# would otherwise keep succeeding against an unlinked file. (A
+# header-only segment is exempt from rotation, hence the priming
+# request before the yank.)
 "$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/chaoscache" \
-    -rate 1 -burst 1 -cache-probe 50ms > "$tmpdir/chaos.out" 2>&1 &
+    -store-segment 32 -rate 1 -burst 1 -cache-probe 50ms > "$tmpdir/chaos.out" 2>&1 &
 chaos_pid=$!
 port=""
 for _ in $(seq 1 100); do
@@ -222,6 +228,18 @@ if [ -z "$port" ]; then
     exit 1
 fi
 base="http://127.0.0.1:$port"
+# Prime one record into the active segment. Rotation skips a segment
+# holding nothing but its header (rotating an empty segment would spin
+# forever), so the put after the yank needs a non-empty active segment
+# to reach the rotation path and its MkdirAll.
+curl -sS -o "$tmpdir/chprime.json" -H 'X-Client-ID: primer' \
+    -X POST -d '{"version":1,"matrices":[[[0.5]]]}' "$base/v1/certify"
+grep -q '"verdict":' "$tmpdir/chprime.json" || {
+    echo "error: priming certify before the disk yank failed:" >&2
+    cat "$tmpdir/chprime.json" >&2
+    kill "$chaos_pid" 2>/dev/null || true
+    exit 1
+}
 # Yank the disk out from under the certificate cache: a plain file
 # where the certs directory should be fails every write with ENOTDIR —
 # even for root, which ignores permission bits, so a chmod-based fault
@@ -326,6 +344,164 @@ set -e
 if [ "$chaos_status" -ne 0 ]; then
     echo "error: chaos adaserved exited $chaos_status on SIGTERM, want 0:" >&2
     cat "$tmpdir/chaos.out" >&2
+    exit 1
+fi
+
+echo "== crash smoke: SIGKILL mid-load, restart serves acked certificates byte-identically"
+# Small segments force rotations during the load, so the kill can land
+# inside appends, rotations, and header writes alike; the restarted
+# server must absorb whatever torn state is left and still serve every
+# acknowledged certificate bit-for-bit.
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/crashcache" \
+    -store-segment 4096 > "$tmpdir/crash1.out" 2>&1 &
+crash_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/crash1.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: crash adaserved never reported its listen address:" >&2
+    cat "$tmpdir/crash1.out" >&2
+    kill "$crash_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+# Certify the paper example first: these bytes are acknowledged (the
+# store fsyncs before the response) and must survive the kill.
+curl -sS -o "$tmpdir/cr1.json" -X POST --data @"$tmpdir/req.json" "$base/v1/certify"
+grep -q '"verdict":"stable"' "$tmpdir/cr1.json" || {
+    echo "error: crash-smoke certify failed:" >&2
+    cat "$tmpdir/cr1.json" >&2
+    kill "$crash_pid" 2>/dev/null || true
+    exit 1
+}
+# Background load: a stream of distinct tiny certifications keeps the
+# log appending and rotating while the process is killed.
+(
+    i=0
+    while :; do
+        i=$((i+1))
+        printf '{"version":1,"matrices":[[[0.%04d]]]}' "$i" > "$tmpdir/crload.json"
+        curl -sS -o /dev/null -X POST --data @"$tmpdir/crload.json" "$base/v1/certify" 2>/dev/null || break
+    done
+) &
+load_pid=$!
+sleep 0.5
+kill -9 "$crash_pid" 2>/dev/null || true
+set +e
+wait "$crash_pid" 2>/dev/null
+wait "$load_pid" 2>/dev/null
+set -e
+# Restart over the same directory: startup must repair the torn tail,
+# never refuse, and serve the acked certificate from disk unchanged.
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/crashcache" \
+    > "$tmpdir/crash2.out" 2>&1 &
+crash2_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/crash2.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: adaserved did not come back up after SIGKILL:" >&2
+    cat "$tmpdir/crash2.out" >&2
+    kill "$crash2_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+curl -sS -D "$tmpdir/crh2" -o "$tmpdir/cr2.json" \
+    -X POST --data @"$tmpdir/req.json" "$base/v1/certify"
+grep -qi '^X-Cache: hit' "$tmpdir/crh2" || {
+    echo "error: acked certificate was not a cache hit after the crash:" >&2
+    cat "$tmpdir/crh2" >&2
+    kill "$crash2_pid" 2>/dev/null || true
+    exit 1
+}
+cmp -s "$tmpdir/cr1.json" "$tmpdir/cr2.json" || {
+    echo "error: certificate served after the crash differs from the acked bytes" >&2
+    kill "$crash2_pid" 2>/dev/null || true
+    exit 1
+}
+curl -sS "$base/healthz" | grep -q '"status":"ok"' || {
+    echo "error: /healthz not ok after crash recovery" >&2
+    kill "$crash2_pid" 2>/dev/null || true
+    exit 1
+}
+curl -sS "$base/metrics" | grep -q '^adaserved_store_appends_total{store="certs"}' || {
+    echo "error: /metrics does not expose the store counters" >&2
+    kill "$crash2_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$crash2_pid"
+set +e
+wait "$crash2_pid"
+crash2_status=$?
+set -e
+if [ "$crash2_status" -ne 0 ]; then
+    echo "error: restarted adaserved exited $crash2_status on SIGTERM, want 0:" >&2
+    cat "$tmpdir/crash2.out" >&2
+    exit 1
+fi
+
+echo "== migration smoke: a legacy one-file-per-entry cache imports into the log and serves byte-identically"
+go build -o "$tmpdir/mklegacy" ./cmd/mklegacy
+printf '{"version":1,"matrices":[[[0.125]]]}' > "$tmpdir/mig-req.json"
+# The sentinel body is bytes no computation would ever produce: if the
+# server returns them, they can only have come through the migration.
+printf 'legacy sentinel, not a real certificate' > "$tmpdir/mig-body"
+"$tmpdir/mklegacy" -dir "$tmpdir/migcache/certs" -req "$tmpdir/mig-req.json" \
+    -body "$tmpdir/mig-body" > /dev/null
+"$tmpdir/adaserved" -addr 127.0.0.1:0 -cache-dir "$tmpdir/migcache" \
+    > "$tmpdir/mig.out" 2>&1 &
+mig_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$tmpdir/mig.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "error: migration adaserved never reported its listen address:" >&2
+    cat "$tmpdir/mig.out" >&2
+    kill "$mig_pid" 2>/dev/null || true
+    exit 1
+fi
+base="http://127.0.0.1:$port"
+curl -sS -D "$tmpdir/migh" -o "$tmpdir/migr" \
+    -X POST --data @"$tmpdir/mig-req.json" "$base/v1/certify"
+grep -qi '^X-Cache: hit' "$tmpdir/migh" || {
+    echo "error: migrated entry was not served as a cache hit:" >&2
+    cat "$tmpdir/migh" "$tmpdir/migr" >&2
+    kill "$mig_pid" 2>/dev/null || true
+    exit 1
+}
+cmp -s "$tmpdir/mig-body" "$tmpdir/migr" || {
+    echo "error: migrated entry was not served byte-identically:" >&2
+    cat "$tmpdir/migr" >&2
+    kill "$mig_pid" 2>/dev/null || true
+    exit 1
+}
+if find "$tmpdir/migcache/certs" -name '*.cert' 2>/dev/null | grep -q .; then
+    echo "error: legacy .cert files survive the migration" >&2
+    kill "$mig_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -sS "$base/metrics" | grep -q '^adaserved_store_migrated_total{store="certs"} 1$' || {
+    echo "error: /metrics does not count the migrated entry" >&2
+    kill "$mig_pid" 2>/dev/null || true
+    exit 1
+}
+kill -TERM "$mig_pid"
+set +e
+wait "$mig_pid"
+mig_status=$?
+set -e
+if [ "$mig_status" -ne 0 ]; then
+    echo "error: migration adaserved exited $mig_status on SIGTERM, want 0:" >&2
+    cat "$tmpdir/mig.out" >&2
     exit 1
 fi
 
