@@ -1,0 +1,199 @@
+// Command adabench is a minimal load generator for adaserved: it
+// drives POST /v1/certify (or /v1/certify/batch with -batch) at a
+// fixed concurrency and reports latency percentiles and throughput as
+// JSON — the record scripts/bench.sh commits as BENCH_serve.json.
+//
+//	adabench [-server URL] [-n OPS] [-c CONC] [-batch ITEMS]
+//	         [-distinct KEYS] [-warmup] [-out FILE]
+//
+// Requests are tiny distinct 1×1 systems (the JSR of [[r]] is r), so
+// the measurement is dominated by the serving path — admission,
+// decode, cache, canonical encode — not by the engine. -distinct
+// controls the key-cycling mix: ops beyond the first pass over the
+// keys are cache hits, which is the steady state a sweep driver sees.
+// One batch call counts as one operation; its items are reported
+// separately as items/sec.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type latencyReport struct {
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	MeanMs float64 `json:"mean_ms"`
+}
+
+type report struct {
+	Server          string        `json:"server"`
+	Endpoint        string        `json:"endpoint"`
+	Operations      int           `json:"operations"`
+	Concurrency     int           `json:"concurrency"`
+	BatchItems      int           `json:"batch_items,omitempty"`
+	DistinctKeys    int           `json:"distinct_keys"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	OpsPerSec       float64       `json:"ops_per_sec"`
+	ItemsPerSec     float64       `json:"items_per_sec"`
+	Errors          int64         `json:"errors"`
+	Latency         latencyReport `json:"latency"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	server := flag.String("server", "http://127.0.0.1:8080", "adaserved base URL")
+	n := flag.Int("n", 200, "total operations (calls)")
+	c := flag.Int("c", 8, "concurrent clients")
+	batch := flag.Int("batch", 0, "items per call via /v1/certify/batch (0 = single /v1/certify)")
+	distinct := flag.Int("distinct", 32, "distinct request keys cycled through")
+	warmup := flag.Bool("warmup", true, "populate the cache with one pass over the keys before measuring")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-call timeout")
+	out := flag.String("out", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+	if *n <= 0 || *c <= 0 || *distinct <= 0 || *batch < 0 {
+		fmt.Fprintln(os.Stderr, "adabench: -n, -c and -distinct must be positive, -batch non-negative")
+		return 2
+	}
+
+	// Distinct 1×1 request bodies: the JSR of [[r]] is r, each
+	// certifies in microseconds, and every key is honest JSON a sweep
+	// driver could have sent.
+	keys := make([]string, *distinct)
+	for i := range keys {
+		keys[i] = fmt.Sprintf(`{"version":1,"matrices":[[[%.6f]]]}`, 0.05+0.9*float64(i)/float64(*distinct))
+	}
+	endpoint, bodyFor := "/v1/certify", func(op int) string { return keys[op%len(keys)] }
+	if *batch > 0 {
+		endpoint = "/v1/certify/batch"
+		bodyFor = func(op int) string {
+			items := make([]string, *batch)
+			for j := range items {
+				items[j] = keys[(op*(*batch)+j)%len(keys)]
+			}
+			return `{"version":1,"items":[` + strings.Join(items, ",") + `]}`
+		}
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	post := func(path, body string) error {
+		resp, err := hc.Post(*server+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	call := func(body string) error { return post(endpoint, body) }
+
+	if *warmup {
+		// Warm through the single endpoint regardless of mode: the
+		// cache is keyed on content, so batch calls hit the same
+		// entries.
+		for _, k := range keys {
+			if err := post("/v1/certify", k); err != nil {
+				fmt.Fprintf(os.Stderr, "adabench: warmup against %s failed: %v\n", *server, err)
+				return 2
+			}
+		}
+	}
+
+	latencies := make([]time.Duration, *n)
+	var next, errs atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				op := int(next.Add(1)) - 1
+				if op >= *n {
+					return
+				}
+				t0 := time.Now()
+				err := call(bodyFor(op))
+				latencies[op] = time.Since(t0)
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(latencies)))
+		if i >= len(latencies) {
+			i = len(latencies) - 1
+		}
+		return ms(latencies[i])
+	}
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	items := *n
+	if *batch > 0 {
+		items = *n * *batch
+	}
+	rep := report{
+		Server:          *server,
+		Endpoint:        endpoint,
+		Operations:      *n,
+		Concurrency:     *c,
+		BatchItems:      *batch,
+		DistinctKeys:    *distinct,
+		DurationSeconds: elapsed.Seconds(),
+		OpsPerSec:       float64(*n) / elapsed.Seconds(),
+		ItemsPerSec:     float64(items) / elapsed.Seconds(),
+		Errors:          errs.Load(),
+		Latency: latencyReport{
+			P50Ms:  pct(0.50),
+			P95Ms:  pct(0.95),
+			P99Ms:  pct(0.99),
+			MaxMs:  ms(latencies[len(latencies)-1]),
+			MeanMs: ms(sum) / float64(len(latencies)),
+		},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		return 2
+	}
+	if *out == "" {
+		os.Stdout.Write(buf.Bytes())
+		return 0
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		return 2
+	}
+	fmt.Printf("wrote %s (%.0f ops/s, p50 %.2fms p95 %.2fms p99 %.2fms, %d errors)\n",
+		*out, rep.OpsPerSec, rep.Latency.P50Ms, rep.Latency.P95Ms, rep.Latency.P99Ms, rep.Errors)
+	return 0
+}

@@ -166,16 +166,20 @@ type ErrorResponse struct {
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
-// maxRequestBytes bounds a decoded request body: 64 matrices of 64×64
-// float64 literals fit comfortably.
-const maxRequestBytes = 8 << 20
+// MaxRequestBytes bounds one CertifyRequest body: 64 matrices of
+// 64×64 float64 literals fit comfortably. Servers enforce it with
+// http.MaxBytesReader so oversized bodies answer 413; the decoder's
+// own LimitReader sits one byte beyond so the reader's typed
+// *http.MaxBytesError — not a JSON truncation error — is what
+// surfaces when the transport bound fires first.
+const MaxRequestBytes = 8 << 20
 
 // DecodeRequest strictly parses one CertifyRequest: unknown fields,
-// trailing data, and bodies beyond maxRequestBytes are errors, so a
+// trailing data, and bodies beyond MaxRequestBytes are errors, so a
 // typo in a budget field can never silently certify under defaults.
 func DecodeRequest(r io.Reader) (CertifyRequest, error) {
 	var req CertifyRequest
-	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	dec := json.NewDecoder(io.LimitReader(r, MaxRequestBytes+1))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return req, fmt.Errorf("api: parsing request: %w", err)

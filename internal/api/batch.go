@@ -1,0 +1,91 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Batch wire types for POST /v1/certify/batch: N certification
+// requests in one call, admission-controlled as a unit, deduplicated
+// by content key through the same singleflight as single requests, and
+// answered per item — inline results where the answer is already (or
+// cheaply) available, job references otherwise. Each item is an
+// unmodified CertifyRequest, so batch items share cache keys, job ids,
+// and canonical response bytes with their single-request twins.
+
+// MaxBatchItems bounds the items of one batch call. The batch
+// endpoint exists to amortize HTTP overhead for sweep drivers, not to
+// smuggle an unbounded queue past admission control; larger sweeps
+// split into multiple batches, each admitted separately.
+const MaxBatchItems = 32
+
+// MaxBatchBytes bounds one batch request body. Deliberately smaller
+// than MaxBatchItems×MaxRequestBytes: batches of worst-case literal
+// matrix sets should be split, keeping any single POST's buffering
+// bill modest.
+const MaxBatchBytes = 32 << 20
+
+// BatchRequest is the body of POST /v1/certify/batch.
+type BatchRequest struct {
+	Version int              `json:"version"`
+	Items   []CertifyRequest `json:"items"`
+}
+
+// BatchItem is the verdict for one batch position. Exactly one of
+// Result, Job, and Error is set: Result inline when the item was
+// cached or cheap enough to certify synchronously, Job when it was
+// queued, Error when the item itself failed validation. Key is the
+// item's content key (also the job id) whenever the item was valid,
+// and Cache mirrors the X-Cache header a single request would have
+// seen ("hit", "hit-disk", "shared", or "miss").
+type BatchItem struct {
+	Index  int              `json:"index"`
+	Key    string           `json:"key,omitempty"`
+	Cache  string           `json:"cache,omitempty"`
+	Result *CertifyResponse `json:"result,omitempty"`
+	Job    *JobRef          `json:"job,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a 200 batch reply: one item per request
+// position, in request order.
+type BatchResponse struct {
+	Version int         `json:"version"`
+	Items   []BatchItem `json:"items"`
+}
+
+// DecodeBatchRequest strictly parses a BatchRequest under the same
+// contract as DecodeRequest: unknown fields, trailing data, and
+// oversized bodies are errors, with the LimitReader one byte past
+// MaxBatchBytes so an enclosing http.MaxBytesReader's typed error
+// surfaces first.
+func DecodeBatchRequest(r io.Reader) (BatchRequest, error) {
+	var req BatchRequest
+	dec := json.NewDecoder(io.LimitReader(r, MaxBatchBytes+1))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("api: parsing batch request: %w", err)
+	}
+	if dec.More() {
+		return req, errors.New("api: trailing data after batch request object")
+	}
+	return req, nil
+}
+
+// Validate checks the batch envelope. Item-level validation is the
+// server's per-item concern — one malformed item yields an item error,
+// not a rejected batch.
+func (b *BatchRequest) Validate() error {
+	if b.Version != RequestVersion {
+		return fmt.Errorf("api: unsupported batch version %d (want %d)", b.Version, RequestVersion)
+	}
+	if len(b.Items) == 0 {
+		return errors.New("api: batch has no items")
+	}
+	if len(b.Items) > MaxBatchItems {
+		return fmt.Errorf("api: batch has %d items, limit is %d", len(b.Items), MaxBatchItems)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package chaos
+
+// Distributed-certification chaos: a coordinator-role adaserved with a
+// fleet of workers, where one worker dies mid-job, straggles past its
+// lease, or is partitioned from the start. The invariant is the
+// subsystem's central promise: whatever the fleet does, the final
+// certificate is byte-identical to a pristine single-node run.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/client"
+	"adaptivertc/internal/dist"
+	"adaptivertc/internal/server"
+)
+
+// distChaosRequest is the job every cell certifies: the paper's
+// two-matrix set, forced through the async path so the coordinator
+// distributes its level expansions.
+func distChaosRequest() api.CertifyRequest {
+	return api.CertifyRequest{Version: 1, Matrices: [][][]float64{
+		{{0.55, 0.55}, {0, 0.55}}, {{0.55, 0}, {0.55, 0.55}},
+	}}
+}
+
+// startDistServer assembles a coordinator-role node: public service and
+// internal dist endpoints on one listener, exactly as cmd/adaserved
+// wires them.
+func startDistServer(t *testing.T, coord *dist.Coordinator) (*httptest.Server, func()) {
+	t.Helper()
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Workers:      2,
+		Cache:        cache,
+		MaxSyncWork:  -1, // every request becomes a distributable job
+		Distribute:   coord.Distributor,
+		MetricsExtra: coord.Metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.Handle("/v1/internal/", coord.Handler())
+	ts := httptest.NewServer(mux)
+	stop := func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	return ts, stop
+}
+
+// startDistWorkers launches n workers against the coordinator URL and
+// blocks until all have registered. faults drives worker 0 only; the
+// rest of the fleet stays healthy.
+func startDistWorkers(t *testing.T, ctx context.Context, coordURL string, n int, faults *ShardFaults) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ts := httptest.NewUnstartedServer(nil)
+		cfg := dist.WorkerConfig{
+			ID:          fmt.Sprintf("w%d", i),
+			Advertise:   "http://" + ts.Listener.Addr().String(),
+			Coordinator: coordURL,
+			Heartbeat:   20 * time.Millisecond,
+		}
+		if i == 0 && faults != nil {
+			cfg.FaultHook = faults.Hook()
+		}
+		w, err := dist.NewWorker(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Config.Handler = w.Handler()
+		ts.Start()
+		t.Cleanup(ts.Close)
+		go w.Run(ctx)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(coordURL + "/v1/internal/workers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ws struct {
+			Workers []dist.WorkerInfo `json:"workers"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&ws)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws.Workers) == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers registered", len(ws.Workers), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDistributedChaosMatrix(t *testing.T) {
+	req := distChaosRequest()
+	ref := referenceBytes(t, []api.CertifyRequest{req})[0]
+
+	type fault struct {
+		name  string
+		setup func(*ShardFaults)
+	}
+	faultModes := []fault{
+		{"death-mid-job", func(f *ShardFaults) { f.KillAfter(2); f.Open() }},
+		{"slow-past-lease", func(f *ShardFaults) { f.Configure(0, 1.0, 2*time.Second); f.Open() }},
+		{"partitioned", func(f *ShardFaults) { f.Partition(true); f.Open() }},
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, fm := range faultModes {
+			t.Run(fmt.Sprintf("workers=%d/%s", workers, fm.name), func(t *testing.T) {
+				coord := dist.NewCoordinator(dist.CoordinatorConfig{
+					MinShardWords: 1,
+					Lease:         150 * time.Millisecond,
+				})
+				ts, stop := startDistServer(t, coord)
+				defer stop()
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				faults := NewShardFaults(int64(workers))
+				fm.setup(faults)
+				startDistWorkers(t, ctx, ts.URL, workers, faults)
+
+				c, err := client.New(client.Options{BaseURL: ts.URL, Seed: 7, PollInterval: 2 * time.Millisecond})
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, err := c.CertifyBytes(context.Background(), req)
+				if err != nil {
+					t.Fatalf("certify through faulty fleet: %v", err)
+				}
+				if string(body) != string(ref) {
+					t.Fatalf("distributed bytes differ from pristine single-node run:\n%s\nvs\n%s", body, ref)
+				}
+				if failed, _ := faults.Injected(); failed == 0 {
+					t.Logf("note: fault window open but no shard was injected (fleet=%d, %s)", workers, fm.name)
+				}
+				metrics := coord.Metrics()
+				if !strings.Contains(metrics, "adaserved_dist_shards_total") {
+					t.Error("coordinator metrics missing shard counters")
+				}
+			})
+		}
+	}
+}

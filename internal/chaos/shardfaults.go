@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjectedShard is the error a shard-fault hook returns: the worker
+// answers the dispatch with a 5xx, the coordinator's lease machinery
+// re-dispatches the shard, and — because shards are pure functions —
+// the merged certificate is byte-identical to a fault-free run.
+var ErrInjectedShard = errors.New("chaos: injected shard fault")
+
+// ShardFaults injects worker-side shard failures through
+// dist.WorkerConfig.FaultHook, mirroring WorkerFaults: every draw comes
+// from a seeded RNG under a mutex, the window opens and closes
+// explicitly, and every injection is counted. Three fault shapes cover
+// the distributed failure model:
+//
+//   - death (Partition / KillAfter): the worker stops answering shards,
+//     either forever (a partitioned or dead node) or after its first N
+//     evaluations (a node that dies mid-job);
+//   - fail (failProb): sporadic shard errors — a flaky node;
+//   - slow (slowProb + delay): a straggler that holds a shard until the
+//     coordinator's lease expires and the shard moves on.
+//
+// The invariant chaos tests assert on top: whatever mix fires, the
+// final bracket is byte-identical to a single-node run.
+type ShardFaults struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	failProb  float64
+	slowProb  float64
+	delay     time.Duration
+	partition bool
+	killAfter int64 // fail every evaluation after this many, when > 0
+	seen      int64
+	injected  int64
+	slowed    int64
+	active    bool
+}
+
+// NewShardFaults builds an injector drawing from seed. Configure the
+// mix; the window starts closed.
+func NewShardFaults(seed int64) *ShardFaults {
+	return &ShardFaults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Configure sets the per-shard fault mix: failProb fails the shard with
+// ErrInjectedShard, slowProb (drawn when not failing) stalls it for
+// delay before proceeding.
+func (s *ShardFaults) Configure(failProb, slowProb float64, delay time.Duration) {
+	s.mu.Lock()
+	s.failProb, s.slowProb, s.delay = failProb, slowProb, delay
+	s.mu.Unlock()
+}
+
+// Partition makes every shard fail while the window is open — the
+// coordinator sees a node that registered and then stopped answering.
+func (s *ShardFaults) Partition(on bool) {
+	s.mu.Lock()
+	s.partition = on
+	s.mu.Unlock()
+}
+
+// KillAfter arranges for the worker to die mid-job: the first n shard
+// evaluations succeed, every later one fails. Zero disables.
+func (s *ShardFaults) KillAfter(n int64) {
+	s.mu.Lock()
+	s.killAfter = n
+	s.mu.Unlock()
+}
+
+// Open starts the fault window.
+func (s *ShardFaults) Open() {
+	s.mu.Lock()
+	s.active = true
+	s.mu.Unlock()
+}
+
+// Close ends the fault window: subsequent shards evaluate clean.
+func (s *ShardFaults) Close() {
+	s.mu.Lock()
+	s.active = false
+	s.mu.Unlock()
+}
+
+// Injected reports how many shard evaluations were failed and stalled.
+func (s *ShardFaults) Injected() (failed, slowed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected, s.slowed
+}
+
+// Hook returns the function to install as dist.WorkerConfig.FaultHook.
+func (s *ShardFaults) Hook() func(ctx context.Context) error {
+	return func(ctx context.Context) error {
+		s.mu.Lock()
+		if !s.active {
+			s.mu.Unlock()
+			return nil
+		}
+		s.seen++
+		fail := s.partition || (s.killAfter > 0 && s.seen > s.killAfter)
+		var slow bool
+		delay := s.delay
+		if !fail {
+			u := s.rng.Float64()
+			fail = u < s.failProb
+			slow = !fail && u < s.failProb+s.slowProb
+		}
+		if fail {
+			s.injected++
+		}
+		if slow {
+			s.slowed++
+		}
+		s.mu.Unlock()
+		if fail {
+			return ErrInjectedShard
+		}
+		if slow && delay > 0 {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		return nil
+	}
+}

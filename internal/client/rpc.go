@@ -1,0 +1,132 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// This file generalizes the Certify retry loop into a small JSON-RPC
+// surface so other adaserved-protocol endpoints — the distributed
+// coordinator→worker shard calls and the worker→coordinator peer-cache
+// fetches of internal/dist — ride the same resilience contract:
+// sheds obeyed without punishing the breaker, transport faults and
+// transient 5xx retried under seeded-jitter backoff behind the
+// breaker, permanent 4xx returned immediately. The endpoints these
+// methods serve are idempotent by construction (shards are pure
+// functions of their request; cache fetches are content-addressed),
+// so retrying a call that may already have executed is always safe.
+
+// PostJSON posts in as JSON to path (joined to BaseURL) and decodes
+// the 200 response body into out (skipped when out is nil), retrying
+// through sheds and transient faults like Certify does.
+func (c *Client) PostJSON(ctx context.Context, path string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	body, err := c.doResilient(ctx, http.MethodPost, path, payload)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// GetBytes fetches path and returns the raw 200 body. A 404 is
+// reported as found=false with a nil error — the not-found verdict is
+// a first-class answer for content-addressed lookups, not a fault.
+func (c *Client) GetBytes(ctx context.Context, path string) (body []byte, found bool, err error) {
+	body, err = c.doResilient(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) && se.Code == http.StatusNotFound {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return body, true, nil
+}
+
+// doResilient is the shared retry loop: one round trip per attempt,
+// shed responses obeyed without breaker damage, transport/5xx faults
+// retried with backoff through the breaker, anything else permanent.
+func (c *Client) doResilient(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	attempts := 0
+	for {
+		if err := c.breaker.allow(c.now()); err != nil {
+			return nil, err
+		}
+		body, err := c.roundTrip(ctx, method, path, payload)
+		switch {
+		case err == nil:
+			c.breaker.success()
+			return body, nil
+		case isShed(err):
+			attempts++
+			if attempts >= c.opts.MaxAttempts {
+				return nil, err
+			}
+			if serr := c.sleep(ctx, c.shedDelay(err, attempts)); serr != nil {
+				return nil, serr
+			}
+		case isRetryable(err):
+			c.breaker.failure(c.now())
+			attempts++
+			if attempts >= c.opts.MaxAttempts {
+				return nil, err
+			}
+			if serr := c.sleep(ctx, c.backoff(attempts)); serr != nil {
+				return nil, serr
+			}
+		default:
+			return nil, err
+		}
+	}
+}
+
+// roundTrip performs one HTTP exchange and returns the body on 200 or
+// a typed error otherwise, with the same header contract as postOnce.
+func (c *Client) roundTrip(ctx context.Context, method, path string, payload []byte) ([]byte, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.opts.BaseURL+path, rd)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.opts.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.opts.ClientID)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if left := dl.Sub(c.now()); left > 0 {
+			req.Header.Set("X-Request-Deadline", left.Round(time.Millisecond).String())
+		}
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	raw, err := readBody(resp, c.opts.MaxResponseBytes)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, statusError(resp, raw)
+	}
+	return raw, nil
+}

@@ -1,0 +1,336 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/client"
+	"adaptivertc/internal/inputhash"
+	"adaptivertc/internal/jsr"
+	"adaptivertc/internal/mat"
+)
+
+// CoordinatorConfig configures the coordinator half of the subsystem.
+// Zero values select serviceable defaults.
+type CoordinatorConfig struct {
+	// Lease bounds one shard dispatch to one worker: if the worker has
+	// not answered within it, the lease has expired and the shard is
+	// re-dispatched to the next worker (shards are pure, so double
+	// evaluation is harmless). Default 30s.
+	Lease time.Duration
+	// WorkerTTL is how long a registration lives without a heartbeat
+	// renewal. Default 15s.
+	WorkerTTL time.Duration
+	// MinShardWords is the smallest shard worth shipping: levels with
+	// fewer than 2×MinShardWords parent words are expanded locally —
+	// the HTTP round trip would dominate the multiply. Default 16.
+	MinShardWords int
+	// LocalWorkers is the engine worker count for locally evaluated
+	// shards (fallback and small levels); ≤ 0 selects GOMAXPROCS.
+	LocalWorkers int
+	// Cache, when non-nil, is served to workers as the shared
+	// certificate tier via GET /v1/internal/cert/{key}.
+	Cache *certcache.Cache
+	// Dial builds the transport to a worker address. The default uses
+	// internal/client with 2 attempts per dispatch (failover between
+	// workers is the coordinator's job, not the transport's).
+	Dial func(addr string) (ShardCaller, error)
+	// Logf, when non-nil, receives re-dispatch and fallback events.
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test seam
+}
+
+// ShardCaller is the transport the coordinator uses toward one worker.
+// *client.Client satisfies it.
+type ShardCaller interface {
+	PostJSON(ctx context.Context, path string, in, out any) error
+}
+
+// Coordinator owns the worker registry, the shard dispatch/merge
+// logic, and the internal HTTP surface of a coordinator node. Safe for
+// concurrent use.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	reg *registry
+	mux *http.ServeMux
+
+	// Counters surfaced through Metrics.
+	shardsDispatched atomic.Int64 // shards sent to remote workers
+	shardsLocal      atomic.Int64 // shards evaluated locally (small level, no fleet, fallback)
+	redispatches     atomic.Int64 // lease expiries / faults that moved a shard to another worker
+	localFallbacks   atomic.Int64 // shards no worker could evaluate
+	certServed       atomic.Int64 // peer-cache hits served to workers
+	certMissed       atomic.Int64 // peer-cache lookups that missed
+}
+
+// NewCoordinator builds a coordinator. The caller mounts Handler()
+// under the same listener as the public service.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.Lease <= 0 {
+		cfg.Lease = 30 * time.Second
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 15 * time.Second
+	}
+	if cfg.MinShardWords <= 0 {
+		cfg.MinShardWords = 16
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string) (ShardCaller, error) {
+			return client.New(client.Options{
+				BaseURL:     addr,
+				ClientID:    "dist-coordinator",
+				MaxAttempts: 2,
+				BaseBackoff: 50 * time.Millisecond,
+				// A wide level's shard response (two exact-bit floats
+				// per child) outgrows the client's certificate-sized
+				// default body bound.
+				MaxResponseBytes: MaxShardBytes,
+			})
+		}
+	}
+	c := &Coordinator{cfg: cfg, reg: newRegistry(cfg.WorkerTTL, cfg.now)}
+	c.mux = http.NewServeMux()
+	c.mux.HandleFunc("POST "+PathRegister, c.handleRegister)
+	c.mux.HandleFunc("GET "+PathCert+"{key}", c.handleCert)
+	c.mux.HandleFunc("GET "+PathWorkers, c.handleWorkers)
+	return c
+}
+
+// Handler exposes the coordinator's internal endpoints:
+// register, worker listing, and the shared certificate tier.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, MaxRegisterBytes)
+	var req RegisterRequest
+	if err := decodeStrict(r.Body, &req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Version != ProtocolVersion {
+		http.Error(w, fmt.Sprintf("dist: protocol version %d, want %d", req.Version, ProtocolVersion), http.StatusBadRequest)
+		return
+	}
+	if req.WorkerID == "" || !strings.HasPrefix(req.Addr, "http") {
+		http.Error(w, "dist: registration needs worker_id and an http(s) addr", http.StatusBadRequest)
+		return
+	}
+	dial := func(addr string) (shardCaller, error) { return c.cfg.Dial(addr) }
+	if err := c.reg.register(WorkerInfo{ID: req.WorkerID, Addr: strings.TrimRight(req.Addr, "/")}, dial); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, RegisterResponse{Version: ProtocolVersion, TTLSeconds: int(c.cfg.WorkerTTL / time.Second)})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	resp := WorkersResponse{Version: ProtocolVersion, Workers: []WorkerInfo{}}
+	for _, e := range c.reg.alive() {
+		resp.Workers = append(resp.Workers, e.info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+// handleCert serves the shared certificate tier: a content-addressed,
+// non-blocking cache lookup. 404 means "not cached", a first-class
+// answer the worker maps to a local recompute.
+func (c *Coordinator) handleCert(w http.ResponseWriter, r *http.Request) {
+	if c.cfg.Cache == nil {
+		http.NotFound(w, r)
+		return
+	}
+	key, err := inputhash.ParseSum(r.PathValue("key"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, outcome, ok := c.cfg.Cache.Get(key)
+	if !ok {
+		c.certMissed.Add(1)
+		http.NotFound(w, r)
+		return
+	}
+	c.certServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", outcome.String())
+	_, _ = w.Write(body)
+}
+
+// Distributor returns the jsr.ExpandFunc for one certification
+// request — the hook internal/server installs on asynchronous jobs.
+// The searched matrix set is resolved (and, for non-raw requests,
+// Lyapunov-preconditioned, mirroring jsr.EstimateCtx deterministically)
+// once on first use.
+func (c *Coordinator) Distributor(req api.CertifyRequest) jsr.ExpandFunc {
+	var (
+		once    sync.Once
+		work    []*mat.Dense
+		initErr error
+	)
+	return func(ctx context.Context, er jsr.ExpandRequest) (jsr.ExpandResult, error) {
+		once.Do(func() {
+			set, err := req.Resolve()
+			if err != nil {
+				initErr = err
+				return
+			}
+			work = set
+			if !req.Raw {
+				work, _, _ = jsr.Precondition(set)
+			}
+		})
+		if initErr != nil {
+			return jsr.ExpandResult{}, initErr
+		}
+		return c.expandLevel(ctx, req, work, er)
+	}
+}
+
+// expandLevel evaluates one level: split the parent words into
+// contiguous index shards, dispatch them concurrently across the live
+// fleet, and reassemble by index — the deterministic reduction. Any
+// shard that exhausts every worker is evaluated locally, so a level
+// completes whenever the coordinator itself is alive.
+func (c *Coordinator) expandLevel(ctx context.Context, req api.CertifyRequest, work []*mat.Dense, er jsr.ExpandRequest) (jsr.ExpandResult, error) {
+	k := len(work)
+	n := len(er.Words)
+	workers := c.reg.alive()
+	if len(workers) == 0 || n < 2*c.cfg.MinShardWords {
+		c.shardsLocal.Add(1)
+		return jsr.ExpandShard(ctx, work, er, c.cfg.LocalWorkers)
+	}
+	p := len(workers)
+	if lim := n / c.cfg.MinShardWords; p > lim {
+		p = lim
+	}
+	out := jsr.ExpandResult{Rho: make([]float64, n*k), Cert: make([]float64, n*k)}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		lo, hi := i*n/p, (i+1)*n/p
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			shard := jsr.ExpandRequest{Depth: er.Depth, Words: er.Words[lo:hi]}
+			res, err := c.runShard(ctx, req, work, shard, workers, i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(out.Rho[lo*k:hi*k], res.Rho)
+			copy(out.Cert[lo*k:hi*k], res.Cert)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	// Lowest-index error wins, mirroring the engine's own parallel
+	// error discipline.
+	for _, err := range errs {
+		if err != nil {
+			return jsr.ExpandResult{}, err
+		}
+	}
+	return out, nil
+}
+
+// runShard evaluates one shard with failover: each live worker in turn
+// under a lease-bounded context, then the local engine. A lease expiry
+// or transport fault moves the shard on; because a shard is a pure
+// function, a worker that "completes" a shard after its lease expired
+// has wasted only its own cycles — the coordinator merges whichever
+// evaluation it accepted, and all evaluations are bit-identical.
+func (c *Coordinator) runShard(ctx context.Context, req api.CertifyRequest, work []*mat.Dense, shard jsr.ExpandRequest, workers []*workerEntry, start int) (jsr.ExpandResult, error) {
+	want := len(shard.Words) * len(work)
+	sreq := ShardRequest{Version: ProtocolVersion, Req: req, Depth: shard.Depth, Words: shard.Words}
+	for attempt := 0; attempt < len(workers); attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return jsr.ExpandResult{}, cerr
+		}
+		w := workers[(start+attempt)%len(workers)]
+		lctx, cancel := context.WithTimeout(ctx, c.cfg.Lease)
+		var resp ShardResponse
+		err := w.call.PostJSON(lctx, PathShard, sreq, &resp)
+		cancel()
+		if err == nil {
+			res, derr := decodeShardResponse(resp, want)
+			if derr == nil {
+				c.shardsDispatched.Add(1)
+				c.reg.noteSuccess(w.info.ID)
+				return res, nil
+			}
+			err = derr
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return jsr.ExpandResult{}, cerr
+		}
+		c.reg.noteFailure(w.info.ID)
+		c.redispatches.Add(1)
+		c.logf("dist: shard (depth %d, %d words) on worker %s failed: %v; re-dispatching", shard.Depth, len(shard.Words), w.info.ID, err)
+	}
+	c.localFallbacks.Add(1)
+	c.shardsLocal.Add(1)
+	c.logf("dist: shard (depth %d, %d words) exhausted %d workers; evaluating locally", shard.Depth, len(shard.Words), len(workers))
+	return jsr.ExpandShard(ctx, work, shard, c.cfg.LocalWorkers)
+}
+
+// decodeShardResponse validates and decodes a worker's reply.
+func decodeShardResponse(resp ShardResponse, want int) (jsr.ExpandResult, error) {
+	if resp.Version != ProtocolVersion {
+		return jsr.ExpandResult{}, fmt.Errorf("dist: shard response version %d, want %d", resp.Version, ProtocolVersion)
+	}
+	if len(resp.Rho) != want || len(resp.Cert) != want {
+		return jsr.ExpandResult{}, fmt.Errorf("dist: shard response has %d rho / %d cert values, want %d", len(resp.Rho), len(resp.Cert), want)
+	}
+	rho, err := DecodeFloats(resp.Rho)
+	if err != nil {
+		return jsr.ExpandResult{}, err
+	}
+	cert, err := DecodeFloats(resp.Cert)
+	if err != nil {
+		return jsr.ExpandResult{}, err
+	}
+	return jsr.ExpandResult{Rho: rho, Cert: cert}, nil
+}
+
+// Metrics renders the coordinator's counters in Prometheus text form;
+// internal/server splices it into /metrics via Config.MetricsExtra.
+func (c *Coordinator) Metrics() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP adaserved_dist_shards_total shard evaluations by where they ran\n")
+	fmt.Fprintf(&b, "# TYPE adaserved_dist_shards_total counter\n")
+	fmt.Fprintf(&b, "adaserved_dist_shards_total{site=\"remote\"} %d\n", c.shardsDispatched.Load())
+	fmt.Fprintf(&b, "adaserved_dist_shards_total{site=\"local\"} %d\n", c.shardsLocal.Load())
+	fmt.Fprintf(&b, "# HELP adaserved_dist_redispatches_total shard dispatches moved to another worker after a lease expiry or fault\n")
+	fmt.Fprintf(&b, "# TYPE adaserved_dist_redispatches_total counter\n")
+	fmt.Fprintf(&b, "adaserved_dist_redispatches_total %d\n", c.redispatches.Load())
+	fmt.Fprintf(&b, "# HELP adaserved_dist_local_fallbacks_total shards no worker could evaluate\n")
+	fmt.Fprintf(&b, "# TYPE adaserved_dist_local_fallbacks_total counter\n")
+	fmt.Fprintf(&b, "adaserved_dist_local_fallbacks_total %d\n", c.localFallbacks.Load())
+	fmt.Fprintf(&b, "# HELP adaserved_dist_peer_cert_total peer certificate-tier lookups by outcome\n")
+	fmt.Fprintf(&b, "# TYPE adaserved_dist_peer_cert_total counter\n")
+	fmt.Fprintf(&b, "adaserved_dist_peer_cert_total{outcome=\"served\"} %d\n", c.certServed.Load())
+	fmt.Fprintf(&b, "adaserved_dist_peer_cert_total{outcome=\"missed\"} %d\n", c.certMissed.Load())
+	fmt.Fprintf(&b, "# HELP adaserved_dist_workers live registered workers\n")
+	fmt.Fprintf(&b, "# TYPE adaserved_dist_workers gauge\n")
+	fmt.Fprintf(&b, "adaserved_dist_workers %d\n", len(c.reg.alive()))
+	return b.String()
+}

@@ -1,0 +1,416 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+	"adaptivertc/internal/certcache"
+	"adaptivertc/internal/jsr"
+)
+
+// --- wire codec ---
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 1e-300, 5e-324, // denormal
+		math.MaxFloat64, math.Inf(1), math.Inf(-1), math.NaN(),
+		0.8596117462, // the paper bracket's kind of value
+	}
+	enc := EncodeFloats(vals)
+	dec, err := DecodeFloats(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(dec), len(vals))
+	}
+	for i := range vals {
+		if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+			t.Errorf("value %d: %x round-tripped to %x", i, math.Float64bits(vals[i]), math.Float64bits(dec[i]))
+		}
+	}
+}
+
+func TestFloatCodecRejectsMalformed(t *testing.T) {
+	for _, bad := range [][]string{
+		{"zz00000000000000"},       // not hex
+		{"3ff"},                    // too short
+		{"3ff00000000000000"},      // too long
+		{"3ff0000000000000", "no"}, // one good, one bad
+	} {
+		if _, err := DecodeFloats(bad); err == nil {
+			t.Errorf("DecodeFloats(%q): no error", bad)
+		}
+	}
+}
+
+// --- registry ---
+
+func TestRegistryTTLAndRenewal(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	r := newRegistry(10*time.Second, now)
+
+	dials := 0
+	dial := func(addr string) (shardCaller, error) { dials++; return nil, nil }
+
+	if err := r.register(WorkerInfo{ID: "w1", Addr: "http://a"}, dial); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.alive()); got != 1 {
+		t.Fatalf("alive after register: %d, want 1", got)
+	}
+	// Heartbeat renewal: no new dial, worker stays alive past the
+	// original TTL.
+	clock = clock.Add(8 * time.Second)
+	if err := r.register(WorkerInfo{ID: "w1", Addr: "http://a"}, dial); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(8 * time.Second)
+	if got := len(r.alive()); got != 1 {
+		t.Fatalf("alive after renewal: %d, want 1", got)
+	}
+	if dials != 1 {
+		t.Fatalf("dial ran %d times for one address, want 1 (renewals must keep the connection)", dials)
+	}
+	// A changed address re-dials.
+	if err := r.register(WorkerInfo{ID: "w1", Addr: "http://b"}, dial); err != nil {
+		t.Fatal(err)
+	}
+	if dials != 2 {
+		t.Fatalf("dial ran %d times after an address change, want 2", dials)
+	}
+	// Silence expires the registration.
+	clock = clock.Add(11 * time.Second)
+	if got := len(r.alive()); got != 0 {
+		t.Fatalf("alive after TTL silence: %d, want 0", got)
+	}
+
+	// Dispatch order is sorted by id regardless of registration order.
+	r.register(WorkerInfo{ID: "w2", Addr: "http://c"}, dial)
+	r.register(WorkerInfo{ID: "w0", Addr: "http://d"}, dial)
+	ws := r.alive()
+	if len(ws) != 2 || ws[0].info.ID != "w0" || ws[1].info.ID != "w2" {
+		t.Fatalf("alive order: %v", ws)
+	}
+}
+
+// --- coordinator + worker over real HTTP ---
+
+// newFleet starts a coordinator and n workers on httptest listeners,
+// registering every worker synchronously. hooks[i], when non-nil, is
+// worker i's FaultHook.
+func newFleet(t *testing.T, ccfg CoordinatorConfig, n int, hooks []func(ctx context.Context) error) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	coord := NewCoordinator(ccfg)
+	cts := httptest.NewServer(coord.Handler())
+	t.Cleanup(cts.Close)
+	servers := []*httptest.Server{cts}
+	for i := 0; i < n; i++ {
+		ts := httptest.NewUnstartedServer(nil)
+		var hook func(ctx context.Context) error
+		if hooks != nil {
+			hook = hooks[i]
+		}
+		w, err := NewWorker(WorkerConfig{
+			ID:          string(rune('a' + i)),
+			Advertise:   "http://" + ts.Listener.Addr().String(),
+			Coordinator: cts.URL,
+			FaultHook:   hook,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Config.Handler = w.Handler()
+		ts.Start()
+		t.Cleanup(ts.Close)
+		w.register(context.Background())
+		servers = append(servers, ts)
+	}
+	if got := len(coord.reg.alive()); got != n {
+		t.Fatalf("registered %d workers, want %d", got, n)
+	}
+	return coord, servers
+}
+
+// estimate runs the full search for req with the given expansion hook
+// (nil = in-process) and returns the bounds.
+func estimate(t *testing.T, req api.CertifyRequest, hook jsr.ExpandFunc) jsr.Bounds {
+	t.Helper()
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := req.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := req.GripenbergOptions(0)
+	opt.Expand = hook
+	var b jsr.Bounds
+	if req.Raw {
+		b, err = jsr.EstimateRawCtx(context.Background(), set, req.Brute, opt)
+	} else {
+		b, err = jsr.EstimateCtx(context.Background(), set, req.Brute, opt)
+	}
+	if err != nil && !errors.Is(err, jsr.ErrBudget) {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameBounds(t *testing.T, got, want jsr.Bounds, label string) {
+	t.Helper()
+	//lint:ignore floatcompare bit-identity is the contract under test
+	if got.Lower != want.Lower || got.Upper != want.Upper {
+		t.Errorf("%s: bounds [%x, %x], want [%x, %x]", label,
+			math.Float64bits(got.Lower), math.Float64bits(got.Upper),
+			math.Float64bits(want.Lower), math.Float64bits(want.Upper))
+	}
+}
+
+func distTestRequests() map[string]api.CertifyRequest {
+	return map[string]api.CertifyRequest{
+		// Preconditioned path: scenario resolution + Lyapunov transform
+		// must agree between coordinator and worker.
+		"pmsm": {Version: 1, Scenario: &api.Scenario{Name: "pmsm"}, MaxNodes: 50_000},
+		// Raw path on literal matrices, budget-exhausted so partial
+		// levels cross the wire too.
+		"raw-budget": {Version: 1, Raw: true, MaxNodes: 300,
+			Matrices: [][][]float64{{{0.55, 0.55}, {0, 0.55}}, {{0.55, 0}, {0.55, 0.55}}}},
+	}
+}
+
+// The subsystem's central promise: a distributed run is byte-identical
+// to a single-node run at any worker count.
+func TestDistributedBitIdentity(t *testing.T) {
+	for name, req := range distTestRequests() {
+		want := estimate(t, req, nil)
+		for _, workers := range []int{1, 2, 4} {
+			coord, _ := newFleet(t, CoordinatorConfig{MinShardWords: 1}, workers, nil)
+			got := estimate(t, req, coord.Distributor(req))
+			sameBounds(t, got, want, name)
+			if coord.shardsDispatched.Load() == 0 {
+				t.Errorf("%s with %d workers: no shard was dispatched remotely", name, workers)
+			}
+			if coord.redispatches.Load() != 0 {
+				t.Errorf("%s with %d workers: %d re-dispatches on a healthy fleet", name, workers, coord.redispatches.Load())
+			}
+		}
+	}
+}
+
+// A faulty worker only costs re-dispatches: the healthy worker absorbs
+// its shards and the bounds stay bit-identical.
+func TestRedispatchOnWorkerFault(t *testing.T) {
+	req := distTestRequests()["pmsm"]
+	want := estimate(t, req, nil)
+	bad := func(ctx context.Context) error { return errors.New("injected: worker dead") }
+	coord, _ := newFleet(t, CoordinatorConfig{MinShardWords: 1}, 2, []func(context.Context) error{bad, nil})
+	got := estimate(t, req, coord.Distributor(req))
+	sameBounds(t, got, want, "one dead worker")
+	if coord.redispatches.Load() == 0 {
+		t.Error("no re-dispatches recorded with a permanently failing worker")
+	}
+	if coord.localFallbacks.Load() != 0 {
+		t.Errorf("%d local fallbacks despite a healthy second worker", coord.localFallbacks.Load())
+	}
+}
+
+// With every worker dead the coordinator finishes alone: local
+// fallback, same bytes.
+func TestLocalFallbackWhenFleetDead(t *testing.T) {
+	req := distTestRequests()["raw-budget"]
+	want := estimate(t, req, nil)
+	bad := func(ctx context.Context) error { return errors.New("injected: worker dead") }
+	coord, _ := newFleet(t, CoordinatorConfig{MinShardWords: 1}, 2, []func(context.Context) error{bad, bad})
+	got := estimate(t, req, coord.Distributor(req))
+	sameBounds(t, got, want, "dead fleet")
+	if coord.localFallbacks.Load() == 0 {
+		t.Error("no local fallbacks recorded with a dead fleet")
+	}
+}
+
+// A lease expiry moves the shard on: the slow worker holds its shard
+// past the lease while the healthy worker (or the local engine)
+// answers, and the merged bounds are unchanged.
+func TestLeaseExpiryMovesShard(t *testing.T) {
+	req := distTestRequests()["raw-budget"]
+	want := estimate(t, req, nil)
+	slow := func(ctx context.Context) error {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Second): // far past the test lease
+			return nil
+		}
+	}
+	coord, _ := newFleet(t, CoordinatorConfig{MinShardWords: 1, Lease: 100 * time.Millisecond},
+		2, []func(context.Context) error{slow, nil})
+	got := estimate(t, req, coord.Distributor(req))
+	sameBounds(t, got, want, "slow worker")
+	if coord.redispatches.Load() == 0 {
+		t.Error("no re-dispatches recorded for a worker stalled past its lease")
+	}
+}
+
+// --- internal endpoints ---
+
+func TestRegisterEndpointValidation(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(cts.URL+PathRegister, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{"version":99,"worker_id":"w","addr":"http://x"}`); got != http.StatusBadRequest {
+		t.Errorf("wrong version: status %d, want 400", got)
+	}
+	if got := post(`{"version":1,"worker_id":"","addr":"http://x"}`); got != http.StatusBadRequest {
+		t.Errorf("missing id: status %d, want 400", got)
+	}
+	if got := post(`{"version":1,"worker_id":"w","addr":"ftp://x"}`); got != http.StatusBadRequest {
+		t.Errorf("non-http addr: status %d, want 400", got)
+	}
+	if got := post(`{"version":1,"worker_id":"w","addr":"http://x/"}`); got != http.StatusOK {
+		t.Errorf("valid registration: status %d, want 200", got)
+	}
+
+	resp, err := http.Get(cts.URL + PathWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), `"http://x"`) {
+		t.Errorf("worker listing %s does not show the trimmed registered addr", buf.String())
+	}
+}
+
+func TestShardEndpointValidation(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+	w, err := NewWorker(WorkerConfig{ID: "w", Advertise: "http://unused", Coordinator: cts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wts := httptest.NewServer(w.Handler())
+	defer wts.Close()
+
+	post := func(body string) int {
+		resp, err := http.Post(wts.URL+PathShard, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(`{not json`); got != http.StatusBadRequest {
+		t.Errorf("junk body: status %d, want 400", got)
+	}
+	if got := post(`{"version":99}`); got != http.StatusBadRequest {
+		t.Errorf("wrong version: status %d, want 400", got)
+	}
+	// Valid envelope, malformed replay: depth 2 expects length-1 parent
+	// words.
+	if got := post(`{"version":1,"req":{"version":1,"matrices":[[[0.5]]]},"depth":2,"words":[[0,0,0]]}`); got != http.StatusBadRequest {
+		t.Errorf("malformed words: status %d, want 400", got)
+	}
+}
+
+// --- peer certificate tier ---
+
+func TestPeerFetch(t *testing.T) {
+	cache, err := certcache.New(certcache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := api.CertifyRequest{Version: 1, Matrices: [][][]float64{{{0.5}}}}
+	req.Normalize()
+	key := req.Key()
+	canonical := []byte(`{"version":1,"verdict":"stable"}`)
+	if _, _, err := cache.GetOrCompute(context.Background(), key,
+		func(context.Context) ([]byte, error) { return canonical, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := NewCoordinator(CoordinatorConfig{Cache: cache})
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+	w, err := NewWorker(WorkerConfig{ID: "w", Advertise: "http://unused", Coordinator: cts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body, ok := w.PeerFetch(context.Background(), key)
+	if !ok || !bytes.Equal(body, canonical) {
+		t.Fatalf("PeerFetch(cached) = %q, %v; want canonical bytes, true", body, ok)
+	}
+	other := api.CertifyRequest{Version: 1, Matrices: [][][]float64{{{0.25}}}}
+	other.Normalize()
+	if _, ok := w.PeerFetch(context.Background(), other.Key()); ok {
+		t.Fatal("PeerFetch(uncached) reported a hit")
+	}
+	if coord.certServed.Load() != 1 || coord.certMissed.Load() != 1 {
+		t.Fatalf("cert tier counters served=%d missed=%d, want 1/1", coord.certServed.Load(), coord.certMissed.Load())
+	}
+	if !strings.Contains(coord.Metrics(), `adaserved_dist_peer_cert_total{outcome="served"} 1`) {
+		t.Error("Metrics() does not render the peer cert counter")
+	}
+}
+
+// The heartbeat loop re-registers after a coordinator restart (fresh
+// registry) without manual intervention.
+func TestHeartbeatRebuildsRegistry(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+	w, err := NewWorker(WorkerConfig{
+		ID: "w", Advertise: "http://unused", Coordinator: cts.URL,
+		Heartbeat: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); w.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for len(coord.reg.alive()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered via heartbeat loop")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Simulate a coordinator restart: wipe the registry, wait for the
+	// next heartbeat to rebuild it.
+	coord.reg.mu.Lock()
+	coord.reg.workers = map[string]*workerEntry{}
+	coord.reg.mu.Unlock()
+	for len(coord.reg.alive()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never rebuilt the registry")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,160 @@
+// Package dist turns one adaserved process into a certification
+// coordinator and others into workers, farming the Gripenberg level
+// expansions of a single job across machines while keeping the
+// response bytes identical to a single-node run.
+//
+// The division of labor follows the engine's distribution seam
+// (jsr.ExpandFunc): the coordinator runs the search loop — lower
+// bound, prune, survivor merge, budget — and only the per-level child
+// evaluations travel. A shard is a pure function of (request, depth,
+// parent words): the worker rebuilds the parent products by the same
+// word replay the engine's Resume path uses and expands them with the
+// same kernels, so every float it returns matches what the coordinator
+// would have computed locally, bit for bit. That purity is what makes
+// the failure model simple: a shard lost to a dead, slow, or
+// partitioned worker is simply evaluated again — elsewhere, or locally
+// as the last resort — and the merged level cannot tell the
+// difference.
+//
+// Topology: workers dial the coordinator to register (POST
+// /v1/internal/register, renewed on a heartbeat interval and expired
+// by TTL), the coordinator dials workers to evaluate shards (POST
+// /v1/internal/shard) through the resilient internal/client with a
+// lease-bounded context per dispatch, and workers dial the coordinator
+// to consult the shared certificate tier (GET /v1/internal/cert/{key})
+// before recomputing a certification of their own. The /v1/internal/*
+// surface is unauthenticated and must only be exposed on a trusted
+// network — the same trust domain the cluster's machines already
+// share; see DESIGN.md §14.
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"adaptivertc/internal/api"
+)
+
+// ProtocolVersion is the internal wire version. Coordinator and
+// workers must agree exactly: shards carry float-critical work between
+// engine versions that promise bit-identity, so there is no useful
+// notion of "compatible enough".
+const ProtocolVersion = 1
+
+// Internal endpoint paths.
+const (
+	PathRegister = "/v1/internal/register"
+	PathShard    = "/v1/internal/shard"
+	PathCert     = "/v1/internal/cert/"
+	PathWorkers  = "/v1/internal/workers"
+)
+
+// Body bounds for the internal POST handlers (http.MaxBytesReader).
+// A shard request is dominated by its parent words — a deep frontier
+// shard of ~100k words at depth 40 stays well inside 64 MiB — and a
+// registration is a few hundred bytes.
+const (
+	MaxShardBytes    = 64 << 20
+	MaxRegisterBytes = 4 << 10
+)
+
+// RegisterRequest announces (or re-announces) a worker. Addr is the
+// base URL the coordinator dials back for shards; WorkerID is a
+// stable identifier so a restarted worker replaces its old
+// registration instead of accumulating ghosts.
+type RegisterRequest struct {
+	Version  int    `json:"version"`
+	WorkerID string `json:"worker_id"`
+	Addr     string `json:"addr"`
+}
+
+// RegisterResponse acknowledges a registration and tells the worker
+// how long it lives without renewal.
+type RegisterResponse struct {
+	Version    int `json:"version"`
+	TTLSeconds int `json:"ttl_seconds"`
+}
+
+// ShardRequest asks a worker to evaluate one level-expansion shard.
+// Req is the full (normalized) certification request — it pins the
+// matrix set and, via its Raw flag, whether the worker must apply the
+// deterministic Lyapunov preconditioning before expanding, exactly as
+// the coordinator's pipeline does. Words are the parent words of the
+// shard, each of length Depth-1.
+type ShardRequest struct {
+	Version int                `json:"version"`
+	Req     api.CertifyRequest `json:"req"`
+	Depth   int                `json:"depth"`
+	Words   [][]int            `json:"words"`
+}
+
+// ShardResponse carries the children's spectral radii and branch
+// certificates in frontier-major, matrix-index-minor order. The
+// floats are encoded as 16-hex-digit IEEE-754 bit patterns
+// (EncodeFloats): JSON's decimal floats cannot represent Inf/NaN and
+// invite round-trip doubt, while the bit pattern is exact by
+// construction — the byte-identity promise rides on these values.
+type ShardResponse struct {
+	Version int      `json:"version"`
+	Rho     []string `json:"rho"`
+	Cert    []string `json:"cert"`
+}
+
+// WorkerInfo describes one live registration.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// WorkersResponse is the GET /v1/internal/workers document, used by
+// operators and smoke tests to see the live fleet.
+type WorkersResponse struct {
+	Version int          `json:"version"`
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// EncodeFloats renders each float64 as the 16-hex-digit form of its
+// IEEE-754 bit pattern.
+func EncodeFloats(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%016x", math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeFloats inverts EncodeFloats, rejecting anything that is not
+// exactly one 64-bit pattern per entry.
+func DecodeFloats(ss []string) ([]float64, error) {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		if len(s) != 16 {
+			return nil, fmt.Errorf("dist: float %d: %q is not a 16-hex-digit bit pattern", i, s)
+		}
+		bits, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dist: float %d: %w", i, err)
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	return out, nil
+}
+
+// writeJSON encodes v to w. The internal protocol has no
+// canonical-bytes requirement (only the certificate payloads do), so
+// plain encoding/json is fine. A marshal failure (unreachable for the
+// protocol's plain structs) answers 500 so the peer's retry machinery
+// sees a fault instead of truncated JSON; a failed write means the
+// peer hung up, and its lease/heartbeat machinery handles that.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "dist: encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	w.Write(b)
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// registry is the coordinator's view of the worker fleet: a TTL map
+// renewed by heartbeat re-registrations. Liveness here is advisory —
+// it decides who gets offered shards, not correctness. A worker that
+// dies between heartbeats still holds leases that expire, and the
+// shard re-dispatch path (coordinator.runShard) handles it; a worker
+// the registry has expired but that is actually alive simply
+// re-registers on its next heartbeat.
+type registry struct {
+	ttl time.Duration
+	now func() time.Time // test seam
+
+	mu      sync.Mutex
+	workers map[string]*workerEntry
+}
+
+// workerEntry pairs a registration with the resilient client the
+// coordinator dials it through. The client (and its circuit breaker
+// state) survives heartbeat renewals: re-registering is a liveness
+// signal, not an amnesty for a breaker the worker earned.
+type workerEntry struct {
+	info    WorkerInfo
+	call    shardCaller
+	expires time.Time
+	// failures counts consecutive dispatch failures since the last
+	// success; used for observability, not scheduling.
+	failures int
+}
+
+// shardCaller is the slice of internal/client the coordinator needs,
+// as an interface so registry tests can use in-process fakes.
+type shardCaller interface {
+	PostJSON(ctx context.Context, path string, in, out any) error
+}
+
+func newRegistry(ttl time.Duration, now func() time.Time) *registry {
+	return &registry{ttl: ttl, now: now, workers: map[string]*workerEntry{}}
+}
+
+// register creates or renews a worker. dial is only invoked for a new
+// worker id or a changed address; a pure heartbeat renewal keeps the
+// existing connection and breaker state.
+func (r *registry) register(info WorkerInfo, dial func(addr string) (shardCaller, error)) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.workers[info.ID]
+	if e == nil || e.info.Addr != info.Addr {
+		call, err := dial(info.Addr)
+		if err != nil {
+			return err
+		}
+		e = &workerEntry{info: info, call: call}
+		r.workers[info.ID] = e
+	}
+	e.expires = r.now().Add(r.ttl)
+	return nil
+}
+
+// alive returns the unexpired workers sorted by id (a stable dispatch
+// order; results are order-independent, logs are not), pruning the
+// expired ones.
+func (r *registry) alive() []*workerEntry {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*workerEntry, 0, len(r.workers))
+	for id, e := range r.workers {
+		if e.expires.Before(now) {
+			delete(r.workers, id)
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].info.ID < out[j].info.ID })
+	return out
+}
+
+// noteFailure / noteSuccess maintain the per-worker failure counter.
+func (r *registry) noteFailure(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.workers[id]; e != nil {
+		e.failures++
+	}
+}
+
+func (r *registry) noteSuccess(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e := r.workers[id]; e != nil {
+		e.failures = 0
+	}
+}

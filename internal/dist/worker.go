@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"adaptivertc/internal/client"
+	"adaptivertc/internal/inputhash"
+	"adaptivertc/internal/jsr"
+)
+
+// WorkerConfig configures the worker half of the subsystem.
+type WorkerConfig struct {
+	// ID is the stable worker identifier sent on registration
+	// (required). A restarted worker reusing its ID replaces its old
+	// registration.
+	ID string
+	// Advertise is the base URL the coordinator dials back for shards
+	// (required), e.g. "http://10.0.0.7:8081".
+	Advertise string
+	// Coordinator is the coordinator's base URL (required).
+	Coordinator string
+	// Heartbeat is the registration renewal interval; it must be
+	// comfortably inside the coordinator's WorkerTTL. Default 5s.
+	Heartbeat time.Duration
+	// EngineWorkers is the engine worker count for shard evaluation;
+	// ≤ 0 selects GOMAXPROCS. Results are bit-identical for every
+	// value.
+	EngineWorkers int
+	// FaultHook, when non-nil, runs before each shard evaluation; a
+	// returned error fails the shard. The chaos harness injects worker
+	// faults here.
+	FaultHook func(ctx context.Context) error
+	// Logf, when non-nil, receives join/heartbeat diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Worker serves shard evaluations and keeps itself registered with
+// the coordinator. Safe for concurrent use.
+type Worker struct {
+	cfg  WorkerConfig
+	call *client.Client // toward the coordinator
+	mux  *http.ServeMux
+}
+
+// NewWorker builds a worker node.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" || cfg.Advertise == "" || cfg.Coordinator == "" {
+		return nil, errors.New("dist: WorkerConfig needs ID, Advertise and Coordinator")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 5 * time.Second
+	}
+	call, err := client.New(client.Options{
+		BaseURL:     cfg.Coordinator,
+		ClientID:    "dist-worker-" + cfg.ID,
+		MaxAttempts: 2,
+		BaseBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{cfg: cfg, call: call}
+	w.mux = http.NewServeMux()
+	w.mux.HandleFunc("POST "+PathShard, w.handleShard)
+	return w, nil
+}
+
+// Handler exposes the worker's internal endpoint (shard evaluation).
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// handleShard evaluates one expansion shard: resolve the set the
+// request pins, precondition deterministically unless the request is
+// raw (the exact computation jsr.EstimateCtx performs), replay the
+// parent words, expand with the engine kernels, and return the floats
+// as exact bit patterns.
+func (w *Worker) handleShard(rw http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(rw, r.Body, MaxShardBytes)
+	var sreq ShardRequest
+	if err := decodeStrict(r.Body, &sreq); err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(rw, err.Error(), status)
+		return
+	}
+	if sreq.Version != ProtocolVersion {
+		http.Error(rw, fmt.Sprintf("dist: protocol version %d, want %d", sreq.Version, ProtocolVersion), http.StatusBadRequest)
+		return
+	}
+	req := sreq.Req
+	req.Normalize()
+	if err := req.Validate(); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if w.cfg.FaultHook != nil {
+		if err := w.cfg.FaultHook(r.Context()); err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	set, err := req.Resolve()
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	work := set
+	if !req.Raw {
+		work, _, _ = jsr.Precondition(set)
+	}
+	res, err := jsr.ExpandShard(r.Context(), work, jsr.ExpandRequest{Depth: sreq.Depth, Words: sreq.Words}, w.cfg.EngineWorkers)
+	if err != nil {
+		status := http.StatusBadRequest
+		if r.Context().Err() != nil {
+			// The coordinator's lease expired (or the coordinator is
+			// gone); the verdict code hardly matters, nobody reads it.
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(rw, err.Error(), status)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	writeJSON(rw, ShardResponse{Version: ProtocolVersion, Rho: EncodeFloats(res.Rho), Cert: EncodeFloats(res.Cert)})
+}
+
+// Run joins the coordinator and keeps the registration alive until ctx
+// is done. Registration failures are logged and retried on the next
+// tick — a coordinator restart loses its registry, and this loop is
+// what rebuilds it.
+func (w *Worker) Run(ctx context.Context) error {
+	w.register(ctx)
+	t := time.NewTicker(w.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			w.register(ctx)
+		}
+	}
+}
+
+// register performs one registration round trip, bounded so a hung
+// coordinator cannot stall the heartbeat loop.
+func (w *Worker) register(ctx context.Context) {
+	rctx, cancel := context.WithTimeout(ctx, w.cfg.Heartbeat)
+	defer cancel()
+	var resp RegisterResponse
+	err := w.call.PostJSON(rctx, PathRegister, RegisterRequest{
+		Version: ProtocolVersion, WorkerID: w.cfg.ID, Addr: w.cfg.Advertise,
+	}, &resp)
+	if err != nil {
+		w.logf("dist: worker %s: register with %s failed: %v", w.cfg.ID, w.cfg.Coordinator, err)
+		return
+	}
+	if resp.Version != ProtocolVersion {
+		w.logf("dist: worker %s: coordinator speaks protocol %d, want %d", w.cfg.ID, resp.Version, ProtocolVersion)
+	}
+}
+
+// PeerFetch consults the coordinator's certificate tier for a
+// content key, for wiring into server.Config.PeerFetch: a hit returns
+// the canonical certificate bytes every node would have computed.
+// Misses and transport faults both report !ok — the worker then
+// computes locally, which is always correct.
+func (w *Worker) PeerFetch(ctx context.Context, key inputhash.Sum) ([]byte, bool) {
+	body, found, err := w.call.GetBytes(ctx, PathCert+key.String())
+	if err != nil || !found {
+		return nil, false
+	}
+	return body, true
+}
+
+// decodeStrict parses one JSON document, rejecting unknown fields and
+// trailing data, preserving a MaxBytesReader's typed error.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("dist: trailing data after JSON document")
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package jsr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"adaptivertc/internal/mat"
+)
+
+// shardedExpand builds an ExpandFunc that splits every level into
+// `pieces` contiguous shards, evaluates them via ExpandShard in
+// REVERSE dispatch order (deliberately scrambling completion order
+// relative to frontier order), and reassembles the results by index —
+// the same reduction the distributed coordinator performs.
+func shardedExpand(work []*mat.Dense, pieces int) ExpandFunc {
+	k := len(work)
+	return func(ctx context.Context, req ExpandRequest) (ExpandResult, error) {
+		n := len(req.Words)
+		out := ExpandResult{Rho: make([]float64, n*k), Cert: make([]float64, n*k)}
+		p := pieces
+		if p > n {
+			p = n
+		}
+		for i := p - 1; i >= 0; i-- {
+			lo, hi := i*n/p, (i+1)*n/p
+			if lo == hi {
+				continue
+			}
+			res, err := ExpandShard(ctx, work, ExpandRequest{Depth: req.Depth, Words: req.Words[lo:hi]}, 2)
+			if err != nil {
+				return ExpandResult{}, err
+			}
+			copy(out.Rho[lo*k:hi*k], res.Rho)
+			copy(out.Cert[lo*k:hi*k], res.Cert)
+		}
+		return out, nil
+	}
+}
+
+// TestExpandHookBitIdentity is the distribution invariant at the
+// engine level: a Gripenberg run whose levels are evaluated by
+// stateless replay shards — any shard count, scrambled completion
+// order — returns the same Bounds, bit for bit, as the in-process
+// run, in both raw and ellipsoid-preconditioned modes, including on
+// the partial-level budget path.
+func TestExpandHookBitIdentity(t *testing.T) {
+	sets := map[string][]*mat.Dense{"pmsm": pmsmLikeSet(), "golden": goldenPair()}
+	budgets := []int{500_000, 60} // full run + partial-level ErrBudget cut
+	for name, set := range sets {
+		for _, disable := range []bool{true, false} {
+			for _, nodes := range budgets {
+				opt := GripenbergOptions{Delta: 0.01, MaxDepth: 12, MaxNodes: nodes, Workers: 3, DisableEllipsoid: disable}
+				want, werr := Gripenberg(set, opt)
+				if werr != nil && !errors.Is(werr, ErrBudget) {
+					t.Fatalf("%s local: %v", name, werr)
+				}
+				// The hook must expand the same set the search runs on:
+				// Precondition is deterministic, so recomputing it here
+				// mirrors what a distributed worker does.
+				work := set
+				if !disable {
+					if tr, _, ok := Precondition(set); ok {
+						work = tr
+					}
+				}
+				for _, pieces := range []int{1, 2, 4} {
+					hopt := opt
+					hopt.Expand = shardedExpand(work, pieces)
+					got, gerr := Gripenberg(set, hopt)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("%s ell=%v nodes=%d pieces=%d: error mismatch %v vs %v", name, !disable, nodes, pieces, werr, gerr)
+					}
+					if !sameBounds(got, want) {
+						t.Fatalf("%s ell=%v nodes=%d pieces=%d: hook %+v != local %+v", name, !disable, nodes, pieces, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExpandShardWorkerInvariance: one shard, every worker count, same
+// floats.
+func TestExpandShardWorkerInvariance(t *testing.T) {
+	set := pmsmLikeSet()
+	words := [][]int{{0, 1}, {1, 0}, {1, 1}, {0, 0}}
+	ref, err := ExpandShard(context.Background(), set, ExpandRequest{Depth: 3, Words: words}, 1)
+	if err != nil {
+		t.Fatalf("ExpandShard: %v", err)
+	}
+	if len(ref.Rho) != len(words)*len(set) {
+		t.Fatalf("got %d children, want %d", len(ref.Rho), len(words)*len(set))
+	}
+	for _, w := range workerSweep() {
+		got, err := ExpandShard(context.Background(), set, ExpandRequest{Depth: 3, Words: words}, w)
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		for i := range ref.Rho {
+			//lint:ignore floatcompare bit-identity is the contract under test
+			if got.Rho[i] != ref.Rho[i] || got.Cert[i] != ref.Cert[i] {
+				t.Fatalf("w=%d child %d: (%v,%v) != (%v,%v)", w, i, got.Rho[i], got.Cert[i], ref.Rho[i], ref.Cert[i])
+			}
+		}
+	}
+}
+
+func TestExpandShardRejectsMalformedRequests(t *testing.T) {
+	set := goldenPair()
+	cases := []struct {
+		name string
+		req  ExpandRequest
+	}{
+		{"depth-too-small", ExpandRequest{Depth: 1, Words: [][]int{{0}}}},
+		{"word-length-mismatch", ExpandRequest{Depth: 3, Words: [][]int{{0}}}},
+		{"index-out-of-range", ExpandRequest{Depth: 2, Words: [][]int{{7}}}},
+		{"negative-index", ExpandRequest{Depth: 2, Words: [][]int{{-1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := ExpandShard(context.Background(), set, tc.req, 1); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+	if res, err := ExpandShard(context.Background(), set, ExpandRequest{Depth: 5}, 1); err != nil || len(res.Rho) != 0 {
+		t.Errorf("empty shard: got (%v, %v), want empty result", res, err)
+	}
+}
+
+func TestExpandHookErrorsSurface(t *testing.T) {
+	set := goldenPair()
+	boom := errors.New("shard transport down")
+	_, err := Gripenberg(set, GripenbergOptions{
+		Delta: 0.01, MaxDepth: 8, DisableEllipsoid: true,
+		Expand: func(context.Context, ExpandRequest) (ExpandResult, error) {
+			return ExpandResult{}, boom
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+
+	_, err = Gripenberg(set, GripenbergOptions{
+		Delta: 0.01, MaxDepth: 8, DisableEllipsoid: true,
+		Expand: func(_ context.Context, req ExpandRequest) (ExpandResult, error) {
+			return ExpandResult{Rho: []float64{1}, Cert: []float64{1}}, nil
+		},
+	})
+	if err == nil {
+		t.Fatal("short hook result not rejected")
+	}
+
+	_, err = ConstrainedGripenbergCtx(context.Background(), set, CompleteGraph(len(set)), GripenbergOptions{
+		Expand: func(context.Context, ExpandRequest) (ExpandResult, error) {
+			return ExpandResult{}, nil
+		},
+	})
+	if err == nil {
+		t.Fatal("constrained search accepted an Expand hook")
+	}
+}
+
+// TestExpandHookSeesContiguousPrefix documents the partial-level
+// contract: under a budget cut the hook receives exactly the frontier
+// prefix the local engine would have expanded.
+func TestExpandHookSeesContiguousPrefix(t *testing.T) {
+	set := pmsmLikeSet()
+	var reqs []int
+	opt := GripenbergOptions{
+		Delta: 1e-4, MaxDepth: 10, MaxNodes: 24, DisableEllipsoid: true,
+		Expand: func(ctx context.Context, req ExpandRequest) (ExpandResult, error) {
+			for _, w := range req.Words {
+				if len(w) != req.Depth-1 {
+					return ExpandResult{}, fmt.Errorf("word %v at depth %d", w, req.Depth)
+				}
+			}
+			reqs = append(reqs, len(req.Words))
+			return ExpandShard(ctx, set, req, 1)
+		},
+	}
+	if _, err := Gripenberg(set, opt); err != nil && !errors.Is(err, ErrBudget) {
+		t.Fatalf("Gripenberg: %v", err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("hook never invoked")
+	}
+}

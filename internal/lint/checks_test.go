@@ -80,6 +80,7 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 		"testdata/ctxpropagate",
 		"testdata/lockcopy",
 		"testdata/goroleak",
+		"testdata/timeafter",
 	} {
 		linttest.Run(t, dir, lint.Checks()...)
 	}
@@ -87,4 +88,8 @@ func TestFullSuiteOnFixtures(t *testing.T) {
 
 func TestSyncRename(t *testing.T) {
 	linttest.Run(t, "testdata/syncrename", lint.SyncRename)
+}
+
+func TestTimeAfter(t *testing.T) {
+	linttest.Run(t, "testdata/timeafter", lint.TimeAfter)
 }

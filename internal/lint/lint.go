@@ -115,6 +115,7 @@ func Checks() []*Check {
 		LockCopy,
 		GoroLeak,
 		SyncRename,
+		TimeAfter,
 		UnusedIgnore,
 	}
 }

@@ -1,0 +1,110 @@
+// Fixture for the timeafter check: time.After in a select inside a
+// loop allocates a timer every iteration that the runtime cannot
+// reclaim until it fires; loop-level NewTimer/NewTicker, one-shot
+// selects, and per-iteration goroutines are not flagged.
+package timeafter
+
+import (
+	"context"
+	"time"
+)
+
+// workerLoop is the classic leak: a long-lived receive loop arming a
+// fresh 30s timer on every message.
+func workerLoop(ctx context.Context, msgs <-chan int) int {
+	total := 0
+	for {
+		select {
+		case m := <-msgs:
+			total += m
+		case <-time.After(30 * time.Second): // want "time.After in a select inside a loop"
+			return total
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// rangeLoopAfter leaks the same way from a range loop.
+func rangeLoopAfter(items []int, out chan<- int) {
+	for _, it := range items {
+		select {
+		case out <- it:
+		case <-time.After(time.Second): // want "time.After in a select inside a loop"
+			return
+		}
+	}
+}
+
+// nestedLoopAfter: the select sits one loop deeper; still per-iteration.
+func nestedLoopAfter(batches [][]int, out chan<- int) {
+	for _, batch := range batches {
+		for _, it := range batch {
+			select {
+			case out <- it:
+			case <-time.After(time.Millisecond): // want "time.After in a select inside a loop"
+				return
+			}
+		}
+	}
+}
+
+// timerLoop is the idiomatic fix: one timer for the loop's life.
+func timerLoop(msgs <-chan int) int {
+	total := 0
+	t := time.NewTimer(30 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case m := <-msgs:
+			total += m
+		case <-t.C:
+			return total
+		}
+	}
+}
+
+// oneShotSelect arms a single timer: no loop, no buildup.
+func oneShotSelect(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Second):
+		return false
+	}
+}
+
+// plainReceiveInLoop blocks on time.After without a select: the timer
+// always fires before the next iteration, so nothing accumulates.
+func plainReceiveInLoop(n int) {
+	for i := 0; i < n; i++ {
+		<-time.After(time.Millisecond)
+	}
+}
+
+// spawnedSelect runs the select in a per-iteration goroutine that owns
+// its own lifetime; its one timer is not a loop-driven buildup.
+func spawnedSelect(items []int, out chan<- int) {
+	for _, it := range items {
+		it := it
+		go func() {
+			select {
+			case out <- it:
+			case <-time.After(time.Second):
+			}
+		}()
+	}
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(msgs <-chan int) int {
+	for {
+		select {
+		case m := <-msgs:
+			return m
+		//lint:ignore timeafter this loop runs at most twice in tests
+		case <-time.After(time.Minute):
+			return 0
+		}
+	}
+}

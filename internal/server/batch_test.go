@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivertc/internal/api"
+)
+
+func postBatch(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/certify/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func decodeBatch(t *testing.T, body []byte) api.BatchResponse {
+	t.Helper()
+	var br api.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("decoding batch response %s: %v", body, err)
+	}
+	return br
+}
+
+// The batch coalescing contract: N identical items in one call cost
+// exactly one JSR computation, and every position carries the same
+// result.
+func TestBatchCoalescing(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	const n = 8
+	items := make([]string, n)
+	for i := range items {
+		items[i] = `{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]]}`
+	}
+	resp, body := postBatch(t, ts, fmt.Sprintf(`{"version":1,"items":[%s]}`, strings.Join(items, ",")))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s, want 200", resp.StatusCode, body)
+	}
+	br := decodeBatch(t, body)
+	if len(br.Items) != n {
+		t.Fatalf("%d items in response, want %d", len(br.Items), n)
+	}
+	for i, it := range br.Items {
+		if it.Index != i {
+			t.Errorf("item %d reports index %d", i, it.Index)
+		}
+		if it.Result == nil || it.Error != "" || it.Job != nil {
+			t.Fatalf("item %d: %+v, want an inline result", i, it)
+		}
+		if it.Key != br.Items[0].Key || it.Result.Bracket != br.Items[0].Result.Bracket {
+			t.Errorf("item %d differs from item 0", i)
+		}
+		if it.Result.Verdict != api.VerdictStable {
+			t.Errorf("item %d verdict %q, want stable", i, it.Result.Verdict)
+		}
+	}
+	if st := s.cache.Stats(); st.Misses != 1 {
+		t.Fatalf("batch of %d identical items ran %d computations, want exactly 1 (stats %+v)", n, st.Misses, st)
+	}
+}
+
+// A mixed batch answers every position independently: cached items
+// inline with the cache outcome, cheap misses computed synchronously,
+// large items as job references, malformed items as item errors —
+// without failing the batch.
+func TestBatchMixed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	// Pre-warm one key through the single endpoint so the batch sees a
+	// genuine cache hit.
+	warm := `{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]]}`
+	if resp, body := postCertify(t, ts, warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm POST: status %d body %s", resp.StatusCode, body)
+	}
+	batch := `{"version":1,"items":[` +
+		warm + `,` + // cached
+		`{"version":1,"matrices":[[[0.25]]]},` + // sync miss
+		`{"version":1,"matrices":[[[1,2]]]},` + // invalid: non-square
+		`{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]],"max_nodes":3000000}` + // async: above the default node budget
+		`]}`
+	resp, body := postBatch(t, ts, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d body %s, want 200", resp.StatusCode, body)
+	}
+	br := decodeBatch(t, body)
+	if len(br.Items) != 4 {
+		t.Fatalf("%d items, want 4", len(br.Items))
+	}
+	if it := br.Items[0]; it.Result == nil || it.Cache != "hit" {
+		t.Errorf("cached item: %+v, want inline result with cache=hit", it)
+	}
+	if it := br.Items[1]; it.Result == nil || it.Cache != "miss" {
+		t.Errorf("sync-miss item: %+v, want inline result with cache=miss", it)
+	}
+	if it := br.Items[2]; it.Error == "" || it.Key != "" || it.Result != nil || it.Job != nil {
+		t.Errorf("invalid item: %+v, want a bare item error", it)
+	}
+	it := br.Items[3]
+	if it.Job == nil || it.Job.JobID == "" {
+		t.Fatalf("async item: %+v, want a job ref", it)
+	}
+	if it.Key != it.Job.JobID {
+		t.Errorf("async item key %q != job id %q (job ids are content keys)", it.Key, it.Job.JobID)
+	}
+	st := pollJob(t, ts, it.Job.JobID)
+	if st.State != api.JobDone || st.Result == nil {
+		t.Fatalf("batch job finished %+v, want done with result", st)
+	}
+	// The batch-created job is the same job a single async POST would
+	// have created: a direct POST of the same item is now a cache hit.
+	resp2, _ := postCertify(t, ts, `{"version":1,"matrices":[[[0.55,0.55],[0,0.55]],[[0.55,0],[0.55,0.55]]],"max_nodes":3000000}`)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Cache") == "" {
+		t.Errorf("single POST after batch job: status %d X-Cache %q, want cached 200", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	}
+}
+
+func TestBatchEnvelopeErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	item := `{"version":1,"matrices":[[[0.5]]]}`
+	cases := map[string]string{
+		"empty":        `{"version":1,"items":[]}`,
+		"bad version":  `{"version":2,"items":[` + item + `]}`,
+		"junk":         `{nope`,
+		"unknown keys": `{"version":1,"items":[],"mode":"fast"}`,
+		"too many":     `{"version":1,"items":[` + strings.Repeat(item+",", api.MaxBatchItems) + item + `]}`,
+	}
+	for name, body := range cases {
+		resp, out := postBatch(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d body %s, want 400", name, resp.StatusCode, out)
+		}
+	}
+}
+
+// Every POST body is bounded: both certify endpoints answer 413 — not
+// a JSON parse 400 — when the transport bound fires.
+func TestOversizedBodies413(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// A syntactically plausible prefix followed by filler well past
+	// MaxRequestBytes; MaxBytesReader must cut it off first.
+	big := `{"version":1,"matrices":[[[` + strings.Repeat("0.123456789,", api.MaxRequestBytes/12) + `0.5]]]}`
+	resp, body := postCertify(t, ts, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized certify: status %d body %.120s, want 413", resp.StatusCode, body)
+	}
+	var e api.ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body %q is not an ErrorResponse", body)
+	}
+}
+
+// ?watch=1 long-polls: the GET blocks while the job runs (gauge up),
+// wakes on the state transition, and reports the terminal status; a
+// watch on an already-terminal job returns immediately.
+func TestJobWatch(t *testing.T) {
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:     1,
+		MaxSyncWork: -1,
+		FaultHook: func(ctx context.Context) error {
+			select {
+			case <-gate:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	resp, body := postCertify(t, ts, paperReqJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d body %s, want 202", resp.StatusCode, body)
+	}
+	var ref api.JobRef
+	if err := json.Unmarshal(body, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	type watchResult struct {
+		st      api.JobStatus
+		elapsed time.Duration
+	}
+	watched := make(chan watchResult, 1)
+	start := time.Now()
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + ref.JobID + "?watch=1")
+		if err != nil {
+			t.Errorf("watch GET: %v", err)
+			close(watched)
+			return
+		}
+		defer resp.Body.Close()
+		var st api.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Errorf("watch decode: %v", err)
+		}
+		watched <- watchResult{st, time.Since(start)}
+	}()
+
+	// The watcher must be blocked (visible in the gauge) before we let
+	// the job finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.watchers.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher gauge never rose")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	held := 50 * time.Millisecond
+	time.Sleep(held) // prove the poll is actually parked, not spinning through
+	close(gate)
+
+	res, ok := <-watched
+	if !ok {
+		t.Fatal("watch goroutine failed")
+	}
+	if res.st.State != api.JobDone || res.st.Result == nil {
+		t.Fatalf("watched status %+v, want done with result", res.st)
+	}
+	if res.elapsed < held {
+		t.Fatalf("watch returned after %v, before the job could have finished", res.elapsed)
+	}
+	if s.metrics.watchers.Load() != 0 {
+		t.Fatalf("watcher gauge %d after the poll returned, want 0", s.metrics.watchers.Load())
+	}
+
+	// Terminal job: watch answers immediately with the same status.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + ref.JobID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st2 api.JobStatus
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != api.JobDone {
+		t.Fatalf("terminal watch state %q, want done", st2.State)
+	}
+}

@@ -56,6 +56,11 @@ type job struct {
 	body     []byte
 	errMsg   string
 	deadline time.Time // zero = no per-request deadline beyond the server timeout
+	// watch is the broadcast channel of the next state transition:
+	// created lazily by subscribe, closed (and cleared) by every
+	// transition. Closing a channel wakes all waiters at once, so one
+	// transition releases every long-poller.
+	watch chan struct{}
 }
 
 // jobID derives the public job identifier from the content key: the
@@ -72,6 +77,7 @@ func jobID(key certcache.Key) string { return key.String() }
 func (j *job) setState(st string) {
 	j.mu.Lock()
 	j.state = st
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -79,6 +85,7 @@ func (j *job) finish(body []byte) {
 	j.mu.Lock()
 	j.state = api.JobDone
 	j.body = body
+	j.notifyLocked()
 	j.mu.Unlock()
 }
 
@@ -86,7 +93,28 @@ func (j *job) fail(err error) {
 	j.mu.Lock()
 	j.state = api.JobFailed
 	j.errMsg = err.Error()
+	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// notifyLocked wakes every watcher of the pending transition; callers
+// hold j.mu.
+func (j *job) notifyLocked() {
+	if j.watch != nil {
+		close(j.watch)
+		j.watch = nil
+	}
+}
+
+// subscribe returns a channel closed at the job's next state
+// transition (shared by all concurrent watchers).
+func (j *job) subscribe() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.watch == nil {
+		j.watch = make(chan struct{})
+	}
+	return j.watch
 }
 
 func (j *job) status() api.JobStatus {
@@ -177,6 +205,7 @@ func (s *Server) enqueue(req api.CertifyRequest, key certcache.Key, deadline tim
 		j.mu.Lock()
 		j.state = api.JobQueued
 		j.errMsg = ""
+		j.notifyLocked()
 		j.mu.Unlock()
 	}
 	if err := s.writeJobCkpt(j, nil); err != nil {
@@ -236,6 +265,13 @@ func (s *Server) runJob(j *job) {
 
 	opt := j.req.GripenbergOptions(0)
 	opt.Resume = j.resume
+	if s.cfg.Distribute != nil {
+		// Coordinator role: level expansions of this job are sharded
+		// across the worker fleet. The hook composes with Resume and
+		// Snapshot — it only replaces the expansion kernel, not the
+		// search loop — so recovered jobs distribute too.
+		opt.Expand = s.cfg.Distribute(j.req)
+	}
 	if s.jobLog != nil {
 		id, key, req := j.id, j.key, j.req
 		opt.Snapshot = func(st jsr.GripenbergState) error {
@@ -254,7 +290,7 @@ func (s *Server) runJob(j *job) {
 	}
 	start := time.Now()
 	body, _, err := s.cache.GetOrCompute(ctx, j.key, func(ctx context.Context) ([]byte, error) {
-		return s.certify(ctx, j.req, opt)
+		return s.compute(ctx, j.key, j.req, opt)
 	})
 	// Every completion — success or failure — occupied a worker for
 	// this long; the drain estimator turns that into Retry-After.

@@ -27,7 +27,10 @@ type metrics struct {
 	// admission sheds by gate ("rate", "inflight", "queue").
 	shedByReason map[string]int64
 
-	ckptErrs atomic.Int64 // job-checkpoint write failures (best-effort persistence)
+	ckptErrs   atomic.Int64 // job-checkpoint write failures (best-effort persistence)
+	watchers   atomic.Int64 // GET /v1/jobs/{id}?watch=1 long-polls currently blocked
+	peerHits   atomic.Int64 // certificates served by the peer tier instead of computing
+	peerMisses atomic.Int64 // peer-tier lookups that fell through to local compute
 }
 
 type reqLabel struct {
@@ -233,6 +236,15 @@ func (m *metrics) render(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP adaserved_job_checkpoint_errors_total Best-effort job checkpoint writes that failed.")
 	fmt.Fprintln(w, "# TYPE adaserved_job_checkpoint_errors_total counter")
 	fmt.Fprintf(w, "adaserved_job_checkpoint_errors_total %d\n", m.ckptErrs.Load())
+
+	fmt.Fprintln(w, "# HELP adaserved_job_watchers Job-status long-polls (?watch=1) currently blocked.")
+	fmt.Fprintln(w, "# TYPE adaserved_job_watchers gauge")
+	fmt.Fprintf(w, "adaserved_job_watchers %d\n", m.watchers.Load())
+
+	fmt.Fprintln(w, "# HELP adaserved_peer_fetch_total Shared-tier certificate lookups before local compute, by outcome.")
+	fmt.Fprintln(w, "# TYPE adaserved_peer_fetch_total counter")
+	fmt.Fprintf(w, "adaserved_peer_fetch_total{outcome=\"hit\"} %d\n", m.peerHits.Load())
+	fmt.Fprintf(w, "adaserved_peer_fetch_total{outcome=\"miss\"} %d\n", m.peerMisses.Load())
 }
 
 // renderStores emits the segmented-log counters for every persistent

@@ -89,6 +89,23 @@ type Config struct {
 	// harness (internal/chaos) to inject slow or failing workers.
 	// Must be nil in production.
 	FaultHook func(ctx context.Context) error
+	// Distribute, when non-nil, supplies the engine expansion hook for
+	// asynchronous jobs — the coordinator role of internal/dist wires
+	// its shard dispatcher here. The hook is installed per job; the
+	// engine's merge logic is unchanged, so distributed and local runs
+	// produce byte-identical certificates. Synchronous requests stay
+	// local: they are below the sharding payoff by construction.
+	Distribute func(req api.CertifyRequest) jsr.ExpandFunc
+	// PeerFetch, when non-nil, is consulted before computing a
+	// certificate the local cache does not hold — the worker role's
+	// shared certificate tier (a content-addressed fetch from the
+	// coordinator's store). A hit returns the canonical bytes any node
+	// would have computed; a miss or fault falls through to the local
+	// computation.
+	PeerFetch func(ctx context.Context, key certcache.Key) ([]byte, bool)
+	// MetricsExtra, when non-nil, contributes additional Prometheus
+	// text to /metrics (the dist subsystem's counters).
+	MetricsExtra func() string
 }
 
 // defaults for Config zero values.
@@ -166,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		s.jobLog = l
 	}
 	s.mux.HandleFunc("POST /v1/certify", s.instrument("/v1/certify", s.handleCertify))
+	s.mux.HandleFunc("POST /v1/certify/batch", s.instrument("/v1/certify/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
@@ -276,6 +294,29 @@ func (s *Server) certify(ctx context.Context, req api.CertifyRequest, opt jsr.Gr
 	return api.EncodeCanonical(api.ResponseFor(set, bounds, exhausted))
 }
 
+// peerFetchTimeout bounds the shared-tier lookup: a peer fetch is an
+// optimization, and a slow coordinator must not delay the local
+// computation by more than this.
+const peerFetchTimeout = 5 * time.Second
+
+// compute is the cache-miss path: consult the peer certificate tier
+// first (worker role), then certify locally. The peer's bytes are the
+// same canonical encoding this node would produce, so caching them
+// under key preserves every byte-identity promise.
+func (s *Server) compute(ctx context.Context, key certcache.Key, req api.CertifyRequest, opt jsr.GripenbergOptions) ([]byte, error) {
+	if s.cfg.PeerFetch != nil {
+		pctx, cancel := context.WithTimeout(ctx, peerFetchTimeout)
+		body, ok := s.cfg.PeerFetch(pctx, key)
+		cancel()
+		if ok && len(body) > 0 {
+			s.metrics.peerHits.Add(1)
+			return body, nil
+		}
+		s.metrics.peerMisses.Add(1)
+	}
+	return s.certify(ctx, req, opt)
+}
+
 // syncable reports whether a request is small enough to certify in
 // the handler: bounded brute-force enumeration, small dimension, and
 // the default node budget.
@@ -320,9 +361,13 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Bound the body before reading it: an oversized request is a 413,
+	// detected by the typed MaxBytesReader error rather than a JSON
+	// truncation artifact.
+	r.Body = http.MaxBytesReader(w, r.Body, api.MaxRequestBytes)
 	req, err := api.DecodeRequest(r.Body)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, bodyErrStatus(err), err.Error())
 		return
 	}
 	req.Normalize()
@@ -367,7 +412,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	body, outcome, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
-		return s.certify(ctx, req, req.GripenbergOptions(0))
+		return s.compute(ctx, key, req, req.GripenbergOptions(0))
 	})
 	if err != nil {
 		if errors.Is(err, jsr.ErrDeadline) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -378,6 +423,16 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeBody(w, outcome, body)
+}
+
+// bodyErrStatus maps a request-decode failure to its status code: 413
+// when the MaxBytesReader bound fired, 400 for everything else.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // requestDeadline parses the optional X-Request-Deadline header (a Go
@@ -396,6 +451,11 @@ func requestDeadline(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
+// watchTimeout caps one ?watch=1 long-poll: on expiry the current
+// (unchanged) status is returned and the client re-polls, which keeps
+// every handler bounded and lets intermediaries reap idle connections.
+const watchTimeout = 30 * time.Second
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j := s.jobs.get(r.PathValue("id"))
 	if j == nil {
@@ -403,6 +463,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := j.status()
+	if r.URL.Query().Get("watch") == "1" && st.State != api.JobDone && st.State != api.JobFailed {
+		// Long-poll: block until the job changes state, the watch
+		// window expires, or the client goes away — then fall through
+		// and report whatever the status is now. subscribe-then-recheck
+		// closes the race with a transition between status() and
+		// subscribe(): the channel subscribed to is only closed by a
+		// LATER transition, so the recheck below must see the earlier
+		// one.
+		ch := j.subscribe()
+		if st = j.status(); st.State != api.JobDone && st.State != api.JobFailed {
+			s.metrics.watchers.Add(1)
+			t := time.NewTimer(watchTimeout)
+			select {
+			case <-ch:
+			case <-t.C:
+			case <-r.Context().Done():
+			}
+			t.Stop()
+			s.metrics.watchers.Add(-1)
+			st = j.status()
+		}
+	}
 	if st.State == api.JobDone && st.Result == nil {
 		// Body bytes are canonical JSON of a CertifyResponse.
 		var res api.CertifyResponse
@@ -454,6 +536,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.render(w, s.snapshot())
+	if s.cfg.MetricsExtra != nil {
+		fmt.Fprint(w, s.cfg.MetricsExtra())
+	}
 }
 
 // snapshot gathers the gauge values that live outside the metrics

@@ -79,3 +79,52 @@ grep -q '"name"' "$out" || {
     exit 1
 }
 echo "wrote $out"
+
+# --- serving-path snapshot -------------------------------------------
+# Drives a real adaserved process with the adabench load generator and
+# records end-to-end HTTP latency (p50/p95/p99) and throughput for the
+# single-request and batch endpoints into BENCH_serve.json. Unlike the
+# engine numbers above this includes the full serving stack: JSON
+# decode, admission, cache lookup, and response encode.
+#
+#   SERVE_OUT=other.json scripts/bench.sh   # override the output path
+#   SERVE_N=2000 SERVE_C=16 scripts/bench.sh # override the load shape
+serve_out="${SERVE_OUT:-BENCH_serve.json}"
+serve_n="${SERVE_N:-500}"
+serve_c="${SERVE_C:-8}"
+
+tmp="$(mktemp -d)"
+serverpid=""
+cleanup() {
+    [ -n "$serverpid" ] && kill "$serverpid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/adaserved" ./cmd/adaserved
+go build -o "$tmp/adabench" ./cmd/adabench
+
+"$tmp/adaserved" -addr 127.0.0.1:0 > "$tmp/serve.log" 2>&1 &
+serverpid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on \([^ ]*\).*/\1/p' "$tmp/serve.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$serverpid" 2>/dev/null || { cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "error: adaserved never reported its address" >&2; exit 1; }
+
+"$tmp/adabench" -server "http://$addr" -n "$serve_n" -c "$serve_c" -out "$tmp/single.json"
+"$tmp/adabench" -server "http://$addr" -n "$serve_n" -c "$serve_c" -batch 8 -out "$tmp/batch.json"
+
+kill "$serverpid" 2>/dev/null || true
+wait "$serverpid" 2>/dev/null || true
+serverpid=""
+
+printf '{\n"single": %s,\n"batch": %s\n}\n' "$(cat "$tmp/single.json")" "$(cat "$tmp/batch.json")" > "$serve_out"
+grep -q '"ops_per_sec"' "$serve_out" || {
+    echo "error: no serving rows captured into $serve_out" >&2
+    exit 1
+}
+echo "wrote $serve_out"
